@@ -1,0 +1,48 @@
+"""Figure 12 — Cliques: Fractal vs Arabesque vs GraphFrames vs QKCount.
+
+Paper shape: Fractal beats Arabesque everywhere except trivially small
+work (5.2-12.9x on Youtube), GraphFrames often runs out of memory, and
+Fractal competes with the specialized QKCount — losing on the small dense
+graph at large k, winning on the big graph.
+"""
+
+from repro.harness import (
+    bench_mico,
+    bench_youtube,
+    paper_cluster,
+    run_fig12_cliques,
+)
+
+from conftest import record, run_once
+
+CLUSTER = paper_cluster(workers=4, cores_per_worker=7)
+
+
+def test_fig12_cliques(benchmark):
+    rows = run_once(
+        benchmark,
+        run_fig12_cliques,
+        [bench_mico(), bench_youtube()],
+        (4, 5, 6),
+        CLUSTER,
+    )
+    by_key = {(r["graph"], r["k"]): r for r in rows}
+
+    # Fractal beats Arabesque on every configuration here, and the gap
+    # widens with k (intermediate state grows with depth).
+    for row in rows:
+        assert row["speedup_vs_arabesque"] > 1.0
+    assert (
+        by_key[("mico-sl", 6)]["speedup_vs_arabesque"]
+        > by_key[("mico-sl", 4)]["speedup_vs_arabesque"]
+    )
+    # GraphFrames runs out of memory on the dense graph.
+    assert any(r["graphframes_oom"] for r in rows)
+    # QKCount: wins the small dense graph at large k, loses the larger
+    # graph to Fractal.
+    assert by_key[("mico-sl", 6)]["qkcount_s"] < by_key[("mico-sl", 6)]["fractal_s"]
+    assert (
+        by_key[("youtube-sl", 6)]["fractal_s"]
+        < by_key[("youtube-sl", 6)]["qkcount_s"]
+    )
+    record(benchmark, "fig12", rows)

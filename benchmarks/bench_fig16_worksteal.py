@@ -1,0 +1,59 @@
+"""Figure 16 — Hierarchical work stealing drilldown on FSM.
+
+Paper shape (per fractal step, across four configurations): disabled load
+balancing shows raw imbalance that worsens in later steps; internal-only
+stealing fixes intra-worker skew at low cost; external-only balances
+across workers but pays communication; internal+external gives near
+perfect balancing and the best makespan.
+"""
+
+from collections import defaultdict
+
+from repro.harness import run_fig16_worksteal
+from repro.harness.configs import bench_fsm_patents
+
+from conftest import record, run_once
+
+
+def test_fig16_worksteal(benchmark):
+    rows = run_once(
+        benchmark,
+        run_fig16_worksteal,
+        bench_fsm_patents(),
+        10,  # min_support
+        3,  # max_edges
+        2,  # workers
+        8,  # cores per worker
+    )
+    per_config = defaultdict(lambda: {"makespan": 0.0, "imbalance": []})
+    for row in rows:
+        per_config[row["config"]]["makespan"] += row["makespan_s"]
+        per_config[row["config"]]["imbalance"].append(row["imbalance"])
+
+    def mean_imbalance(name):
+        values = per_config[name]["imbalance"]
+        return sum(values) / len(values)
+
+    disabled = per_config["1.Disabled"]["makespan"]
+    internal = per_config["2.Internal"]["makespan"]
+    external = per_config["3.External"]["makespan"]
+    both = per_config["4.Internal+External"]["makespan"]
+
+    # Any stealing beats no stealing; the combined strategy is best.
+    assert internal < disabled
+    assert external < disabled
+    assert both <= internal
+    assert both <= external
+    # Imbalance: disabled is the most skewed; combined is near perfect.
+    assert mean_imbalance("1.Disabled") > mean_imbalance("4.Internal+External")
+    assert mean_imbalance("4.Internal+External") < 1.6
+    # Steal activity matches the enabled levels.
+    for row in rows:
+        if row["config"] == "1.Disabled":
+            assert row["steals_internal"] == 0
+            assert row["steals_external"] == 0
+        if row["config"] == "2.Internal":
+            assert row["steals_external"] == 0
+        if row["config"] == "3.External":
+            assert row["steals_internal"] == 0
+    record(benchmark, "fig16", rows)

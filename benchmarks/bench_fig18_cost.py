@@ -1,0 +1,70 @@
+"""Figure 18 — COST analysis against single-thread baselines.
+
+Paper shape: the COST (threads Fractal needs to beat an efficient
+single-thread implementation) typically lands at a handful of threads
+(3-4 in the paper) for enumeration-dominated kernels, dropping for long
+tasks and blowing up for short tasks where setup overheads dominate
+(3-cliques on Youtube reached 16 threads).
+"""
+
+from repro import FractalContext
+from repro.apps import cliques_fractoid
+from repro.baselines import gtries_cliques
+from repro.harness import (
+    bench_mico,
+    bench_youtube,
+    cost_of,
+    run_fig18_cost,
+)
+from repro.harness.configs import bench_cost_cliques, bench_fsm_patents
+
+from conftest import record, run_once
+
+
+def test_fig18_cost(benchmark):
+    rows = run_once(
+        benchmark,
+        run_fig18_cost,
+        bench_mico(),  # motifs
+        bench_cost_cliques(),  # cliques (dense: baseline outruns setup)
+        bench_fsm_patents(),  # fsm
+        bench_youtube(),  # queries (needs real matching work)
+        4,  # motifs k
+        5,  # cliques k
+        10,  # fsm support
+        3,  # fsm max edges
+        # The paper used q2/q3; q3's matching work at stand-in scale is
+        # below Fractal's fixed setup cost, so q6 stands in for the
+        # second query (see EXPERIMENTS.md).
+        ("q2", "q6"),
+    )
+    by_kernel = {r["kernel"]: r for r in rows}
+
+    # Every kernel has a finite COST in a small number of threads.
+    for row in rows:
+        assert row["cost"] is not None, row["kernel"]
+        assert row["cost"] <= 16
+    # Enumeration-dominated kernels land in the single digits.
+    assert by_kernel["motifs k=4"]["cost"] <= 8
+    assert by_kernel["cliques k=5"]["cost"] <= 12
+    record(benchmark, "fig18", rows)
+
+
+def test_fig18_cost_blowup_for_short_tasks(benchmark):
+    """Short tasks (3-cliques) inflate COST — overheads dominate."""
+
+    def run():
+        graph = bench_youtube()
+        baseline = gtries_cliques(graph, 3)
+        return cost_of(
+            lambda: cliques_fractoid(FractalContext().from_graph(graph), 3),
+            baseline.runtime_seconds,
+            max_threads=40,
+        )
+
+    outcome = run_once(benchmark, run)
+    short_cost = outcome["cost"] if outcome["cost"] is not None else 41
+    # The paper saw 16 threads; the reproduced value must show the same
+    # blow-up relative to the enumeration-dominated kernels.
+    assert short_cost >= 8
+    record(benchmark, "fig18_short", {"cost": outcome["cost"]})

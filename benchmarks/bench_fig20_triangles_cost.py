@@ -1,0 +1,64 @@
+"""Figure 20 (Appendix C) — Triangles and COST of optimized kernels.
+
+Paper shape (20a): Fractal significantly outperforms Arabesque,
+GraphFrames and GraphX on three of four datasets, losing only the
+smallest dataset to Arabesque (setup overhead).  (20b): with the custom
+KClist enumerator, Fractal's COST against the single-thread KClist and
+Neo4j's triangle procedure stays a small number of threads.
+"""
+
+from repro.harness import (
+    bench_mico,
+    bench_orkut,
+    bench_patents,
+    bench_youtube,
+    paper_cluster,
+    run_fig20a_triangles,
+    run_fig20b_cost,
+)
+
+from conftest import record, run_once
+
+CLUSTER = paper_cluster(workers=4, cores_per_worker=7)
+
+
+def test_fig20a_triangles(benchmark):
+    datasets = [
+        bench_mico(),
+        bench_patents(labeled=False),
+        bench_youtube(),
+        bench_orkut(),
+    ]
+    rows = run_once(benchmark, run_fig20a_triangles, datasets, CLUSTER)
+    by_graph = {r["graph"]: r for r in rows}
+
+    # Fractal beats Arabesque on every dataset, with the margin growing
+    # on the biggest workload (the paper's order-of-magnitude direction).
+    for row in rows:
+        assert row["fractal_s"] < row["arabesque_s"]
+    mico_ratio = by_graph["mico-sl"]["arabesque_s"] / by_graph["mico-sl"]["fractal_s"]
+    orkut_ratio = by_graph["orkut"]["arabesque_s"] / by_graph["orkut"]["fractal_s"]
+    assert orkut_ratio > mico_ratio
+    # The join-based systems (GraphFrames/GraphX) stay within a small
+    # constant at stand-in scale — their paper-scale blowup is driven by
+    # shuffle volumes our small inputs cannot generate (EXPERIMENTS.md).
+    for row in rows:
+        assert row["graphframes_s"] > 0
+        assert row["graphx_s"] > 0
+    record(benchmark, "fig20a", rows)
+
+
+def test_fig20b_optimized_cost(benchmark):
+    from repro.harness.configs import bench_cost_cliques
+
+    rows = run_once(
+        benchmark,
+        run_fig20b_cost,
+        bench_cost_cliques(),  # KClist cliques
+        bench_cost_cliques(),  # triangles vs neo4j (needs real work)
+        5,  # cliques k
+    )
+    for row in rows:
+        assert row["cost"] is not None, row["kernel"]
+        assert row["cost"] <= 32
+    record(benchmark, "fig20b", rows)

@@ -1,0 +1,25 @@
+"""Figure 8 — CPU utilization of clique listing with no load balancing.
+
+The paper's motivating chart: without work stealing, resource utilization
+collapses quickly as cores finish their initial partitions and a few
+stragglers run a long tail.
+"""
+
+from repro.harness import bench_mico, run_fig8_utilization
+
+from conftest import record, run_once
+
+
+def test_fig8_utilization_long_tail(benchmark):
+    rows = run_once(benchmark, run_fig8_utilization, bench_mico(), 4, 28)
+    utilization = [r["utilization"] for r in rows]
+
+    # Shape: high early utilization that collapses into a long tail.
+    assert utilization[0] > 0.5
+    assert utilization[-1] < 0.25
+    # The drop is monotone-ish: the second half never exceeds the first bin.
+    assert max(utilization[len(utilization) // 2:]) < utilization[0]
+    # The tail (last 30% of wall time) runs at straggler-level utilization.
+    tail = utilization[-3:]
+    assert sum(tail) / len(tail) < 0.3
+    record(benchmark, "fig8", rows)

@@ -1,0 +1,36 @@
+"""Table 1 — dataset statistics for every stand-in graph."""
+
+from repro.graph import (
+    mico_like,
+    orkut_like,
+    patents_like,
+    wikidata_like,
+    youtube_like,
+)
+from repro.harness import run_table1_datasets
+
+from conftest import record, run_once
+
+
+def test_table1_datasets(benchmark):
+    datasets = [
+        mico_like(),
+        patents_like(),
+        youtube_like(),
+        wikidata_like(),
+        orkut_like(),
+    ]
+    rows = run_once(benchmark, run_table1_datasets, datasets)
+    by_name = {r["graph"]: r for r in rows}
+
+    # Table 1's orderings: Mico is the smallest and densest; Wikidata the
+    # sparsest with the largest label alphabet and the only keyword set.
+    assert by_name["mico-ml"]["vertices"] < by_name["patents-ml"]["vertices"]
+    assert by_name["patents-ml"]["vertices"] < by_name["youtube-ml"]["vertices"]
+    assert by_name["youtube-ml"]["vertices"] < by_name["wikidata"]["vertices"]
+    densities = {name: r["density"] for name, r in by_name.items()}
+    assert densities["mico-ml"] > densities["patents-ml"] > densities["wikidata"]
+    assert by_name["wikidata"]["keywords"] > 0
+    labels = {name: r["labels"] for name, r in by_name.items()}
+    assert labels["youtube-ml"] > labels["patents-ml"] > labels["mico-ml"]
+    record(benchmark, "table1", rows)

@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper through the
+``repro.harness`` runners, asserts the paper's qualitative claims (who
+wins, by roughly what factor, where crossovers fall), and records the
+reproduced rows in ``benchmark.extra_info`` for inspection.
+
+The wall-clock numbers pytest-benchmark reports measure the *harness*
+(enumeration plus simulation); the reproduced quantities are the
+simulated runtimes inside the rows.
+"""
+
+from __future__ import annotations
+
+import json
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a harness exactly once under pytest-benchmark and return rows."""
+    result = benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0
+    )
+    return result
+
+
+def record(benchmark, key, rows):
+    """Attach reproduced rows to the benchmark record."""
+    try:
+        benchmark.extra_info[key] = json.loads(json.dumps(rows, default=str))
+    except TypeError:
+        benchmark.extra_info[key] = str(rows)

@@ -1,0 +1,62 @@
+"""Frequent subgraph mining on a labeled co-authorship-style network.
+
+The scenario from the paper's FSM evaluation (§5.1): mine all patterns
+whose minimum image-based (MNI) support clears a threshold, watch how the
+frequent set shrinks as the threshold rises, and see the effect of the
+transparent graph-reduction optimization (§4.3).
+
+Run:  python examples/frequent_subgraphs.py
+"""
+
+from repro import FractalContext
+from repro.apps import fsm
+from repro.graph import powerlaw_graph
+
+
+def main() -> None:
+    # A co-authorship-style network: heavy-tailed degrees, few communities
+    # of research fields (labels).
+    graph = powerlaw_graph(n=220, attach=4, n_labels=4, seed=7, name="coauth")
+    print(f"input: {graph}")
+
+    for min_support in (30, 20, 12):
+        result = fsm(
+            FractalContext().from_graph(graph),
+            min_support=min_support,
+            max_edges=3,
+        )
+        print(
+            f"\nsupport >= {min_support}: {len(result.frequent)} frequent "
+            f"patterns in {result.rounds} rounds "
+            f"({result.total_simulated_seconds():.2f}s simulated)"
+        )
+        for pattern in result.patterns[:6]:
+            print(
+                f"  {pattern.n_edges}-edge pattern labels="
+                f"{pattern.vertex_labels} support={result.support_of(pattern)}"
+            )
+
+    # Transparent graph reduction: after the bootstrap round, edges whose
+    # single-edge pattern is infrequent can never participate in a
+    # frequent subgraph, so the engine drops them — same result set,
+    # fewer extension tests.
+    plain = fsm(FractalContext().from_graph(graph), min_support=20, max_edges=3)
+    reduced = fsm(
+        FractalContext().from_graph(graph),
+        min_support=20,
+        max_edges=3,
+        reduce_input=True,
+    )
+    ec_plain = sum(r.metrics.extension_tests for r in plain.reports)
+    ec_reduced = sum(r.metrics.extension_tests for r in reduced.reports)
+    assert {p.canonical_code() for p in plain.frequent} == {
+        p.canonical_code() for p in reduced.frequent
+    }
+    print(
+        f"\ngraph reduction: extension cost {ec_plain} -> {ec_reduced} "
+        f"({1 - ec_reduced / ec_plain:.0%} saved), identical results"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Graphlet degree vectors: role discovery in a small-world network.
+
+Uses the GDV extension (Przulj-style graphlet orbit counting built on the
+Fractal enumeration machinery) to tell structurally different vertices
+apart — hubs, bridges and rim vertices have distinct orbit signatures
+even when raw degrees look similar.
+
+Run:  python examples/graphlet_profiles.py
+"""
+
+from repro import FractalContext
+from repro.apps import gdv_similarity, graphlet_degree_vectors
+from repro.graph import watts_strogatz_graph
+
+
+def main() -> None:
+    graph = watts_strogatz_graph(60, 6, 0.08, seed=12, name="small-world")
+    print(f"input: {graph}")
+
+    gdv = graphlet_degree_vectors(FractalContext().from_graph(graph), 4)
+
+    # Summarize each vertex by its richest orbits.
+    def signature(vector, top=3):
+        ranked = sorted(vector.items(), key=lambda kv: -kv[1])[:top]
+        return ", ".join(
+            f"{pattern.n_vertices}v/{pattern.n_edges}e#o{orbit}x{count}"
+            for (pattern, orbit), count in ranked
+        )
+
+    degrees = {v: graph.degree(v) for v in graph.vertices()}
+    busiest = sorted(gdv, key=lambda v: -sum(gdv[v].values()))[:5]
+    print("\nvertices with the richest 4-graphlet participation:")
+    for v in busiest:
+        print(
+            f"  v{v} (degree {degrees[v]}): "
+            f"{sum(gdv[v].values())} graphlets | {signature(gdv[v])}"
+        )
+
+    # Vertices on the regular rim have near-identical signatures; compare
+    # a rim pair against a rim-vs-busy pair.
+    rim = [v for v in gdv if degrees[v] == 6][:2]
+    if len(rim) == 2 and busiest:
+        same = gdv_similarity(gdv[rim[0]], gdv[rim[1]])
+        different = gdv_similarity(gdv[rim[0]], gdv[busiest[0]])
+        print(
+            f"\nGDV similarity: rim-vs-rim {same:.3f}  "
+            f"rim-vs-hub {different:.3f}"
+        )
+        assert same >= different
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Motif census of a biological-style interaction network.
+
+Motif profiling (the paper's bioinformatics motivation, §2.2): count all
+k-vertex connected induced subgraph shapes, compare their frequency
+profile between a real-like network and a degree-matched random control —
+the classic way network motifs are identified.
+
+Run:  python examples/motif_census_bio.py
+"""
+
+from repro import FractalContext
+from repro.apps import motif_counts_ignoring_labels, motifs
+from repro.graph import erdos_renyi_graph, powerlaw_graph
+
+
+def census(graph, k):
+    counts = motifs(FractalContext().from_graph(graph), k)
+    return motif_counts_ignoring_labels(counts)
+
+
+def shape_name(pattern):
+    k, m = pattern.n_vertices, pattern.n_edges
+    names = {
+        (3, 2): "path",
+        (3, 3): "triangle",
+        (4, 3): "tree",
+        (4, 4): "cycle/tadpole",
+        (4, 5): "diamond",
+        (4, 6): "4-clique",
+    }
+    return names.get((k, m), f"{k}v/{m}e")
+
+
+def main() -> None:
+    # Protein-interaction-style network: heavy-tailed, locally clustered.
+    bio = powerlaw_graph(n=200, attach=4, seed=3, name="ppi-like")
+    # Degree-comparable random control.
+    control = erdos_renyi_graph(bio.n_vertices, bio.n_edges, seed=3)
+    print(f"network: {bio}  |  control: {control}")
+
+    for k in (3, 4):
+        bio_census = census(bio, k)
+        control_census = census(control, k)
+        total_bio = sum(bio_census.values())
+        total_control = sum(control_census.values())
+        print(f"\n{k}-vertex motif profile (share in network vs control):")
+        shapes = sorted(
+            set(bio_census) | set(control_census),
+            key=lambda p: (p.n_edges, p.canonical_code()),
+        )
+        for pattern in shapes:
+            share_bio = bio_census.get(pattern, 0) / total_bio
+            share_control = control_census.get(pattern, 0) / max(1, total_control)
+            enrichment = share_bio / share_control if share_control else float("inf")
+            print(
+                f"  {shape_name(pattern):14s} "
+                f"network={share_bio:7.2%}  control={share_control:7.2%}  "
+                f"enrichment={enrichment:5.2f}x"
+            )
+
+    # Preferential attachment produces far more triangles/cliques than the
+    # ER control — the motif signal this analysis exists to surface.
+    tri_bio = census(bio, 3)
+    tri_control = census(control, 3)
+    triangle = next(p for p in tri_bio if p.n_edges == 3)
+    assert tri_bio[triangle] > tri_control.get(triangle, 0)
+    print("\ntriangle enrichment confirmed (clustered network vs ER control)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in offline
+environments whose setuptools lacks the wheel backend (legacy editable
+installs go through ``setup.py develop`` and need no wheel build).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""Fractal reproduction: a general-purpose graph pattern mining library.
+
+Pure-Python reproduction of *Fractal: A General-Purpose Graph Pattern
+Mining System* (SIGMOD 2019).  Public API highlights:
+
+* :class:`FractalContext` / :class:`FractalGraph` — entry points;
+* :class:`Fractoid` — the chainable workflow object
+  (``expand`` / ``filter`` / ``aggregate`` / ``explore``);
+* :class:`ClusterConfig` — the simulated distributed runtime with
+  hierarchical work stealing;
+* ``repro.apps`` — the paper's applications (motifs, cliques, FSM,
+  subgraph querying, keyword search, triangles);
+* ``repro.baselines`` — every system the paper compares against;
+* ``repro.graph`` — graph model, I/O, dataset stand-ins, reduction.
+
+Quickstart::
+
+    from repro import FractalContext
+    from repro.graph import mico_like
+
+    fc = FractalContext()
+    graph = fc.from_graph(mico_like())
+    n_triangles = (graph.vfractoid()
+                   .expand(1)
+                   .filter(lambda s, c: s.edges_added_last() == s.n_vertices - 1)
+                   .explore(3)
+                   .count())
+"""
+
+from .core.context import FractalContext, FractalGraph
+from .core.fractoid import Fractoid
+from .core.subgraph import Subgraph, SubgraphResult
+from .core.aggregation import DomainSupport
+from .graph.graph import Graph, GraphBuilder
+from .pattern.pattern import Pattern
+from .runtime.cluster import ClusterConfig
+from .runtime.costmodel import CostModel
+from .runtime.metrics import Metrics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FractalContext",
+    "FractalGraph",
+    "Fractoid",
+    "Subgraph",
+    "SubgraphResult",
+    "DomainSupport",
+    "Graph",
+    "GraphBuilder",
+    "Pattern",
+    "ClusterConfig",
+    "CostModel",
+    "Metrics",
+    "__version__",
+]

@@ -1,0 +1,137 @@
+"""Sampled subgraph enumeration (paper Appendix B).
+
+Appendix B notes that custom enumerators exist for applications that need
+"a specific policy for generating extension candidates, such as
+sampling".  :class:`SamplingStrategy` wraps any extension strategy and
+keeps each candidate independently with probability ``p`` — so a k-word
+subgraph survives with probability ``p**k`` and dividing observed counts
+by ``p**k`` gives unbiased estimates.
+
+The coin flips are *stateless*: a candidate's fate is a deterministic
+hash of (seed, prefix, candidate).  That makes sampling reproducible and
+— crucially — steal-safe: a stolen prefix re-derives exactly the same
+decisions on whichever core continues it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Callable, Dict, Optional
+
+from ..core.context import FractalGraph
+from ..core.enumerator import ExtensionStrategy, VertexInducedStrategy
+from ..core.fractoid import Fractoid
+from ..core.subgraph import Subgraph
+from ..pattern.pattern import Pattern
+from ..runtime.driver import EngineSpec
+
+__all__ = ["SamplingStrategy", "sampled_vfractoid", "approximate_motifs"]
+
+_HASH_DENOMINATOR = float(1 << 64)
+
+
+def _keep(seed: int, prefix, candidate: int, probability: float) -> bool:
+    """Deterministic Bernoulli draw for one (prefix, candidate) pair."""
+    payload = struct.pack(
+        f"<q{len(prefix)}qq", seed, *prefix, candidate
+    )
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    value = struct.unpack("<Q", digest)[0] / _HASH_DENOMINATOR
+    return value < probability
+
+
+class SamplingStrategy(ExtensionStrategy):
+    """Bernoulli-sample the extensions of a wrapped strategy."""
+
+    mode = "vertex"
+
+    def __init__(
+        self,
+        graph,
+        metrics,
+        interner,
+        base_factory: Callable = VertexInducedStrategy,
+        probability: float = 0.5,
+        seed: int = 0,
+    ):
+        super().__init__(graph, metrics, interner)
+        if not 0.0 < probability <= 1.0:
+            raise ValueError("sampling probability must be in (0, 1]")
+        self._base = base_factory(graph, metrics, interner)
+        self.mode = self._base.mode
+        self.probability = probability
+        self.seed = seed
+
+    def extensions(self, subgraph: Subgraph):
+        candidates = self._base.extensions(subgraph)
+        if self.probability >= 1.0:
+            return candidates
+        prefix = (
+            subgraph.edges if self._base.mode == "edge" else subgraph.vertices
+        )
+        return [
+            word
+            for word in candidates
+            if _keep(self.seed, prefix, word, self.probability)
+        ]
+
+    def push(self, subgraph: Subgraph, word: int) -> None:
+        self._base.push(subgraph, word)
+
+    def pop(self, subgraph: Subgraph) -> None:
+        self._base.pop(subgraph)
+
+    def reset_state(self) -> None:
+        self._base.reset_state()
+
+    def word_count_limit(self) -> Optional[int]:
+        return self._base.word_count_limit()
+
+
+def sampled_vfractoid(
+    fractal_graph: FractalGraph, probability: float, seed: int = 0
+) -> Fractoid:
+    """A vertex-induced fractoid whose extensions are Bernoulli-sampled."""
+
+    def factory(graph, metrics, interner):
+        return SamplingStrategy(
+            graph,
+            metrics,
+            interner,
+            base_factory=VertexInducedStrategy,
+            probability=probability,
+            seed=seed,
+        )
+
+    return fractal_graph.vfractoid(custom_strategy=factory)
+
+
+def approximate_motifs(
+    fractal_graph: FractalGraph,
+    k: int,
+    probability: float,
+    seed: int = 0,
+    engine: Optional[EngineSpec] = None,
+) -> Dict[Pattern, float]:
+    """Estimate the k-motif census from a sampled enumeration.
+
+    Each subgraph survives with probability ``probability**k``, so counts
+    are scaled back by that factor; estimates are unbiased with variance
+    shrinking as ``probability`` approaches 1.
+    """
+    if k < 1:
+        raise ValueError("motifs require k >= 1")
+    census = (
+        sampled_vfractoid(fractal_graph, probability, seed)
+        .expand(k)
+        .aggregate(
+            "motifs~",
+            key_fn=lambda subgraph, computation: subgraph.pattern(),
+            value_fn=lambda subgraph, computation: 1,
+            reduce_fn=lambda a, b: a + b,
+        )
+        .aggregation("motifs~", engine=engine)
+    )
+    scale = probability ** k
+    return {pattern: count / scale for pattern, count in census.items()}

@@ -1,0 +1,42 @@
+"""Triangle counting (paper Appendix C).
+
+"The triangles implementation in Fractal is the same as cliques
+(Listing 2) with k = 3" — these are thin aliases kept as a first-class
+app because Figure 20a benchmarks it against Arabesque, GraphFrames and
+GraphX-style baselines on four datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.context import FractalGraph
+from ..core.fractoid import Fractoid
+from ..runtime.driver import EngineSpec
+from .cliques import cliques_fractoid, cliques_optimized_fractoid
+
+__all__ = ["triangles_fractoid", "count_triangles", "triangles_optimized_fractoid"]
+
+
+def triangles_fractoid(fractal_graph: FractalGraph) -> Fractoid:
+    """Listing 2 with k=3."""
+    return cliques_fractoid(fractal_graph, 3)
+
+
+def triangles_optimized_fractoid(fractal_graph: FractalGraph) -> Fractoid:
+    """Listing 7 (KClist enumerator) with k=3."""
+    return cliques_optimized_fractoid(fractal_graph, 3)
+
+
+def count_triangles(
+    fractal_graph: FractalGraph,
+    engine: Optional[EngineSpec] = None,
+    optimized: bool = False,
+) -> int:
+    """Number of triangles in the graph."""
+    fractoid = (
+        triangles_optimized_fractoid(fractal_graph)
+        if optimized
+        else triangles_fractoid(fractal_graph)
+    )
+    return fractoid.count(engine=engine)

@@ -1,0 +1,58 @@
+"""Baseline systems the paper compares against (see DESIGN.md §1)."""
+
+from .common import DEFAULT_MEMORY_BUDGET_BYTES, BaselineReport, SimulatedOOM
+from .odag import ODAG, ODAGStore
+from .bfs_engine import BFSConfig, LevelStats, arabesque_run, run_bfs
+from .matchwork import WorkCounter, count_embeddings, enumerate_embeddings
+from .seed import SeedConfig, decompose_pattern, seed_query
+from .scalemine import ScaleMineConfig, mni_support, scalemine_fsm
+from .mrsub import MRSubConfig, mrsub_motifs
+from .graphframes import (
+    GraphFramesConfig,
+    graphframes_cliques,
+    graphframes_triangles,
+)
+from .distributed import DistributedConfig, graphx_triangles, qkcount_cliques
+from .singlethread import (
+    grami_fsm,
+    gtries_cliques,
+    gtries_motifs,
+    kclist_cliques,
+    neo4j_triangles,
+    singlethread_query,
+)
+
+__all__ = [
+    "DEFAULT_MEMORY_BUDGET_BYTES",
+    "BaselineReport",
+    "SimulatedOOM",
+    "ODAG",
+    "ODAGStore",
+    "BFSConfig",
+    "LevelStats",
+    "arabesque_run",
+    "run_bfs",
+    "WorkCounter",
+    "count_embeddings",
+    "enumerate_embeddings",
+    "SeedConfig",
+    "decompose_pattern",
+    "seed_query",
+    "ScaleMineConfig",
+    "mni_support",
+    "scalemine_fsm",
+    "MRSubConfig",
+    "mrsub_motifs",
+    "GraphFramesConfig",
+    "graphframes_cliques",
+    "graphframes_triangles",
+    "DistributedConfig",
+    "graphx_triangles",
+    "qkcount_cliques",
+    "grami_fsm",
+    "gtries_cliques",
+    "gtries_motifs",
+    "kclist_cliques",
+    "neo4j_triangles",
+    "singlethread_query",
+]

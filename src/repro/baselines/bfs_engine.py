@@ -1,0 +1,283 @@
+"""Arabesque-like BFS baseline engine [Teixeira et al. 2015].
+
+The first-generation GPM systems (Arabesque, NScale) enumerate level-
+synchronously: every embedding of the current depth is materialized,
+shuffled among workers for load balance, and carried to the next
+superstep.  That design is what Fractal's §4.1 motivates against — the
+intermediate state grows combinatorially — and what Table 2 measures.
+
+This engine executes the *same primitive workflows* as the Fractal engine
+(so results are directly comparable and tested for equality), but:
+
+* a frontier of embeddings is materialized after every extension,
+  stored in per-pattern ODAGs (:mod:`~repro.baselines.odag`) with real
+  compression accounting, and charged against a memory budget —
+  exceeding it raises :class:`~repro.baselines.common.SimulatedOOM`;
+* each extension superstep pays a shuffle cost per produced embedding
+  and a synchronization barrier (the BSP overheads of §3);
+* runtime slows down as resident state approaches the budget (the
+  GC-pressure effect the paper's §1 highlights for JVM systems);
+* aggregations finalize at superstep barriers, so multi-step workflows
+  (FSM) run in one pass over a *live* frontier — no from-scratch
+  recomputation, the memory-for-time trade Arabesque makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.computation import Computation
+from ..core.fractoid import Fractoid
+from ..core.primitives import AggregationFilter, Expand, Filter
+from ..core.steps import resolve_aggregation_sources
+from ..graph.graph import Graph
+from ..pattern.pattern import PatternInterner
+from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
+from ..runtime.metrics import Metrics
+from .common import DEFAULT_MEMORY_BUDGET_BYTES, BaselineReport, SimulatedOOM
+from .odag import ODAGStore
+
+__all__ = ["BFSConfig", "LevelStats", "run_bfs", "arabesque_run"]
+
+
+@dataclass(frozen=True)
+class BFSConfig:
+    """Arabesque-like engine configuration."""
+
+    workers: int = 1
+    cores_per_worker: int = 4
+    memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    shuffle_units_per_embedding: float = 6.0
+    superstep_overhead_s: float = 0.35
+    gc_pressure_coeff: float = 1.5
+    use_odag: bool = True
+
+    @property
+    def total_cores(self) -> int:
+        """Logical cores across the cluster."""
+        return self.workers * self.cores_per_worker
+
+
+@dataclass
+class LevelStats:
+    """Materialized-state statistics after one extension superstep."""
+
+    level: int
+    embeddings: int
+    odag_bytes: int
+    uncompressed_bytes: int
+    n_patterns: int
+    work_units: float
+    seconds: float
+
+
+@dataclass
+class BFSResult:
+    """Internal outcome of a BFS run (wrapped into a BaselineReport)."""
+
+    frontier: List[Tuple[int, ...]]
+    aggregations: Dict[int, object] = field(default_factory=dict)
+    levels: List[LevelStats] = field(default_factory=list)
+    metrics: Metrics = field(default_factory=Metrics)
+    seconds: float = 0.0
+    peak_bytes_per_worker: int = 0
+
+
+def run_bfs(
+    graph: Graph,
+    strategy_factory,
+    primitives: Sequence,
+    config: BFSConfig = BFSConfig(),
+    interner: Optional[PatternInterner] = None,
+) -> BFSResult:
+    """Execute a primitive workflow level-synchronously.
+
+    Raises:
+        SimulatedOOM: when the per-worker share of materialized state
+            exceeds the configured budget.
+    """
+    interner = interner if interner is not None else PatternInterner()
+    metrics = Metrics()
+    strategy = strategy_factory(graph, metrics, interner)
+    computation = Computation(graph, metrics, interner, {})
+    resolve_aggregation_sources(primitives)
+    cost = config.cost_model
+
+    frontier: List[Tuple[int, ...]] = [()]
+    result = BFSResult(frontier=frontier, metrics=metrics)
+    subgraph = strategy.make_subgraph()
+    level = 0
+    resident_bytes = 0
+
+    def units_since(mark: Tuple[int, int]) -> float:
+        return (
+            (metrics.extension_tests - mark[0]) * cost.extension_test_units
+            + (metrics.adjacency_scans - mark[1]) * cost.adjacency_scan_units
+        )
+
+    for primitive in primitives:
+        kind = type(primitive)
+        mark = (metrics.extension_tests, metrics.adjacency_scans)
+        step_units = 0.0
+        if kind is Expand:
+            level += 1
+            new_frontier: List[Tuple[int, ...]] = []
+            store = ODAGStore()
+            # Check the budget periodically *during* expansion: a level
+            # that cannot fit must abort early (as a real OOM would),
+            # not after materializing everything.
+            check_every = 2048
+            for words in frontier:
+                strategy.rebuild(subgraph, words)
+                for word in strategy.extensions(subgraph):
+                    extended = words + (word,)
+                    new_frontier.append(extended)
+                    if config.use_odag:
+                        strategy.push(subgraph, word)
+                        pattern = subgraph.pattern()
+                        strategy.pop(subgraph)
+                        store.add(pattern, extended)
+                    if len(new_frontier) % check_every == 0:
+                        partial = _resident_bytes(store, new_frontier, level, config)
+                        if partial > config.memory_budget_bytes:
+                            raise SimulatedOOM(
+                                "arabesque", partial, config.memory_budget_bytes
+                            )
+            metrics.subgraphs_enumerated += len(new_frontier)
+            frontier = new_frontier
+            per_worker = _resident_bytes(store, frontier, level, config)
+            resident_bytes = per_worker * max(1, config.workers)
+            result.peak_bytes_per_worker = max(
+                result.peak_bytes_per_worker, per_worker
+            )
+            step_units = (
+                units_since(mark)
+                + len(new_frontier) * cost.subgraph_units
+                + len(new_frontier) * config.shuffle_units_per_embedding
+            )
+            seconds = _superstep_seconds(
+                step_units, resident_bytes, config
+            )
+            result.levels.append(
+                LevelStats(
+                    level=level,
+                    embeddings=len(frontier),
+                    odag_bytes=store.total_bytes() if config.use_odag else resident_bytes,
+                    uncompressed_bytes=store.uncompressed_bytes()
+                    if config.use_odag
+                    else resident_bytes,
+                    n_patterns=store.n_patterns if config.use_odag else 0,
+                    work_units=step_units,
+                    seconds=seconds,
+                )
+            )
+            result.seconds += seconds
+            if per_worker > config.memory_budget_bytes:
+                raise SimulatedOOM("arabesque", per_worker, config.memory_budget_bytes)
+        elif kind is Filter:
+            kept = []
+            for words in frontier:
+                strategy.rebuild(subgraph, words)
+                metrics.filter_calls += 1
+                if primitive.fn(subgraph, computation):
+                    metrics.filter_passed += 1
+                    kept.append(words)
+            frontier = kept
+            step_units = units_since(mark) + len(frontier) * cost.filter_units
+            result.seconds += _superstep_seconds(step_units, resident_bytes, config)
+        elif kind is AggregationFilter:
+            view = result.aggregations[primitive.source_uid]
+            kept = []
+            for words in frontier:
+                strategy.rebuild(subgraph, words)
+                metrics.filter_calls += 1
+                if primitive.fn(subgraph, view):
+                    metrics.filter_passed += 1
+                    kept.append(words)
+            frontier = kept
+            step_units = units_since(mark) + len(frontier) * cost.filter_units
+            result.seconds += _superstep_seconds(step_units, resident_bytes, config)
+        else:  # Aggregate
+            from ..core.aggregation import AggregationStorage
+
+            storage = AggregationStorage(
+                primitive.name, primitive.reduce_fn, primitive.agg_filter
+            )
+            for words in frontier:
+                strategy.rebuild(subgraph, words)
+                storage.add(
+                    primitive.key_fn(subgraph, computation),
+                    primitive.value_fn(subgraph, computation),
+                )
+                metrics.aggregate_updates += 1
+            result.aggregations[primitive.uid] = storage.finalize()
+            step_units = (
+                units_since(mark) + len(frontier) * cost.aggregate_units
+            )
+            result.seconds += _superstep_seconds(step_units, resident_bytes, config)
+    result.frontier = frontier
+    result.metrics = metrics
+    return result
+
+
+def _resident_bytes(store: ODAGStore, frontier, level: int, config: BFSConfig) -> int:
+    """Per-worker resident footprint of the materialized level.
+
+    ODAG compression is bounded in practice: shuffle buffers and
+    partially-expanded embeddings keep a fraction of the verbatim state
+    resident, which is why Arabesque still OOMs on large levels (paper
+    Figure 15) despite compression.  We charge the larger of the
+    compressed footprint and 1/8 of the verbatim footprint.
+    """
+    if config.use_odag:
+        total = max(store.total_bytes(), store.uncompressed_bytes() // 8)
+    else:
+        total = len(frontier) * (level * 8 + 32)
+    return total // max(1, config.workers)
+
+
+def _superstep_seconds(units: float, resident_bytes: int, config: BFSConfig) -> float:
+    """Superstep latency: parallel work + barrier, under GC pressure."""
+    cost = config.cost_model
+    pressure = 1.0 + config.gc_pressure_coeff * (
+        resident_bytes / max(1, config.workers) / config.memory_budget_bytes
+    )
+    return (
+        cost.seconds(units) / config.total_cores * pressure
+        + config.superstep_overhead_s
+    )
+
+
+def arabesque_run(
+    fractoid: Fractoid, config: BFSConfig = BFSConfig()
+) -> BaselineReport:
+    """Run a Fractal-API workflow on the Arabesque-like engine.
+
+    Accepts any fractoid (the two systems share primitive semantics) and
+    returns a :class:`BaselineReport`; OOM failures are reported, not
+    raised.
+    """
+    graph = fractoid.fractal_graph.graph
+    try:
+        result = run_bfs(
+            graph,
+            fractoid._strategy_factory,
+            list(fractoid.primitives),
+            config=config,
+        )
+    except SimulatedOOM as error:
+        return BaselineReport.out_of_memory("arabesque", error)
+    return BaselineReport(
+        system="arabesque",
+        runtime_seconds=result.seconds,
+        result_count=len(result.frontier),
+        peak_memory_bytes=result.peak_bytes_per_worker,
+        work_units=sum(stats.work_units for stats in result.levels),
+        details={
+            "levels": result.levels,
+            "aggregations": result.aggregations,
+        },
+        result=result,
+    )

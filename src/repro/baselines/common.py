@@ -1,0 +1,63 @@
+"""Shared infrastructure for baseline systems.
+
+Every baseline reports through :class:`BaselineReport` so benchmark
+harnesses can print uniform rows, and signals memory exhaustion with
+:class:`SimulatedOOM` — the paper's figures repeatedly show Arabesque,
+GraphFrames and MRSUB failing with out-of-memory errors on the larger
+configurations, and the reproduction surfaces those failures the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = ["SimulatedOOM", "BaselineReport", "DEFAULT_MEMORY_BUDGET_BYTES"]
+
+# Memory available to one simulated worker before it OOMs.  Scaled to the
+# stand-in dataset sizes the same way the paper's 500 GB machines related
+# to its datasets; see DESIGN.md §6.
+DEFAULT_MEMORY_BUDGET_BYTES = 48 * 1024 * 1024
+
+
+class SimulatedOOM(MemoryError):
+    """A baseline exceeded its simulated memory budget.
+
+    Attributes:
+        system: which baseline failed.
+        resident_bytes: footprint at the moment of failure.
+        budget_bytes: the configured budget.
+    """
+
+    def __init__(self, system: str, resident_bytes: int, budget_bytes: int):
+        super().__init__(
+            f"{system}: simulated OOM ({resident_bytes} bytes resident, "
+            f"budget {budget_bytes})"
+        )
+        self.system = system
+        self.resident_bytes = resident_bytes
+        self.budget_bytes = budget_bytes
+
+
+@dataclass
+class BaselineReport:
+    """Uniform result record for baseline executions."""
+
+    system: str
+    runtime_seconds: float
+    result_count: int = 0
+    peak_memory_bytes: int = 0
+    work_units: float = 0.0
+    oom: bool = False
+    details: Dict[str, Any] = field(default_factory=dict)
+    result: Optional[Any] = None
+
+    @classmethod
+    def out_of_memory(cls, system: str, error: SimulatedOOM) -> "BaselineReport":
+        """Report row for a failed (OOM) execution."""
+        return cls(
+            system=system,
+            runtime_seconds=float("inf"),
+            peak_memory_bytes=error.resident_bytes,
+            oom=True,
+        )

@@ -1,0 +1,146 @@
+"""Work-metered backtracking matcher shared by baseline systems.
+
+SEED joins sub-pattern match sets, ScaleMine verifies candidate patterns,
+and the single-thread COST baselines all need to *enumerate embeddings and
+know how much work it took*.  This matcher mirrors the candidate
+generation of the production pattern-induced strategy but is standalone:
+it returns embeddings (pattern vertex -> graph vertex tuples) and counts
+candidate tests in a caller-supplied counter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..core.enumerator import matching_order
+from ..graph.graph import Graph
+from ..pattern.pattern import Pattern
+from ..pattern.symmetry import conditions_by_position, symmetry_breaking_conditions
+
+__all__ = ["WorkCounter", "enumerate_embeddings", "count_embeddings"]
+
+
+class WorkCounter:
+    """Mutable candidate-test counter."""
+
+    __slots__ = ("tests", "embeddings")
+
+    def __init__(self):
+        self.tests = 0
+        self.embeddings = 0
+
+
+def enumerate_embeddings(
+    graph: Graph,
+    pattern: Pattern,
+    counter: WorkCounter,
+    distinct: bool = True,
+    order: Optional[Sequence[int]] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Tuple[int, ...]]:
+    """Yield embeddings of ``pattern`` in ``graph``, metering work.
+
+    Args:
+        graph: host graph.
+        pattern: query pattern (labels respected; non-induced semantics).
+        counter: incremented per candidate test and per found embedding.
+        distinct: one embedding per subgraph instance (symmetry breaking);
+            with False, every injective assignment is yielded — what join
+            baselines need before their own deduplication.
+        order: matching order override (defaults to densest-first).
+        limit: stop after this many embeddings (early termination, used by
+            support-threshold checks).
+
+    Yields:
+        Tuples ``m`` with ``m[p]`` the graph vertex matched to pattern
+        vertex ``p``.
+    """
+    n = pattern.n_vertices
+    if n == 0:
+        return
+    order = list(order) if order is not None else matching_order(pattern)
+    position_of = {p: i for i, p in enumerate(order)}
+    checks = (
+        conditions_by_position(symmetry_breaking_conditions(pattern), order)
+        if distinct
+        else [[] for _ in order]
+    )
+    back_edges: List[List[Tuple[int, int]]] = []
+    for pos, p in enumerate(order):
+        backs = [
+            (position_of[q], elabel)
+            for q, elabel in pattern.neighborhood(p)
+            if position_of[q] < pos
+        ]
+        backs.sort()
+        back_edges.append(backs)
+    labels = [pattern.vertex_labels[p] for p in order]
+
+    match = [-1] * n  # indexed by position
+    used: set = set()
+    found = 0
+
+    def candidates(pos: int) -> Iterator[int]:
+        backs = back_edges[pos]
+        if not backs:
+            counter.tests += graph.n_vertices
+            for v in graph.vertices():
+                yield v
+            return
+        anchor_pos, anchor_elabel = backs[0]
+        for v, eid in graph.neighborhood(match[anchor_pos]):
+            counter.tests += 1
+            if graph.edge_label(eid) == anchor_elabel:
+                yield v
+
+    def feasible(pos: int, v: int) -> bool:
+        if v in used or graph.vertex_label(v) != labels[pos]:
+            return False
+        for back_pos, elabel in back_edges[pos][1:]:
+            eid = graph.edge_between(v, match[back_pos])
+            if eid < 0 or graph.edge_label(eid) != elabel:
+                return False
+        for earlier_pos, must_be_greater in checks[pos]:
+            if must_be_greater:
+                if v <= match[earlier_pos]:
+                    return False
+            elif v >= match[earlier_pos]:
+                return False
+        return True
+
+    def extend(pos: int) -> Iterator[Tuple[int, ...]]:
+        nonlocal found
+        if pos == n:
+            embedding = tuple(match[position_of[p]] for p in range(n))
+            counter.embeddings += 1
+            found += 1
+            yield embedding
+            return
+        for v in candidates(pos):
+            if feasible(pos, v):
+                match[pos] = v
+                used.add(v)
+                yield from extend(pos + 1)
+                used.discard(v)
+                match[pos] = -1
+                if limit is not None and found >= limit:
+                    return
+
+    yield from extend(0)
+
+
+def count_embeddings(
+    graph: Graph,
+    pattern: Pattern,
+    counter: Optional[WorkCounter] = None,
+    distinct: bool = True,
+    limit: Optional[int] = None,
+) -> int:
+    """Number of embeddings (respecting ``distinct`` and ``limit``)."""
+    counter = counter if counter is not None else WorkCounter()
+    return sum(
+        1
+        for _ in enumerate_embeddings(
+            graph, pattern, counter, distinct=distinct, limit=limit
+        )
+    )

@@ -1,0 +1,264 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro datasets
+    python -m repro run motifs --dataset mico --k 3
+    python -m repro run cliques --dataset youtube --k 4 --workers 2 --cores 8
+    python -m repro run fsm --dataset mico --support 20
+    python -m repro run query --dataset patents --query q3
+    python -m repro run keywords --dataset wikidata --words paris revolution
+    python -m repro experiment fig8          # regenerate one figure/table
+    python -m repro experiment table1
+
+``run`` executes an application on a stand-in dataset (optionally on the
+simulated cluster) and prints results plus execution metrics;
+``experiment`` invokes the benchmark harness for one table or figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import ClusterConfig, FractalContext
+from .apps import (
+    QUERY_PATTERNS,
+    count_cliques,
+    fsm,
+    keyword_search,
+    motifs,
+)
+from .graph import dataset_registry, dataset_stats
+from .harness import (
+    KEYWORD_QUERIES,
+    bench_mico,
+    bench_orkut,
+    bench_patents,
+    bench_wikidata,
+    bench_youtube,
+    paper_cluster,
+    print_table,
+    run_fig8_utilization,
+    run_fig11_motifs,
+    run_fig12_cliques,
+    run_fig13_fsm,
+    run_fig15_queries,
+    run_fig16_worksteal,
+    run_fig17_graph_reduction,
+    run_fig18_cost,
+    run_fig20a_triangles,
+    run_fig20b_cost,
+    run_sec6_overheads,
+    run_table1_datasets,
+    run_table2_memory,
+)
+from .harness.configs import (
+    bench_cost_cliques,
+    bench_fsm_mico,
+    bench_fsm_patents,
+    bench_memory_cliques,
+)
+
+__all__ = ["main"]
+
+
+def _engine(args) -> object:
+    if args.workers * args.cores <= 1:
+        return "sequential"
+    return ClusterConfig(workers=args.workers, cores_per_worker=args.cores)
+
+
+def _load_dataset(name: str, scale: float):
+    registry = dataset_registry()
+    if name not in registry:
+        raise SystemExit(
+            f"unknown dataset {name!r}; choose from {sorted(registry)}"
+        )
+    return registry[name](scale=scale)
+
+
+def _cmd_datasets(args) -> int:
+    rows = [
+        dataset_stats(ctor(scale=args.scale))
+        for ctor in dataset_registry().values()
+    ]
+    print_table(
+        ["graph", "|V|", "|E|", "|L|", "density", "#keywords"],
+        [
+            (
+                r["graph"],
+                r["vertices"],
+                r["edges"],
+                r["labels"],
+                f"{r['density']:.2e}",
+                r["keywords"],
+            )
+            for r in rows
+        ],
+        title="Stand-in datasets",
+    )
+    return 0
+
+
+def _cmd_run(args) -> int:
+    graph = _load_dataset(args.dataset, args.scale)
+    context = FractalContext(engine=_engine(args))
+    fg = context.from_graph(graph)
+    if args.app == "motifs":
+        census = motifs(fg, args.k)
+        print_table(
+            ["pattern labels", "pattern edges", "count"],
+            [
+                (p.vertex_labels, p.edges, c)
+                for p, c in sorted(census.items(), key=lambda kv: -kv[1])[:20]
+            ],
+            title=f"{args.k}-vertex motifs on {graph.name} (top 20)",
+        )
+    elif args.app == "cliques":
+        count = count_cliques(fg, args.k)
+        print(f"{args.k}-cliques on {graph.name}: {count}")
+    elif args.app == "fsm":
+        result = fsm(fg, min_support=args.support, max_edges=args.max_edges)
+        print_table(
+            ["pattern labels", "edges", "support"],
+            [
+                (p.vertex_labels, p.n_edges, result.support_of(p))
+                for p in result.patterns[:20]
+            ],
+            title=(
+                f"FSM on {graph.name}: {len(result.frequent)} frequent "
+                f"patterns (support >= {args.support}, top 20)"
+            ),
+        )
+    elif args.app == "query":
+        pattern = QUERY_PATTERNS.get(args.query)
+        if pattern is None:
+            raise SystemExit(
+                f"unknown query {args.query!r}; choose from "
+                f"{sorted(QUERY_PATTERNS)}"
+            )
+        from .apps import count_query_matches
+
+        count = count_query_matches(fg, pattern)
+        print(f"query {args.query} on {graph.name}: {count} matches")
+    elif args.app == "keywords":
+        if not args.words:
+            raise SystemExit("keyword search requires --words")
+        result = keyword_search(fg, args.words, use_graph_reduction=args.reduce)
+        print(
+            f"keyword search {args.words} on {graph.name}: "
+            f"{len(result.subgraphs)} minimal covers, "
+            f"EC={result.extension_cost}"
+        )
+    return 0
+
+
+_EXPERIMENTS = {}
+
+
+def _register_experiments() -> None:
+    cluster = paper_cluster(workers=4, cores_per_worker=7)
+    _EXPERIMENTS.update(
+        {
+            "table1": lambda: run_table1_datasets(
+                [ctor() for ctor in dataset_registry().values()]
+            ),
+            "table2": lambda: run_table2_memory(
+                bench_memory_cliques(), bench_mico(labeled=True, scale=0.75)
+            ),
+            "fig8": lambda: run_fig8_utilization(bench_mico(), k=4, cores=28),
+            "fig11": lambda: run_fig11_motifs(
+                [bench_mico(scale=0.35), bench_youtube()], (3, 4), cluster
+            ),
+            "fig12": lambda: run_fig12_cliques(
+                [bench_mico(), bench_youtube()], (4, 5, 6), cluster
+            ),
+            "fig13": lambda: run_fig13_fsm(
+                [bench_fsm_mico(), bench_fsm_patents()], (8, 22, 36), 3, cluster
+            ),
+            "fig15": lambda: run_fig15_queries(
+                bench_patents(labeled=False), QUERY_PATTERNS, cluster
+            ),
+            "fig16": lambda: run_fig16_worksteal(bench_fsm_patents(), 10),
+            "fig17": lambda: run_fig17_graph_reduction(
+                bench_wikidata(), KEYWORD_QUERIES
+            ),
+            "fig18": lambda: run_fig18_cost(
+                bench_mico(),
+                bench_cost_cliques(),
+                bench_fsm_patents(),
+                bench_youtube(),
+                query_names=("q2", "q6"),
+            ),
+            "fig20a": lambda: run_fig20a_triangles(
+                [
+                    bench_mico(),
+                    bench_patents(labeled=False),
+                    bench_youtube(),
+                    bench_orkut(),
+                ],
+                cluster,
+            ),
+            "fig20b": lambda: run_fig20b_cost(bench_mico(), bench_orkut()),
+            "sec6": lambda: run_sec6_overheads(bench_mico()),
+        }
+    )
+
+
+def _cmd_experiment(args) -> int:
+    _register_experiments()
+    runner = _EXPERIMENTS.get(args.name)
+    if runner is None:
+        raise SystemExit(
+            f"unknown experiment {args.name!r}; choose from "
+            f"{sorted(_EXPERIMENTS)}"
+        )
+    runner()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fractal reproduction: graph pattern mining",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_datasets = sub.add_parser("datasets", help="list stand-in datasets")
+    p_datasets.add_argument("--scale", type=float, default=1.0)
+    p_datasets.set_defaults(func=_cmd_datasets)
+
+    p_run = sub.add_parser("run", help="run an application")
+    p_run.add_argument(
+        "app", choices=["motifs", "cliques", "fsm", "query", "keywords"]
+    )
+    p_run.add_argument("--dataset", default="mico")
+    p_run.add_argument("--scale", type=float, default=1.0)
+    p_run.add_argument("--k", type=int, default=3)
+    p_run.add_argument("--support", type=int, default=10)
+    p_run.add_argument("--max-edges", type=int, default=3)
+    p_run.add_argument("--query", default="q1")
+    p_run.add_argument("--words", nargs="*", default=None)
+    p_run.add_argument("--reduce", action="store_true")
+    p_run.add_argument("--workers", type=int, default=1)
+    p_run.add_argument("--cores", type=int, default=1)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a table or figure")
+    p_exp.add_argument("name")
+    p_exp.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

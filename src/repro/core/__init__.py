@@ -1,0 +1,43 @@
+"""Fractal core: fractoids, primitives, enumeration, aggregation."""
+
+from .aggregation import AggregationStorage, AggregationView, DomainSupport
+from .computation import Computation
+from .context import FractalContext, FractalGraph
+from .enumerator import (
+    EdgeInducedStrategy,
+    ExtensionStrategy,
+    PatternInducedStrategy,
+    SubgraphEnumerator,
+    VertexInducedStrategy,
+    matching_order,
+)
+from .fractoid import Fractoid
+from .primitives import Aggregate, AggregationFilter, Expand, Filter, Primitive
+from .steps import PlanError, plan_steps, resolve_aggregation_sources
+from .subgraph import Subgraph, SubgraphResult
+
+__all__ = [
+    "AggregationStorage",
+    "AggregationView",
+    "DomainSupport",
+    "Computation",
+    "FractalContext",
+    "FractalGraph",
+    "EdgeInducedStrategy",
+    "ExtensionStrategy",
+    "PatternInducedStrategy",
+    "SubgraphEnumerator",
+    "VertexInducedStrategy",
+    "matching_order",
+    "Fractoid",
+    "Aggregate",
+    "AggregationFilter",
+    "Expand",
+    "Filter",
+    "Primitive",
+    "PlanError",
+    "plan_steps",
+    "resolve_aggregation_sources",
+    "Subgraph",
+    "SubgraphResult",
+]

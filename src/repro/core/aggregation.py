@@ -1,0 +1,179 @@
+"""Aggregation storage and the minimum image-based support (MNI).
+
+The aggregation primitive reduces ``(key, value)`` pairs extracted from
+subgraphs.  :class:`AggregationStorage` is the mutable reducer used while a
+step runs; :class:`AggregationView` is the read-only finalized mapping that
+aggregation filters and output operators consume.
+
+:class:`DomainSupport` implements the *minimum image-based support*
+[Bringmann & Nijssen 2008] adopted by the paper for FSM: for each canonical
+position of a pattern, the set of distinct graph vertices mapped there; the
+support is the minimum set size over positions.  MNI is anti-monotonic,
+which is what lets FSM prune with an aggregation filter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["AggregationStorage", "AggregationView", "DomainSupport"]
+
+
+class AggregationStorage:
+    """Mutable key/value reducer for one :class:`Aggregate` primitive."""
+
+    __slots__ = ("name", "reduce_fn", "agg_filter", "_data")
+
+    def __init__(
+        self,
+        name: str,
+        reduce_fn: Callable[[Any, Any], Any],
+        agg_filter: Optional[Callable[[Any, Any], bool]] = None,
+    ):
+        self.name = name
+        self.reduce_fn = reduce_fn
+        self.agg_filter = agg_filter
+        self._data: Dict[Any, Any] = {}
+
+    def add(self, key: Any, value: Any) -> None:
+        """Reduce ``value`` into the entry for ``key``."""
+        existing = self._data.get(key)
+        if existing is None:
+            self._data[key] = value
+        else:
+            self._data[key] = self.reduce_fn(existing, value)
+
+    def merge(self, other: "AggregationStorage") -> None:
+        """Reduce another storage into this one (worker-level combine)."""
+        for key, value in other._data.items():
+            self.add(key, value)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def finalize(self) -> "AggregationView":
+        """Apply the post-reduction filter and freeze."""
+        if self.agg_filter is None:
+            return AggregationView(dict(self._data))
+        kept = {
+            key: value
+            for key, value in self._data.items()
+            if self.agg_filter(key, value)
+        }
+        return AggregationView(kept)
+
+
+class AggregationView:
+    """Read-only finalized aggregation mapping."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: Dict[Any, Any]):
+        self._data = data
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._data
+
+    def contains(self, key: Any) -> bool:
+        """Whether ``key`` survived the final reduction/filter."""
+        return key in self._data
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Value for ``key`` or ``default``."""
+        return self._data.get(key, default)
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate ``(key, value)`` pairs."""
+        return iter(self._data.items())
+
+    def keys(self):
+        """Iterate keys."""
+        return self._data.keys()
+
+    def to_dict(self) -> Dict[Any, Any]:
+        """Copy as a plain dict."""
+        return dict(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self):
+        return iter(self._data)
+
+    def __repr__(self) -> str:
+        return f"AggregationView({len(self._data)} entries)"
+
+
+class DomainSupport:
+    """Minimum image-based (MNI) support of a pattern.
+
+    One instance is the aggregation *value* for a pattern key; reducing two
+    instances unions their per-position vertex domains.  ``support`` is
+    ``min(|domain_p|)`` over canonical positions — exactly the metric the
+    paper's FSM application thresholds (Listing 3's ``DomainSupport``).
+
+    With ``exact=False`` the domains stop growing once every position
+    reached ``min_support`` (the classic GRAMI optimization): the boolean
+    ``has_enough_support`` stays exact while memory is bounded.
+    """
+
+    __slots__ = ("min_support", "exact", "_domains", "_saturated")
+
+    def __init__(self, min_support: int, n_positions: int = 0, exact: bool = True):
+        self.min_support = min_support
+        self.exact = exact
+        self._domains: List[set] = [set() for _ in range(n_positions)]
+        self._saturated = False
+
+    def add_embedding(self, vertices: Sequence[int], positions: Sequence[int]) -> None:
+        """Record one embedding: ``vertices[i]`` sits at ``positions[i]``."""
+        n = max(positions) + 1 if positions else 0
+        while len(self._domains) < n:
+            self._domains.append(set())
+        if self._saturated and not self.exact:
+            return
+        for vertex, position in zip(vertices, positions):
+            self._domains[position].add(vertex)
+        self._update_saturation()
+
+    def aggregate(self, other: "DomainSupport") -> "DomainSupport":
+        """Union domains position-wise (the reduction function)."""
+        while len(self._domains) < len(other._domains):
+            self._domains.append(set())
+        if not (self._saturated and not self.exact):
+            for mine, theirs in zip(self._domains, other._domains):
+                mine.update(theirs)
+            self._update_saturation()
+        return self
+
+    def _update_saturation(self) -> None:
+        if not self._saturated:
+            self._saturated = bool(self._domains) and all(
+                len(domain) >= self.min_support for domain in self._domains
+            )
+            if self._saturated and not self.exact:
+                # Keep only min_support witnesses per position.
+                self._domains = [
+                    set(list(domain)[: self.min_support]) for domain in self._domains
+                ]
+
+    @property
+    def support(self) -> int:
+        """The MNI support: minimum domain size across positions."""
+        if not self._domains:
+            return 0
+        return min(len(domain) for domain in self._domains)
+
+    def has_enough_support(self) -> bool:
+        """Whether ``support >= min_support`` (exact even when capped)."""
+        return self._saturated or self.support >= self.min_support
+
+    def domain_sizes(self) -> Tuple[int, ...]:
+        """Per-position domain sizes."""
+        return tuple(len(domain) for domain in self._domains)
+
+    def __repr__(self) -> str:
+        return (
+            f"DomainSupport(support={self.support}, "
+            f"min_support={self.min_support})"
+        )

@@ -1,0 +1,46 @@
+"""The computation context passed to user callbacks.
+
+Fractal's API hands every user function (filters, aggregation key/value
+extractors) a ``Computation`` alongside the subgraph — access to the input
+graph, metrics, and previously computed aggregations without global state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from ..graph.graph import Graph
+from ..pattern.pattern import PatternInterner
+from ..runtime.metrics import Metrics
+from .aggregation import AggregationView
+
+__all__ = ["Computation"]
+
+
+class Computation:
+    """Per-execution context visible to user callbacks.
+
+    Attributes:
+        graph: the input graph of the executing fractoid.
+        metrics: live execution metrics.
+        interner: the pattern interner (canonicalization cache).
+    """
+
+    __slots__ = ("graph", "metrics", "interner", "aggregation_views", "extras")
+
+    def __init__(
+        self,
+        graph: Graph,
+        metrics: Metrics,
+        interner: PatternInterner,
+        aggregation_views: Optional[Dict[int, AggregationView]] = None,
+    ):
+        self.graph = graph
+        self.metrics = metrics
+        self.interner = interner
+        # uid -> finalized view, populated by the step driver.
+        self.aggregation_views: Dict[int, AggregationView] = (
+            aggregation_views if aggregation_views is not None else {}
+        )
+        # Scratch space for advanced applications (paper Appendix B).
+        self.extras: Dict[str, Any] = {}

@@ -1,0 +1,383 @@
+"""Subgraph enumerators and extension strategies.
+
+This module implements the paper's three extension strategies (Figure 1)
+behind one interface, plus the :class:`SubgraphEnumerator` data structure
+of Figure 7 — a prefix with a consumable set of precomputed extensions.
+Enumerators are the unit of work sharing: consuming one extension is the
+short critical section that makes fine-grained work stealing cheap
+(paper §4.2), and a prefix plus one extension is an independent piece of
+work that can be shipped to any worker.
+
+Extension strategies:
+
+* :class:`VertexInducedStrategy` — grow vertex-by-vertex; on each addition
+  all edges to the current subgraph are included.  Duplicate subgraphs are
+  avoided with Arabesque-style canonicality checking.
+* :class:`EdgeInducedStrategy` — grow edge-by-edge with the analogous
+  canonicality rule over edge ids.
+* :class:`PatternInducedStrategy` — grow guided by a query pattern in a
+  fixed matching order, with Grochow–Kellis symmetry breaking suppressing
+  automorphic duplicates.
+
+Custom enumerators (paper Appendix B) subclass :class:`ExtensionStrategy`
+— see ``repro.apps.cliques.KClistStrategy``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..graph.graph import Graph
+from ..pattern.pattern import Pattern, PatternInterner
+from ..pattern.symmetry import conditions_by_position, symmetry_breaking_conditions
+from ..runtime.metrics import Metrics
+from .subgraph import Subgraph
+
+__all__ = [
+    "ExtensionStrategy",
+    "VertexInducedStrategy",
+    "EdgeInducedStrategy",
+    "PatternInducedStrategy",
+    "SubgraphEnumerator",
+    "matching_order",
+]
+
+
+class ExtensionStrategy:
+    """How a fractoid extends subgraphs: candidates, push and pop.
+
+    One strategy instance serves a whole execution; it owns the EC
+    accounting (``metrics.extension_tests``) for the candidates it probes.
+    Subclasses may keep per-level state by overriding :meth:`push` and
+    :meth:`pop` (see the KClist enumerator in ``repro.apps.cliques``).
+    """
+
+    mode = "abstract"
+
+    def __init__(self, graph: Graph, metrics: Metrics, interner: PatternInterner):
+        self.graph = graph
+        self.metrics = metrics
+        self.interner = interner
+
+    def make_subgraph(self) -> Subgraph:
+        """Fresh empty subgraph bound to this strategy's graph/interner."""
+        return Subgraph(self.graph, self.interner)
+
+    def extensions(self, subgraph: Subgraph) -> List[int]:
+        """Candidate words extending ``subgraph`` (already de-duplicated)."""
+        raise NotImplementedError
+
+    def push(self, subgraph: Subgraph, word: int) -> None:
+        """Apply one extension word."""
+        raise NotImplementedError
+
+    def pop(self, subgraph: Subgraph) -> None:
+        """Undo the most recent :meth:`push`."""
+        subgraph.pop()
+
+    def rebuild(self, subgraph: Subgraph, words: Sequence[int]) -> None:
+        """Reset ``subgraph`` to the given word prefix (stolen work)."""
+        subgraph.clear()
+        self.reset_state()
+        for word in words:
+            self.push(subgraph, word)
+
+    def reset_state(self) -> None:
+        """Clear any per-level strategy state (for stateful subclasses)."""
+
+    def word_count_limit(self) -> Optional[int]:
+        """Maximum enumeration depth, if the strategy imposes one."""
+        return None
+
+
+class VertexInducedStrategy(ExtensionStrategy):
+    """Vertex-by-vertex extension with canonicality checking.
+
+    A neighbor ``u`` of the current subgraph is a canonical extension iff
+    ``u`` is greater than the first subgraph vertex and greater than every
+    vertex added after ``u``'s first neighbor in the subgraph (otherwise
+    the same subgraph would also be generated through an earlier addition
+    of ``u``).  Implemented with one pass over the adjacency lists plus a
+    suffix-maximum array, O(1) per candidate.
+    """
+
+    mode = "vertex"
+
+    def extensions(self, subgraph: Subgraph) -> List[int]:
+        words = subgraph.vertices
+        graph = self.graph
+        if not words:
+            return list(graph.vertices())
+        k = len(words)
+        # suffmax[i] = max(words[i:]); sentinel -1 past the end.
+        suffmax = [0] * (k + 1)
+        suffmax[k] = -1
+        for i in range(k - 1, -1, -1):
+            word = words[i]
+            suffmax[i] = word if word > suffmax[i + 1] else suffmax[i + 1]
+        first = words[0]
+        in_subgraph = subgraph.vertex_set
+        first_pos = {}
+        tests = 0
+        for i, w in enumerate(words):
+            for u, _ in graph.neighborhood(w):
+                tests += 1
+                if u not in in_subgraph and u not in first_pos:
+                    first_pos[u] = i
+        self.metrics.extension_tests += tests
+        result = [
+            u
+            for u, pos in first_pos.items()
+            if u > first and u > suffmax[pos + 1]
+        ]
+        result.sort()
+        self.metrics.extensions_generated += len(result)
+        return result
+
+    def push(self, subgraph: Subgraph, word: int) -> None:
+        graph = self.graph
+        in_subgraph = subgraph.vertex_set
+        incident = [
+            eid for u, eid in graph.neighborhood(word) if u in in_subgraph
+        ]
+        self.metrics.adjacency_scans += graph.degree(word)
+        subgraph.push_vertex(word, incident)
+
+
+class EdgeInducedStrategy(ExtensionStrategy):
+    """Edge-by-edge extension with canonicality checking over edge ids."""
+
+    mode = "edge"
+
+    def extensions(self, subgraph: Subgraph) -> List[int]:
+        words = subgraph.edges
+        graph = self.graph
+        if not words:
+            return list(graph.edges())
+        k = len(words)
+        suffmax = [0] * (k + 1)
+        suffmax[k] = -1
+        for i in range(k - 1, -1, -1):
+            word = words[i]
+            suffmax[i] = word if word > suffmax[i + 1] else suffmax[i + 1]
+        first = words[0]
+        in_subgraph = subgraph.edge_set
+        first_pos = {}
+        tests = 0
+        for i, e in enumerate(words):
+            for endpoint in graph.edge(e):
+                for _, eid in graph.neighborhood(endpoint):
+                    tests += 1
+                    if eid not in in_subgraph and eid not in first_pos:
+                        first_pos[eid] = i
+        self.metrics.extension_tests += tests
+        result = [
+            e for e, pos in first_pos.items() if e > first and e > suffmax[pos + 1]
+        ]
+        result.sort()
+        self.metrics.extensions_generated += len(result)
+        return result
+
+    def push(self, subgraph: Subgraph, word: int) -> None:
+        subgraph.push_edge(word)
+
+
+def matching_order(pattern: Pattern) -> List[int]:
+    """Connected matching order: highest-degree first, then most-connected.
+
+    Starting dense keeps candidate sets small early, the standard heuristic
+    for pattern matching by extension.
+    """
+    n = pattern.n_vertices
+    if n == 0:
+        return []
+    start = max(range(n), key=lambda v: (pattern.degree(v), -v))
+    order = [start]
+    chosen = {start}
+    while len(order) < n:
+        best_vertex = -1
+        best_rank = (-1, -1)
+        for p in range(n):
+            if p in chosen:
+                continue
+            connections = sum(1 for q, _ in pattern.neighborhood(p) if q in chosen)
+            rank = (connections, pattern.degree(p))
+            if rank > best_rank:
+                best_rank = rank
+                best_vertex = p
+        order.append(best_vertex)
+        chosen.add(best_vertex)
+    return order
+
+
+class PatternInducedStrategy(ExtensionStrategy):
+    """Pattern-guided extension (subgraph querying, paper Listing 5).
+
+    Pattern vertices are matched in a fixed connected order; position ``p``
+    candidates come from the graph neighborhood of the already-matched
+    *anchor* (a pattern back-neighbor of the vertex at ``p``), then are
+    tested against vertex labels, the remaining pattern back edges, and the
+    symmetry-breaking conditions.  Matching is non-induced: extra graph
+    edges among matched vertices are permitted, and the subgraph contains
+    the images of the pattern's edges.
+    """
+
+    mode = "pattern"
+
+    def __init__(
+        self,
+        graph: Graph,
+        metrics: Metrics,
+        interner: PatternInterner,
+        pattern: Pattern,
+    ):
+        super().__init__(graph, metrics, interner)
+        if pattern.n_vertices == 0:
+            raise ValueError("pattern must have at least one vertex")
+        if not pattern.is_connected():
+            raise ValueError("pattern-induced fractoids require a connected pattern")
+        self.pattern = pattern
+        self.order = matching_order(pattern)
+        conditions = symmetry_breaking_conditions(pattern)
+        self._checks = conditions_by_position(conditions, self.order)
+        # back_edges[pos]: (earlier position, edge label) pairs required.
+        self._back_edges: List[List[tuple]] = []
+        position_of = {p: i for i, p in enumerate(self.order)}
+        for pos, p in enumerate(self.order):
+            backs = [
+                (position_of[q], elabel)
+                for q, elabel in pattern.neighborhood(p)
+                if position_of[q] < pos
+            ]
+            backs.sort()
+            self._back_edges.append(backs)
+        self._labels = [pattern.vertex_labels[p] for p in self.order]
+
+    def word_count_limit(self) -> Optional[int]:
+        return self.pattern.n_vertices
+
+    def extensions(self, subgraph: Subgraph) -> List[int]:
+        pos = len(subgraph.vertices)
+        if pos >= self.pattern.n_vertices:
+            return []
+        graph = self.graph
+        metrics = self.metrics
+        wanted_label = self._labels[pos]
+        checks = self._checks[pos]
+        matched = subgraph.vertices
+        if pos == 0:
+            metrics.extension_tests += graph.n_vertices
+            result = [
+                v for v in graph.vertices() if graph.vertex_label(v) == wanted_label
+            ]
+            self.metrics.extensions_generated += len(result)
+            return result
+        backs = self._back_edges[pos]
+        anchor_pos, anchor_elabel = backs[0]
+        anchor_vertex = matched[anchor_pos]
+        in_subgraph = subgraph.vertex_set
+        result = []
+        for v, eid in graph.neighborhood(anchor_vertex):
+            metrics.extension_tests += 1
+            if v in in_subgraph:
+                continue
+            if graph.edge_label(eid) != anchor_elabel:
+                continue
+            if graph.vertex_label(v) != wanted_label:
+                continue
+            if not self._back_edges_ok(graph, matched, v, backs):
+                continue
+            if not self._symmetry_ok(matched, v, checks):
+                continue
+            result.append(v)
+        self.metrics.extensions_generated += len(result)
+        return result
+
+    @staticmethod
+    def _back_edges_ok(graph: Graph, matched, v: int, backs) -> bool:
+        for back_pos, elabel in backs[1:]:
+            eid = graph.edge_between(v, matched[back_pos])
+            if eid < 0 or graph.edge_label(eid) != elabel:
+                return False
+        return True
+
+    @staticmethod
+    def _symmetry_ok(matched, v: int, checks) -> bool:
+        for earlier_pos, must_be_greater in checks:
+            if must_be_greater:
+                if v <= matched[earlier_pos]:
+                    return False
+            elif v >= matched[earlier_pos]:
+                return False
+        return True
+
+    def push(self, subgraph: Subgraph, word: int) -> None:
+        pos = len(subgraph.vertices)
+        graph = self.graph
+        matched = subgraph.vertices
+        incident = [
+            graph.edge_between(word, matched[back_pos])
+            for back_pos, _ in self._back_edges[pos]
+        ]
+        subgraph.push_vertex(word, incident)
+
+
+class SubgraphEnumerator:
+    """Paper Figure 7: a prefix with a consumable extension cursor.
+
+    The simulated cluster keeps one enumerator per enumeration level on
+    each core's stack.  ``take()`` consumes the next extension — the short
+    critical section of the paper's thread-safe ``extend()`` — and idle
+    cores steal by taking from a victim's shallowest non-empty enumerator.
+    """
+
+    __slots__ = (
+        "prefix_words",
+        "extensions",
+        "cursor",
+        "primitive_index",
+        "stealable",
+    )
+
+    def __init__(
+        self,
+        prefix_words: Sequence[int],
+        extensions: List[int],
+        primitive_index: int = 0,
+        stealable: bool = True,
+    ):
+        self.prefix_words = tuple(prefix_words)
+        self.extensions = extensions
+        self.cursor = 0
+        self.primitive_index = primitive_index
+        # A frame holding work already claimed by a thief is not re-shared
+        # until it spawns deeper enumerators (which are stealable again);
+        # otherwise idle cores could bounce a single extension among
+        # themselves forever without anybody processing it.
+        self.stealable = stealable
+
+    def has_next(self) -> bool:
+        """Whether unconsumed extensions remain."""
+        return self.cursor < len(self.extensions)
+
+    def remaining(self) -> int:
+        """Number of unconsumed extensions."""
+        return len(self.extensions) - self.cursor
+
+    def take(self) -> int:
+        """Consume and return the next extension."""
+        word = self.extensions[self.cursor]
+        self.cursor += 1
+        return word
+
+    def steal_one(self) -> Optional[int]:
+        """Steal one extension from the *tail* (the victim keeps its cursor)."""
+        if self.cursor >= len(self.extensions):
+            return None
+        return self.extensions.pop()
+
+    def __repr__(self) -> str:
+        return (
+            f"SubgraphEnumerator(prefix={list(self.prefix_words)}, "
+            f"remaining={self.remaining()})"
+        )

@@ -1,0 +1,188 @@
+"""Fractoids: the chainable state object of the Fractal API (paper §3.1).
+
+A fractoid holds an input graph, an extension strategy (vertex-, edge- or
+pattern-induced, or a custom enumerator) and the primitive workflow built
+so far.  Workflow operators (Figure 4) return *new* fractoids — every
+partial result can be executed and inspected separately, the interactive
+refinement experience the paper emphasizes.  Output operators (Figure 5)
+trigger execution through the from-scratch step planner.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..runtime.driver import EngineSpec, ExecutionReport, execute_plan
+from .primitives import Aggregate, AggregationFilter, Expand, Filter, Primitive
+from .subgraph import SubgraphResult
+
+__all__ = ["Fractoid"]
+
+
+class Fractoid:
+    """An immutable GPM workflow over a fractal graph.
+
+    Create fractoids from a :class:`~repro.core.context.FractalGraph`
+    (``vfractoid`` / ``efractoid`` / ``pfractoid``), then chain workflow
+    operators::
+
+        motifs = (graph.vfractoid()
+                  .expand(3)
+                  .aggregate("motifs",
+                             key_fn=lambda s, c: s.pattern(),
+                             value_fn=lambda s, c: 1,
+                             reduce_fn=lambda a, b: a + b)
+                  .aggregation("motifs"))
+    """
+
+    __slots__ = ("fractal_graph", "primitives", "_strategy_factory", "mode")
+
+    def __init__(
+        self,
+        fractal_graph,
+        strategy_factory: Callable,
+        primitives: Tuple[Primitive, ...] = (),
+        mode: str = "vertex",
+    ):
+        self.fractal_graph = fractal_graph
+        self._strategy_factory = strategy_factory
+        self.primitives = primitives
+        self.mode = mode
+
+    def _derive(self, extra: Tuple[Primitive, ...]) -> "Fractoid":
+        return Fractoid(
+            self.fractal_graph,
+            self._strategy_factory,
+            self.primitives + extra,
+            self.mode,
+        )
+
+    # ------------------------------------------------------------------
+    # Workflow operators (paper Figure 4)
+    # ------------------------------------------------------------------
+    def expand(self, n: int = 1) -> "Fractoid":
+        """W1: apply the extension primitive ``n`` times."""
+        if n < 1:
+            raise ValueError("expand requires n >= 1")
+        return self._derive(tuple(Expand() for _ in range(n)))
+
+    def filter(self, fn: Callable) -> "Fractoid":
+        """W3: local filter ``fn(subgraph, computation) -> bool``."""
+        return self._derive((Filter(fn),))
+
+    def filter_agg(self, name: str, fn: Callable) -> "Fractoid":
+        """W4: filter against the named upstream aggregation.
+
+        ``fn(subgraph, aggregation_view) -> bool``.  This is the
+        synchronization point of the computation model: a new fractal step
+        starts here (Algorithm 2).
+        """
+        return self._derive((AggregationFilter(name, fn),))
+
+    def aggregate(
+        self,
+        name: str,
+        key_fn: Callable,
+        value_fn: Callable,
+        reduce_fn: Callable[[Any, Any], Any],
+        agg_filter: Optional[Callable[[Any, Any], bool]] = None,
+    ) -> "Fractoid":
+        """W2: named aggregation of subgraphs into key/value pairs."""
+        return self._derive(
+            (Aggregate(name, key_fn, value_fn, reduce_fn, agg_filter),)
+        )
+
+    def explore(self, n: int) -> "Fractoid":
+        """W5: chain the current workflow fragment ``n`` times in total.
+
+        ``f.expand(1).filter(g).explore(k)`` runs ``k`` expand+filter
+        rounds.  (The paper's Listing 4 relies on implicit expansion
+        inside ``explore``; here the fragment must contain its expands —
+        see DESIGN.md §1 for the documented deviation.)
+        """
+        if n < 1:
+            raise ValueError("explore requires n >= 1")
+        fragment = self.primitives
+        chained: Tuple[Primitive, ...] = ()
+        for _ in range(n):
+            chained = chained + tuple(_clone(p) for p in fragment)
+        return Fractoid(
+            self.fractal_graph, self._strategy_factory, chained, self.mode
+        )
+
+    # ------------------------------------------------------------------
+    # Output operators (paper Figure 5) — trigger execution
+    # ------------------------------------------------------------------
+    def subgraphs(self, engine: Optional[EngineSpec] = None) -> List[SubgraphResult]:
+        """O1: materialize all result subgraphs."""
+        return self.execute(collect="subgraphs", engine=engine).subgraphs
+
+    def count(self, engine: Optional[EngineSpec] = None) -> int:
+        """Number of result subgraphs (without materializing them)."""
+        return self.execute(collect="count", engine=engine).result_count
+
+    def aggregation(
+        self, name: str, engine: Optional[EngineSpec] = None
+    ) -> Dict[Any, Any]:
+        """O2: the finalized mapping of the last aggregation named ``name``."""
+        uid = self._last_aggregate_uid(name)
+        context = self.fractal_graph.context
+        cached = context.aggregation_cache.get(uid)
+        if cached is None:
+            self.execute(collect=None, engine=engine)
+            cached = context.aggregation_cache.get(uid)
+        if cached is None:
+            raise KeyError(f"aggregation {name!r} was not computed")
+        return cached.to_dict()
+
+    def execute(
+        self,
+        collect: Optional[str] = "count",
+        engine: Optional[EngineSpec] = None,
+    ) -> ExecutionReport:
+        """Run the workflow and return the full execution report.
+
+        Benchmarks use this directly: the report carries metrics,
+        per-step simulated timings and (in cluster mode) per-core data.
+        """
+        context = self.fractal_graph.context
+        return execute_plan(
+            graph=self.fractal_graph.graph,
+            strategy_factory=self._strategy_factory,
+            interner=context.interner,
+            primitives=list(self.primitives),
+            aggregation_cache=context.aggregation_cache,
+            engine=engine if engine is not None else context.engine,
+            collect=collect,
+            cost_model=context.cost_model,
+        )
+
+    # ------------------------------------------------------------------
+    def _last_aggregate_uid(self, name: str) -> int:
+        for primitive in reversed(self.primitives):
+            if isinstance(primitive, Aggregate) and primitive.name == name:
+                return primitive.uid
+        raise KeyError(f"workflow has no aggregation named {name!r}")
+
+    def __repr__(self) -> str:
+        flow = "".join(repr(p) for p in self.primitives)
+        return f"Fractoid(mode={self.mode!r}, workflow={flow or 'empty'})"
+
+
+def _clone(primitive: Primitive) -> Primitive:
+    """Fresh primitive instance (own uid) with the same behavior."""
+    if isinstance(primitive, Expand):
+        return Expand()
+    if isinstance(primitive, Filter):
+        return Filter(primitive.fn)
+    if isinstance(primitive, Aggregate):
+        return Aggregate(
+            primitive.name,
+            primitive.key_fn,
+            primitive.value_fn,
+            primitive.reduce_fn,
+            primitive.agg_filter,
+        )
+    if isinstance(primitive, AggregationFilter):
+        return AggregationFilter(primitive.name, primitive.fn)
+    raise TypeError(f"unknown primitive {primitive!r}")

@@ -1,0 +1,114 @@
+"""Computation primitives (paper §3): extension, aggregation, filtering.
+
+A Fractal workflow is a sequence of primitives applied to subgraphs:
+
+* :class:`Expand` — the extension primitive (E), one enumeration level;
+* :class:`Filter` — local filtering (F, option W3);
+* :class:`AggregationFilter` — filtering against a previously computed
+  named aggregation (F, option W4) — the only synchronization point;
+* :class:`Aggregate` — the aggregation primitive (A, operator W2) with
+  key/value extraction, reduction and an optional post-reduction filter.
+
+Primitive instances are immutable and carry a unique ``uid`` so the
+from-scratch executor (Algorithm 2) can cache and reuse aggregation
+results across steps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Optional
+
+__all__ = ["Primitive", "Expand", "Filter", "Aggregate", "AggregationFilter"]
+
+_uid_counter = itertools.count()
+
+
+class Primitive:
+    """Base class for workflow primitives."""
+
+    __slots__ = ("uid",)
+
+    def __init__(self):
+        self.uid = next(_uid_counter)
+
+
+class Expand(Primitive):
+    """One extension level: grow every input subgraph by one word."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "E"
+
+
+class Filter(Primitive):
+    """Local filter: prune subgraphs failing ``fn(subgraph, computation)``."""
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable):
+        super().__init__()
+        self.fn = fn
+
+    def __repr__(self) -> str:
+        return "F"
+
+
+class Aggregate(Primitive):
+    """Named aggregation: map subgraphs to key/value pairs and reduce.
+
+    Args:
+        name: aggregation name, later readable via
+            ``fractoid.aggregation(name)`` or an :class:`AggregationFilter`.
+        key_fn: ``(subgraph, computation) -> key``.
+        value_fn: ``(subgraph, computation) -> value``.
+        reduce_fn: associative/commutative ``(value, value) -> value``.
+        agg_filter: optional ``(key, value) -> bool`` applied after the
+            final reduction (the paper's ``aggFilter`` parameter).
+    """
+
+    __slots__ = ("name", "key_fn", "value_fn", "reduce_fn", "agg_filter")
+
+    def __init__(
+        self,
+        name: str,
+        key_fn: Callable,
+        value_fn: Callable,
+        reduce_fn: Callable[[Any, Any], Any],
+        agg_filter: Optional[Callable[[Any, Any], bool]] = None,
+    ):
+        super().__init__()
+        self.name = name
+        self.key_fn = key_fn
+        self.value_fn = value_fn
+        self.reduce_fn = reduce_fn
+        self.agg_filter = agg_filter
+
+    def __repr__(self) -> str:
+        return f"A({self.name!r})"
+
+
+class AggregationFilter(Primitive):
+    """Filter against a named aggregation computed by an earlier step.
+
+    ``fn(subgraph, aggregation)`` receives a read-only
+    :class:`~repro.core.aggregation.AggregationView`.  This primitive is
+    Fractal's synchronization point: the referenced aggregation must be
+    fully reduced before any subgraph can be tested, so Algorithm 2 splits
+    the workflow into a new from-scratch step here.
+
+    ``source_uid`` is resolved at planning time to the nearest preceding
+    :class:`Aggregate` with the same name.
+    """
+
+    __slots__ = ("name", "fn", "source_uid")
+
+    def __init__(self, name: str, fn: Callable):
+        super().__init__()
+        self.name = name
+        self.fn = fn
+        self.source_uid: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return f"FA({self.name!r})"

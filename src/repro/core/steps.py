@@ -1,0 +1,82 @@
+"""From-scratch step planning (paper Algorithm 2).
+
+A fractoid's workflow is split into *fractal steps* — the scheduling units
+of the system.  A new step starts at each synchronization point: an
+aggregation filter (W4) that reads an aggregation not yet computed.  Each
+step re-enumerates from scratch over the entire primitive prefix (this is
+what keeps intermediate state off the heap, §4.1), but aggregation results
+computed by earlier steps are *reused, never recomputed*.
+
+``plan_steps`` therefore returns cumulative prefixes::
+
+    [E, A, FA, E, A]  ->  steps [E, A] and [E, A, FA, E, A]
+
+and the executor skips ``Aggregate`` primitives whose results are cached.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from .primitives import Aggregate, AggregationFilter, Primitive
+
+__all__ = ["resolve_aggregation_sources", "plan_steps", "PlanError"]
+
+
+class PlanError(ValueError):
+    """Raised for unsatisfiable workflows (e.g. filter on unknown aggregation)."""
+
+
+def resolve_aggregation_sources(primitives: Sequence[Primitive]) -> None:
+    """Bind each :class:`AggregationFilter` to its source :class:`Aggregate`.
+
+    The source is the nearest *preceding* aggregation with the same name.
+    Raises :class:`PlanError` when none exists — the workflow could never
+    run, since the filter would wait on data no step produces.
+    """
+    latest_by_name: Dict[str, int] = {}
+    for primitive in primitives:
+        if isinstance(primitive, Aggregate):
+            latest_by_name[primitive.name] = primitive.uid
+        elif isinstance(primitive, AggregationFilter):
+            source = latest_by_name.get(primitive.name)
+            if source is None:
+                raise PlanError(
+                    f"aggregation filter reads {primitive.name!r} but no "
+                    "upstream aggregation with that name exists"
+                )
+            primitive.source_uid = source
+
+
+def plan_steps(
+    primitives: Sequence[Primitive],
+    computed_uids: Set[int],
+) -> List[List[Primitive]]:
+    """Split a workflow into cumulative fractal steps.
+
+    Args:
+        primitives: the fractoid's primitive sequence (sources resolved).
+        computed_uids: uids of aggregations already computed in previous
+            executions of this fractoid lineage; sync points whose source
+            is already available do not force a new step.
+
+    Returns:
+        The list of steps; each step is a prefix of ``primitives`` and the
+        last step is the full workflow.  Steps whose only purpose
+        (an aggregation needed by a later filter) is already satisfied by
+        the cache are omitted.
+    """
+    resolve_aggregation_sources(primitives)
+    steps: List[List[Primitive]] = []
+    available = set(computed_uids)
+    for index, primitive in enumerate(primitives):
+        if isinstance(primitive, AggregationFilter):
+            assert primitive.source_uid is not None
+            if primitive.source_uid not in available:
+                steps.append(list(primitives[:index]))
+                # Everything aggregated by that prefix becomes available.
+                available.update(
+                    p.uid for p in primitives[:index] if isinstance(p, Aggregate)
+                )
+    steps.append(list(primitives))
+    return steps

@@ -1,0 +1,226 @@
+"""Subgraphs under enumeration.
+
+A :class:`Subgraph` is the mutable unit of state threaded through the DFS
+of Algorithm 1: primitives observe it, extension strategies grow and shrink
+it (one word per enumeration level), and user callbacks read it.  Because a
+single instance per core is reused across the whole depth-first traversal
+(the paper's memory-efficiency argument, §4.1), mutation is strictly
+stack-like: ``push`` on extension, ``pop`` on backtrack.
+
+User callbacks must not retain references across calls; output operators
+hand out immutable :class:`SubgraphResult` snapshots instead.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..graph.graph import Graph
+from ..pattern.pattern import Pattern, PatternInterner
+
+__all__ = ["Subgraph", "SubgraphResult"]
+
+
+class Subgraph:
+    """A connected subgraph being built word-by-word during enumeration.
+
+    Words are vertices (vertex- and pattern-induced fractoids) or edges
+    (edge-induced fractoids); in all cases the subgraph tracks both its
+    vertex list and its edge list in addition order.
+    """
+
+    __slots__ = (
+        "graph",
+        "interner",
+        "vertices",
+        "edges",
+        "vertex_set",
+        "edge_set",
+        "_edges_per_level",
+        "_vertices_per_level",
+    )
+
+    def __init__(self, graph: Graph, interner: Optional[PatternInterner] = None):
+        self.graph = graph
+        self.interner = interner if interner is not None else PatternInterner()
+        self.vertices: List[int] = []
+        self.edges: List[int] = []
+        self.vertex_set: set = set()
+        self.edge_set: set = set()
+        # Per push bookkeeping so pops restore the exact previous state.
+        self._edges_per_level: List[int] = []
+        self._vertices_per_level: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Stack-like mutation (used by extension strategies)
+    # ------------------------------------------------------------------
+    def push_vertex(self, v: int, incident_edges: List[int]) -> None:
+        """Append vertex ``v`` together with its edges into the subgraph."""
+        self.vertices.append(v)
+        self.vertex_set.add(v)
+        self.edges.extend(incident_edges)
+        self.edge_set.update(incident_edges)
+        self._edges_per_level.append(len(incident_edges))
+        self._vertices_per_level.append(1)
+
+    def push_edge(self, eid: int) -> None:
+        """Append edge ``eid``, adding endpoints not yet present."""
+        u, v = self.graph.edge(eid)
+        added = 0
+        if u not in self.vertex_set:
+            self.vertices.append(u)
+            self.vertex_set.add(u)
+            added += 1
+        if v not in self.vertex_set:
+            self.vertices.append(v)
+            self.vertex_set.add(v)
+            added += 1
+        self.edges.append(eid)
+        self.edge_set.add(eid)
+        self._edges_per_level.append(1)
+        self._vertices_per_level.append(added)
+
+    def pop(self) -> None:
+        """Undo the most recent push."""
+        n_edges = self._edges_per_level.pop()
+        n_vertices = self._vertices_per_level.pop()
+        for _ in range(n_edges):
+            self.edge_set.discard(self.edges.pop())
+        for _ in range(n_vertices):
+            self.vertex_set.discard(self.vertices.pop())
+
+    def clear(self) -> None:
+        """Reset to the empty subgraph."""
+        self.vertices.clear()
+        self.edges.clear()
+        self.vertex_set.clear()
+        self.edge_set.clear()
+        self._edges_per_level.clear()
+        self._vertices_per_level.clear()
+
+    # ------------------------------------------------------------------
+    # Read access (user callbacks and primitives)
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        """Number of vertices in the subgraph."""
+        return len(self.vertices)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges in the subgraph."""
+        return len(self.edges)
+
+    @property
+    def depth(self) -> int:
+        """Number of words pushed so far (enumeration depth)."""
+        return len(self._edges_per_level)
+
+    def last_vertex(self) -> int:
+        """Most recently added vertex."""
+        return self.vertices[-1]
+
+    def last_edge(self) -> int:
+        """Most recently added edge."""
+        return self.edges[-1]
+
+    def edges_added_last(self) -> int:
+        """Edges contributed by the most recent push.
+
+        The clique filter of Appendix A (Listing 2) checks that the last
+        expansion contributed ``n_vertices - 1`` edges.
+        """
+        return self._edges_per_level[-1] if self._edges_per_level else 0
+
+    def contains_vertex(self, v: int) -> bool:
+        """Whether vertex ``v`` is part of the subgraph."""
+        return v in self.vertex_set
+
+    def vertex_labels(self) -> Tuple[int, ...]:
+        """Labels of subgraph vertices in addition order."""
+        label = self.graph.vertex_label
+        return tuple(label(v) for v in self.vertices)
+
+    def keywords(self) -> FrozenSet[str]:
+        """Union of keywords over subgraph vertices and edges (L(S))."""
+        words: set = set()
+        for v in self.vertices:
+            words.update(self.graph.vertex_keywords(v))
+        for e in self.edges:
+            words.update(self.graph.edge_keywords(e))
+        return frozenset(words)
+
+    # ------------------------------------------------------------------
+    # Pattern identity
+    # ------------------------------------------------------------------
+    def quotient(self) -> Tuple[Tuple[int, ...], Tuple[Tuple[int, int, int], ...]]:
+        """Structure with vertices renamed to subgraph positions ``0..k-1``."""
+        graph = self.graph
+        # list.index beats building a dict for the small k of GPM
+        # subgraphs; this method is on the motif-counting hot path.
+        index = self.vertices.index
+        edge = graph.edge
+        edge_label = graph.edge_label
+        qedges = []
+        for eid in self.edges:
+            u, v = edge(eid)
+            pu, pv = index(u), index(v)
+            if pu > pv:
+                pu, pv = pv, pu
+            qedges.append((pu, pv, edge_label(eid)))
+        qedges.sort()
+        return self.vertex_labels(), tuple(qedges)
+
+    def pattern(self) -> Pattern:
+        """Canonical pattern ρ(S) of this subgraph (interned)."""
+        labels, qedges = self.quotient()
+        pattern, _ = self.interner.intern(labels, qedges)
+        return pattern
+
+    def pattern_with_positions(self) -> Tuple[Pattern, Tuple[int, ...]]:
+        """Canonical pattern plus each subgraph vertex's canonical position.
+
+        Returns ``(pattern, positions)`` where ``positions[i]`` is the
+        canonical pattern position of ``self.vertices[i]`` — the mapping
+        minimum-image (MNI) support counting requires.
+        """
+        labels, qedges = self.quotient()
+        return self.interner.intern(labels, qedges)
+
+    def freeze(self) -> "SubgraphResult":
+        """Immutable snapshot for output operators."""
+        return SubgraphResult(
+            vertices=tuple(self.vertices),
+            edges=tuple(self.edges),
+            pattern=self.pattern() if self.vertices else None,
+        )
+
+    def __repr__(self) -> str:
+        return f"Subgraph(vertices={self.vertices}, edges={self.edges})"
+
+
+class SubgraphResult:
+    """An immutable enumerated subgraph, as returned by output operators."""
+
+    __slots__ = ("vertices", "edges", "pattern")
+
+    def __init__(
+        self,
+        vertices: Tuple[int, ...],
+        edges: Tuple[int, ...],
+        pattern: Optional[Pattern],
+    ):
+        self.vertices = vertices
+        self.edges = edges
+        self.pattern = pattern
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SubgraphResult):
+            return NotImplemented
+        return self.vertices == other.vertices and self.edges == other.edges
+
+    def __hash__(self) -> int:
+        return hash((self.vertices, self.edges))
+
+    def __repr__(self) -> str:
+        return f"SubgraphResult(vertices={self.vertices}, edges={self.edges})"

@@ -1,0 +1,324 @@
+"""Labeled undirected graph: the input data model of Fractal.
+
+The paper's Definition 1 models an input graph ``G`` as undirected, without
+self-loops, with labels on vertices and edges, and (for the keyword-search
+workload) sets of keywords attached to vertices and edges.  This module
+provides an immutable :class:`Graph` optimized for the access patterns of
+subgraph enumeration:
+
+* neighbor iteration in sorted vertex order (canonicality checks rely on it),
+* O(1) amortized adjacency tests (``are_adjacent``),
+* edge lookup between two vertices (``edge_between``),
+* stable integer ids for vertices (``0..n-1``) and edges (``0..m-1``).
+
+Graphs are constructed through :class:`GraphBuilder`, which validates input
+(no self-loops, no parallel edges) and freezes the adjacency structure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Graph", "GraphBuilder", "GraphError"]
+
+_EMPTY_KEYWORDS: FrozenSet[str] = frozenset()
+
+
+class GraphError(ValueError):
+    """Raised for invalid graph construction or access."""
+
+
+class Graph:
+    """An immutable, labeled, undirected simple graph.
+
+    Vertices are integers ``0..n_vertices-1`` and edges are integers
+    ``0..n_edges-1``.  Every vertex and edge carries an integer label
+    (defaulting to ``0``) and an optional frozenset of string keywords
+    (used by keyword search and graph reduction).
+
+    Instances should be created with :class:`GraphBuilder`; the constructor
+    is considered internal and trusts its inputs.
+    """
+
+    __slots__ = (
+        "_vertex_labels",
+        "_edge_src",
+        "_edge_dst",
+        "_edge_labels",
+        "_adj",
+        "_adj_index",
+        "_vertex_keywords",
+        "_edge_keywords",
+        "name",
+    )
+
+    def __init__(
+        self,
+        vertex_labels: List[int],
+        edge_src: List[int],
+        edge_dst: List[int],
+        edge_labels: List[int],
+        adj: List[List[Tuple[int, int]]],
+        vertex_keywords: Optional[List[FrozenSet[str]]] = None,
+        edge_keywords: Optional[List[FrozenSet[str]]] = None,
+        name: str = "graph",
+    ):
+        self._vertex_labels = vertex_labels
+        self._edge_src = edge_src
+        self._edge_dst = edge_dst
+        self._edge_labels = edge_labels
+        self._adj = adj
+        # _adj_index[v] maps neighbor -> edge id for O(1) adjacency tests.
+        self._adj_index: List[Dict[int, int]] = [dict(pairs) for pairs in adj]
+        self._vertex_keywords = vertex_keywords
+        self._edge_keywords = edge_keywords
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._vertex_labels)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of edges."""
+        return len(self._edge_src)
+
+    def density(self) -> float:
+        """Edge density ``2m / (n * (n - 1))`` as reported in Table 1."""
+        n = self.n_vertices
+        if n < 2:
+            return 0.0
+        return 2.0 * self.n_edges / (n * (n - 1))
+
+    # ------------------------------------------------------------------
+    # Vertices
+    # ------------------------------------------------------------------
+    def vertices(self) -> range:
+        """All vertex ids."""
+        return range(self.n_vertices)
+
+    def vertex_label(self, v: int) -> int:
+        """Label of vertex ``v``."""
+        return self._vertex_labels[v]
+
+    def vertex_labels(self) -> Sequence[int]:
+        """Label of every vertex, indexed by vertex id."""
+        return self._vertex_labels
+
+    def degree(self, v: int) -> int:
+        """Number of neighbors of ``v``."""
+        return len(self._adj[v])
+
+    def neighbors(self, v: int) -> List[int]:
+        """Neighbors of ``v`` in increasing vertex order."""
+        return [u for u, _ in self._adj[v]]
+
+    def neighborhood(self, v: int) -> List[Tuple[int, int]]:
+        """``(neighbor, edge_id)`` pairs of ``v`` in increasing neighbor order."""
+        return self._adj[v]
+
+    def neighbor_set(self, v: int) -> Dict[int, int]:
+        """Mapping ``neighbor -> edge_id`` for ``v`` (do not mutate)."""
+        return self._adj_index[v]
+
+    def vertex_keywords(self, v: int) -> FrozenSet[str]:
+        """Keywords attached to vertex ``v`` (empty frozenset if none)."""
+        if self._vertex_keywords is None:
+            return _EMPTY_KEYWORDS
+        return self._vertex_keywords[v]
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+    def edges(self) -> range:
+        """All edge ids."""
+        return range(self.n_edges)
+
+    def edge(self, e: int) -> Tuple[int, int]:
+        """Endpoints ``(u, v)`` of edge ``e`` with ``u < v``."""
+        return self._edge_src[e], self._edge_dst[e]
+
+    def edge_label(self, e: int) -> int:
+        """Label of edge ``e``."""
+        return self._edge_labels[e]
+
+    def edge_keywords(self, e: int) -> FrozenSet[str]:
+        """Keywords attached to edge ``e`` (empty frozenset if none)."""
+        if self._edge_keywords is None:
+            return _EMPTY_KEYWORDS
+        return self._edge_keywords[e]
+
+    def are_adjacent(self, u: int, v: int) -> bool:
+        """Whether an edge connects ``u`` and ``v``."""
+        return v in self._adj_index[u]
+
+    def edge_between(self, u: int, v: int) -> int:
+        """Edge id connecting ``u`` and ``v``, or ``-1`` if absent."""
+        return self._adj_index[u].get(v, -1)
+
+    def incident_edges(self, v: int) -> List[int]:
+        """Edge ids incident to ``v``."""
+        return [e for _, e in self._adj[v]]
+
+    def other_endpoint(self, e: int, v: int) -> int:
+        """The endpoint of edge ``e`` that is not ``v``."""
+        src, dst = self._edge_src[e], self._edge_dst[e]
+        if v == src:
+            return dst
+        if v == dst:
+            return src
+        raise GraphError(f"vertex {v} is not an endpoint of edge {e}")
+
+    # ------------------------------------------------------------------
+    # Aggregate views
+    # ------------------------------------------------------------------
+    def n_labels(self) -> int:
+        """Number of distinct labels over vertices and edges (Table 1's |L|)."""
+        labels = set(self._vertex_labels)
+        labels.update(self._edge_labels)
+        return len(labels)
+
+    def all_keywords(self) -> FrozenSet[str]:
+        """Union of all vertex and edge keywords."""
+        words: set = set()
+        if self._vertex_keywords is not None:
+            for ws in self._vertex_keywords:
+                words.update(ws)
+        if self._edge_keywords is not None:
+            for ws in self._edge_keywords:
+                words.update(ws)
+        return frozenset(words)
+
+    def has_keywords(self) -> bool:
+        """Whether any keyword annotations are present."""
+        return self._vertex_keywords is not None or self._edge_keywords is not None
+
+    def iter_edge_tuples(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(u, v, label)`` for every edge."""
+        for e in range(self.n_edges):
+            yield self._edge_src[e], self._edge_dst[e], self._edge_labels[e]
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(name={self.name!r}, n_vertices={self.n_vertices}, "
+            f"n_edges={self.n_edges}, n_labels={self.n_labels()})"
+        )
+
+
+class GraphBuilder:
+    """Incremental builder producing immutable :class:`Graph` objects.
+
+    Example::
+
+        builder = GraphBuilder()
+        a = builder.add_vertex(label=1)
+        b = builder.add_vertex(label=2)
+        builder.add_edge(a, b, label=0)
+        graph = builder.build()
+    """
+
+    def __init__(self, name: str = "graph"):
+        self._vertex_labels: List[int] = []
+        self._vertex_keywords: List[FrozenSet[str]] = []
+        self._edge_src: List[int] = []
+        self._edge_dst: List[int] = []
+        self._edge_labels: List[int] = []
+        self._edge_keywords: List[FrozenSet[str]] = []
+        self._edge_index: Dict[Tuple[int, int], int] = {}
+        self._any_keywords = False
+        self._name = name
+
+    def add_vertex(self, label: int = 0, keywords: Iterable[str] = ()) -> int:
+        """Add a vertex; returns its id."""
+        vid = len(self._vertex_labels)
+        self._vertex_labels.append(label)
+        words = frozenset(keywords)
+        if words:
+            self._any_keywords = True
+        self._vertex_keywords.append(words)
+        return vid
+
+    def add_vertices(self, count: int, label: int = 0) -> range:
+        """Add ``count`` vertices sharing one label; returns their id range."""
+        start = len(self._vertex_labels)
+        self._vertex_labels.extend([label] * count)
+        self._vertex_keywords.extend([_EMPTY_KEYWORDS] * count)
+        return range(start, start + count)
+
+    def set_vertex_label(self, v: int, label: int) -> None:
+        """Re-label an existing vertex."""
+        self._vertex_labels[v] = label
+
+    def set_vertex_keywords(self, v: int, keywords: Iterable[str]) -> None:
+        """Replace the keyword set of an existing vertex."""
+        words = frozenset(keywords)
+        if words:
+            self._any_keywords = True
+        self._vertex_keywords[v] = words
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether an edge ``(u, v)`` was already added."""
+        key = (u, v) if u < v else (v, u)
+        return key in self._edge_index
+
+    def add_edge(self, u: int, v: int, label: int = 0, keywords: Iterable[str] = ()) -> int:
+        """Add an undirected edge; returns its id.
+
+        Raises :class:`GraphError` on self-loops, parallel edges, or
+        out-of-range endpoints.
+        """
+        n = len(self._vertex_labels)
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphError(f"edge ({u}, {v}) references missing vertices (n={n})")
+        if u == v:
+            raise GraphError(f"self-loop on vertex {u} is not allowed")
+        key = (u, v) if u < v else (v, u)
+        if key in self._edge_index:
+            raise GraphError(f"parallel edge {key} is not allowed")
+        eid = len(self._edge_src)
+        self._edge_index[key] = eid
+        self._edge_src.append(key[0])
+        self._edge_dst.append(key[1])
+        self._edge_labels.append(label)
+        words = frozenset(keywords)
+        if words:
+            self._any_keywords = True
+        self._edge_keywords.append(words)
+        return eid
+
+    @property
+    def n_vertices(self) -> int:
+        """Vertices added so far."""
+        return len(self._vertex_labels)
+
+    @property
+    def n_edges(self) -> int:
+        """Edges added so far."""
+        return len(self._edge_src)
+
+    def build(self) -> Graph:
+        """Freeze into an immutable :class:`Graph` with sorted adjacency."""
+        n = len(self._vertex_labels)
+        adj: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+        for eid in range(len(self._edge_src)):
+            u, v = self._edge_src[eid], self._edge_dst[eid]
+            adj[u].append((v, eid))
+            adj[v].append((u, eid))
+        for pairs in adj:
+            pairs.sort()
+        keywords_v = list(self._vertex_keywords) if self._any_keywords else None
+        keywords_e = list(self._edge_keywords) if self._any_keywords else None
+        return Graph(
+            vertex_labels=list(self._vertex_labels),
+            edge_src=list(self._edge_src),
+            edge_dst=list(self._edge_dst),
+            edge_labels=list(self._edge_labels),
+            adj=adj,
+            vertex_keywords=keywords_v,
+            edge_keywords=keywords_e,
+            name=self._name,
+        )

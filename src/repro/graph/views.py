@@ -1,0 +1,132 @@
+"""Graph reduction (paper §4.3).
+
+Fractal lets an analyst *materialize* a reduced view of the input graph
+between two fractal steps, by filtering vertices (``R_1 vfilter``) and/or
+edges (``R_2 efilter``).  The reduced graph is a first-class
+:class:`~repro.graph.graph.Graph` — enumeration over it is exactly as fast
+as over any input graph — plus a mapping back to original vertex/edge ids so
+results can be reported in terms of the original graph.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .graph import Graph, GraphBuilder
+
+__all__ = ["ReducedGraph", "reduce_graph", "keyword_reduction"]
+
+VertexPredicate = Callable[[int, Graph], bool]
+EdgePredicate = Callable[[int, Graph], bool]
+
+
+class ReducedGraph:
+    """A materialized reduced view of an input graph.
+
+    Attributes:
+        graph: the reduced :class:`Graph` (fresh contiguous ids).
+        original: the graph the view was derived from.
+        vertex_origin: reduced vertex id -> original vertex id.
+        edge_origin: reduced edge id -> original edge id.
+    """
+
+    __slots__ = ("graph", "original", "vertex_origin", "edge_origin")
+
+    def __init__(
+        self,
+        graph: Graph,
+        original: Graph,
+        vertex_origin: List[int],
+        edge_origin: List[int],
+    ):
+        self.graph = graph
+        self.original = original
+        self.vertex_origin = vertex_origin
+        self.edge_origin = edge_origin
+
+    def original_vertices(self, reduced_vertices) -> List[int]:
+        """Map reduced vertex ids back to original ids."""
+        return [self.vertex_origin[v] for v in reduced_vertices]
+
+    def original_edges(self, reduced_edges) -> List[int]:
+        """Map reduced edge ids back to original ids."""
+        return [self.edge_origin[e] for e in reduced_edges]
+
+    def vertex_reduction(self) -> float:
+        """Fraction of vertices removed (paper reports this in §4.3/§6)."""
+        n = self.original.n_vertices
+        return 0.0 if n == 0 else 1.0 - self.graph.n_vertices / n
+
+    def edge_reduction(self) -> float:
+        """Fraction of edges removed."""
+        m = self.original.n_edges
+        return 0.0 if m == 0 else 1.0 - self.graph.n_edges / m
+
+
+def reduce_graph(
+    graph: Graph,
+    vfilter: Optional[VertexPredicate] = None,
+    efilter: Optional[EdgePredicate] = None,
+    name: str = "",
+) -> ReducedGraph:
+    """Materialize the subgraph induced by ``vfilter`` and ``efilter``.
+
+    An edge survives when both endpoints survive *and* the edge predicate
+    accepts it.  Surviving vertices keep their labels and keywords and are
+    renumbered contiguously; the returned :class:`ReducedGraph` records the
+    id mappings.
+    """
+    keep_vertex = [
+        vfilter is None or vfilter(v, graph) for v in graph.vertices()
+    ]
+    builder = GraphBuilder(name=name or graph.name + "-reduced")
+    new_id = [-1] * graph.n_vertices
+    vertex_origin: List[int] = []
+    for v in graph.vertices():
+        if keep_vertex[v]:
+            new_id[v] = builder.add_vertex(
+                label=graph.vertex_label(v), keywords=graph.vertex_keywords(v)
+            )
+            vertex_origin.append(v)
+    edge_origin: List[int] = []
+    for e in graph.edges():
+        u, v = graph.edge(e)
+        if not (keep_vertex[u] and keep_vertex[v]):
+            continue
+        if efilter is not None and not efilter(e, graph):
+            continue
+        builder.add_edge(
+            new_id[u],
+            new_id[v],
+            label=graph.edge_label(e),
+            keywords=graph.edge_keywords(e),
+        )
+        edge_origin.append(e)
+    return ReducedGraph(builder.build(), graph, vertex_origin, edge_origin)
+
+
+def keyword_reduction(graph: Graph, keywords) -> ReducedGraph:
+    """The reduction used by keyword search (paper §4.3 motivating example).
+
+    Keeps only vertices and edges associated with at least one query keyword
+    (an edge also counts keywords on its endpoints, since those cover query
+    words for subgraphs containing the edge).
+    """
+    query = frozenset(keywords)
+
+    def _vertex_ok(v: int, g: Graph) -> bool:
+        if g.vertex_keywords(v) & query:
+            return True
+        for u, e in g.neighborhood(v):
+            if g.edge_keywords(e) & query or g.vertex_keywords(u) & query:
+                return True
+        return False
+
+    def _edge_ok(e: int, g: Graph) -> bool:
+        u, v = g.edge(e)
+        covered = (
+            g.edge_keywords(e) | g.vertex_keywords(u) | g.vertex_keywords(v)
+        )
+        return bool(covered & query)
+
+    return reduce_graph(graph, vfilter=_vertex_ok, efilter=_edge_ok)

@@ -1,0 +1,78 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+Each ``run_*`` function executes the corresponding experiment end-to-end
+on the stand-in datasets (DESIGN.md §1) and returns structured rows; the
+``benchmarks/`` directory wraps them in pytest-benchmark targets and
+asserts the paper's qualitative claims (who wins, by roughly what factor,
+where the crossovers fall).
+"""
+
+from .formatting import fmt_bytes, fmt_ratio, fmt_seconds, format_table, print_table
+from .configs import (
+    bench_mico,
+    bench_orkut,
+    bench_patents,
+    bench_wikidata,
+    bench_youtube,
+    paper_cluster,
+    single_machine,
+)
+from .comparative import (
+    arabesque_query_fractoid,
+    run_fig11_motifs,
+    run_fig12_cliques,
+    run_fig13_fsm,
+    run_fig15_queries,
+    run_fig20a_triangles,
+    scaled_memory_budget,
+)
+from .drilldown import (
+    KEYWORD_QUERIES,
+    run_fig16_worksteal,
+    run_fig17_graph_reduction,
+    run_fig8_utilization,
+    run_sec41_memory_example,
+    run_sec6_overheads,
+    run_table2_memory,
+)
+from .costscale import (
+    cost_of,
+    run_fig18_cost,
+    run_fig19_scalability,
+    run_fig20b_cost,
+)
+from .tables import run_table1_datasets
+
+__all__ = [
+    "fmt_bytes",
+    "fmt_ratio",
+    "fmt_seconds",
+    "format_table",
+    "print_table",
+    "bench_mico",
+    "bench_orkut",
+    "bench_patents",
+    "bench_wikidata",
+    "bench_youtube",
+    "paper_cluster",
+    "single_machine",
+    "arabesque_query_fractoid",
+    "run_fig11_motifs",
+    "run_fig12_cliques",
+    "run_fig13_fsm",
+    "run_fig15_queries",
+    "run_fig20a_triangles",
+    "scaled_memory_budget",
+    "KEYWORD_QUERIES",
+    "run_fig16_worksteal",
+    "run_fig17_graph_reduction",
+    "run_fig8_utilization",
+    "run_sec41_memory_example",
+    "run_sec6_overheads",
+    "run_table2_memory",
+    "cost_of",
+    "run_fig18_cost",
+    "run_fig19_scalability",
+    "run_fig20b_cost",
+    "run_table1_datasets",
+]

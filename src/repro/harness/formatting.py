@@ -1,0 +1,67 @@
+"""Plain-text table formatting for benchmark harness output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "print_table", "fmt_seconds", "fmt_bytes", "fmt_ratio"]
+
+
+def fmt_seconds(value: float) -> str:
+    """Human-readable simulated seconds (``OOM`` for infinite)."""
+    if value == float("inf"):
+        return "OOM"
+    if value >= 100:
+        return f"{value:,.0f}s"
+    if value >= 1:
+        return f"{value:.2f}s"
+    return f"{value * 1000:.1f}ms"
+
+
+def fmt_bytes(value: float) -> str:
+    """Human-readable byte count."""
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024 or unit == "TB":
+            return f"{value:.1f}{unit}"
+        value /= 1024.0
+    return f"{value:.1f}TB"
+
+
+def fmt_ratio(value: float) -> str:
+    """Speedup/ratio formatting (``x`` suffix)."""
+    if value == float("inf"):
+        return "inf"
+    return f"{value:.2f}x"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned fixed-width table."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> None:
+    """Print an aligned table (used by every benchmark harness)."""
+    print()
+    print(format_table(headers, rows, title=title))

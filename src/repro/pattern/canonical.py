@@ -1,0 +1,69 @@
+"""Canonical subgraph checking for vertex/edge-induced extension.
+
+The extension primitive must avoid redundant (symmetric) enumerations: a
+connected subgraph reachable through many addition orders must be generated
+exactly once.  Fractal adopts the canonical subgraph checking of Arabesque
+[53]: a word (vertex or edge id) sequence is *canonical* iff it is the
+unique generation order in which
+
+* every appended word is connected to the prefix,
+* the first word is the minimum id in the subgraph, and
+* an appended word ``w`` is smaller than every word that appears *after*
+  ``w``'s first neighbor in the prefix (otherwise ``w`` could — and
+  therefore must — have been appended earlier).
+
+These checks run once per candidate extension and are the inner loop of
+the whole system; they are deliberately free of allocations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+__all__ = ["is_canonical_extension", "vertex_adjacency", "edge_adjacency"]
+
+
+def is_canonical_extension(
+    words: Sequence[int],
+    new_word: int,
+    adjacent: Callable[[int, int], bool],
+) -> bool:
+    """Whether appending ``new_word`` keeps the word sequence canonical.
+
+    Args:
+        words: current subgraph as an ordered word (id) sequence.
+        new_word: candidate word, assumed not already present.
+        adjacent: symmetric adjacency predicate between words.
+
+    Returns:
+        True iff ``words + [new_word]`` is the canonical generation order
+        of the extended subgraph given that ``words`` is canonical.
+    """
+    if not words:
+        return True
+    if new_word < words[0]:
+        return False
+    found_neighbor = False
+    for word in words:
+        if not found_neighbor:
+            if adjacent(word, new_word):
+                found_neighbor = True
+        elif word > new_word:
+            return False
+    return found_neighbor
+
+
+def vertex_adjacency(graph) -> Callable[[int, int], bool]:
+    """Adjacency predicate over vertex ids of ``graph``."""
+    return graph.are_adjacent
+
+
+def edge_adjacency(graph) -> Callable[[int, int], bool]:
+    """Adjacency predicate over edge ids: edges sharing an endpoint."""
+
+    def _adjacent(e1: int, e2: int) -> bool:
+        a1, b1 = graph.edge(e1)
+        a2, b2 = graph.edge(e2)
+        return a1 == a2 or a1 == b2 or b1 == a2 or b1 == b2
+
+    return _adjacent

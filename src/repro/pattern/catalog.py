@@ -1,0 +1,80 @@
+"""Pattern catalogs: enumerate all connected patterns of a given size.
+
+Motif analyses need the complete set of possible shapes — e.g. "all 21
+connected graphs on five vertices" — to report zero counts and to build
+motif significance profiles.  :func:`all_connected_patterns` generates
+each isomorphism class exactly once (canonical-code deduplication over
+edge supersets of spanning trees), and :func:`named_patterns` exposes the
+common small shapes by name.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, List
+
+from .pattern import Pattern
+
+__all__ = ["all_connected_patterns", "named_patterns"]
+
+
+def all_connected_patterns(k: int, label: int = 0) -> List[Pattern]:
+    """Every connected unlabeled pattern on ``k`` vertices, one per class.
+
+    Counts for k = 1..6 are the classic sequence 1, 1, 2, 6, 21, 112
+    (OEIS A001349) — asserted by the test suite.
+
+    Generation: iterate all edge subsets of K_k that contain at least a
+    spanning structure, keep connected ones, and deduplicate by canonical
+    code.  Exponential in ``k(k-1)/2``, fine through k=6.
+    """
+    if k < 1:
+        raise ValueError("patterns need k >= 1")
+    if k == 1:
+        return [Pattern.single_vertex(label)]
+    all_edges = [(a, b) for a in range(k) for b in range(a + 1, k)]
+    seen = set()
+    result: List[Pattern] = []
+    labels = [label] * k
+    # A connected graph on k vertices needs at least k-1 edges.
+    for size in range(k - 1, len(all_edges) + 1):
+        for subset in combinations(all_edges, size):
+            pattern = Pattern(labels, [(a, b, 0) for a, b in subset])
+            if not pattern.is_connected():
+                continue
+            code = pattern.canonical_code()
+            if code not in seen:
+                seen.add(code)
+                result.append(pattern)
+    result.sort(key=lambda p: (p.n_edges, p.canonical_code()))
+    return result
+
+
+def named_patterns(label: int = 0) -> Dict[str, Pattern]:
+    """The common small shapes by their conventional names."""
+
+    def build(edges):
+        return Pattern.from_edge_list(edges)
+
+    patterns = {
+        "edge": build([(0, 1)]),
+        "path3": build([(0, 1), (1, 2)]),
+        "triangle": Pattern.clique(3, label),
+        "path4": build([(0, 1), (1, 2), (2, 3)]),
+        "star3": build([(0, 1), (0, 2), (0, 3)]),
+        "square": build([(0, 1), (1, 2), (2, 3), (3, 0)]),
+        "tadpole": build([(0, 1), (1, 2), (2, 0), (2, 3)]),
+        "diamond": build([(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]),
+        "4-clique": Pattern.clique(4, label),
+        "5-cycle": build([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]),
+        "house": build([(0, 1), (1, 2), (2, 3), (3, 0), (0, 4), (1, 4)]),
+        "5-clique": Pattern.clique(5, label),
+    }
+    if label != 0:
+        relabeled = {}
+        for name, pattern in patterns.items():
+            relabeled[name] = Pattern(
+                [label] * pattern.n_vertices, pattern.edges
+            )
+        patterns = relabeled
+    return patterns

@@ -1,0 +1,185 @@
+"""Isomorphism utilities: automorphism groups and subgraph matching.
+
+These routines support the pattern-induced extension strategy (symmetry
+breaking needs the automorphism group of the query pattern, paper §3) and
+serve as independent oracles for tests and join-based baselines.  The core
+Fractal engine does *not* match patterns this way — it extends subgraphs
+incrementally — but baselines like SEED join the match sets produced here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from ..graph.graph import Graph
+from .pattern import Pattern
+
+__all__ = [
+    "automorphisms",
+    "are_isomorphic",
+    "match_pattern",
+    "count_pattern_matches",
+]
+
+
+def automorphisms(pattern: Pattern) -> List[Tuple[int, ...]]:
+    """All automorphisms of ``pattern`` as permutation tuples.
+
+    ``perm[v]`` is the image of pattern vertex ``v``.  Brute-force
+    backtracking with label/degree pruning — patterns are small.
+    """
+    n = pattern.n_vertices
+    perms: List[Tuple[int, ...]] = []
+    image: List[int] = [-1] * n
+    used = [False] * n
+
+    def _compatible(v: int, w: int) -> bool:
+        if pattern.vertex_labels[v] != pattern.vertex_labels[w]:
+            return False
+        if pattern.degree(v) != pattern.degree(w):
+            return False
+        # Mapped neighbors of v must map onto neighbors of w with equal
+        # edge labels, and mapped non-neighbors onto non-neighbors.
+        for u, elabel in pattern.neighborhood(v):
+            if image[u] >= 0 and pattern.edge_label_between(w, image[u]) != elabel:
+                return False
+        for u in range(n):
+            if image[u] >= 0 and not pattern.are_adjacent(v, u):
+                if pattern.are_adjacent(w, image[u]):
+                    return False
+        return True
+
+    def _extend(v: int) -> None:
+        if v == n:
+            perms.append(tuple(image))
+            return
+        for w in range(n):
+            if not used[w] and _compatible(v, w):
+                image[v] = w
+                used[w] = True
+                _extend(v + 1)
+                used[w] = False
+                image[v] = -1
+
+    _extend(0)
+    return perms
+
+
+def are_isomorphic(p1: Pattern, p2: Pattern) -> bool:
+    """Whether two patterns are isomorphic (equal canonical codes)."""
+    return p1.canonical_code() == p2.canonical_code()
+
+
+def match_pattern(
+    pattern: Pattern,
+    graph: Graph,
+    induced: bool = False,
+    distinct: bool = True,
+) -> Iterator[Tuple[int, ...]]:
+    """Yield embeddings of ``pattern`` in ``graph`` by backtracking.
+
+    An embedding is a tuple ``m`` with ``m[p]`` the graph vertex matched to
+    pattern vertex ``p``.  With ``distinct=True`` (the default), one
+    embedding per *subgraph instance* is produced (automorphic re-matchings
+    are suppressed by keeping only the lexicographically-smallest image
+    tuple per vertex set).  With ``induced=True``, non-edges of the pattern
+    must be non-edges in the graph (motif semantics).
+
+    This matcher is intentionally simple: it is the oracle the test suite
+    and join baselines rely on, not the production enumeration path.
+    """
+    order = _matching_order(pattern)
+    n = pattern.n_vertices
+    match: List[int] = [-1] * n
+    used: set = set()
+    auts = automorphisms(pattern) if distinct else None
+
+    def _candidates(p: int) -> Iterator[int]:
+        anchors = [
+            (q, elabel)
+            for q, elabel in pattern.neighborhood(p)
+            if match[q] >= 0
+        ]
+        if not anchors:
+            for v in graph.vertices():
+                yield v
+            return
+        anchor, anchor_elabel = anchors[0]
+        for v, eid in graph.neighborhood(match[anchor]):
+            if graph.edge_label(eid) == anchor_elabel:
+                yield v
+
+    def _feasible(p: int, v: int) -> bool:
+        if v in used:
+            return False
+        if graph.vertex_label(v) != pattern.vertex_labels[p]:
+            return False
+        for q, elabel in pattern.neighborhood(p):
+            if match[q] < 0:
+                continue
+            eid = graph.edge_between(v, match[q])
+            if eid < 0 or graph.edge_label(eid) != elabel:
+                return False
+        if induced:
+            for q in range(n):
+                if match[q] >= 0 and not pattern.are_adjacent(p, q):
+                    if graph.are_adjacent(v, match[q]):
+                        return False
+        return True
+
+    def _is_representative(embedding: Tuple[int, ...]) -> bool:
+        # The representative of an automorphism class is the minimal image.
+        assert auts is not None
+        for perm in auts:
+            permuted = tuple(embedding[perm[p]] for p in range(n))
+            if permuted < embedding:
+                return False
+        return True
+
+    def _extend(step: int) -> Iterator[Tuple[int, ...]]:
+        if step == n:
+            embedding = tuple(match)
+            if auts is None or _is_representative(embedding):
+                yield embedding
+            return
+        p = order[step]
+        for v in _candidates(p):
+            if _feasible(p, v):
+                match[p] = v
+                used.add(v)
+                yield from _extend(step + 1)
+                used.discard(v)
+                match[p] = -1
+
+    yield from _extend(0)
+
+
+def count_pattern_matches(
+    pattern: Pattern, graph: Graph, induced: bool = False
+) -> int:
+    """Number of distinct subgraph instances of ``pattern`` in ``graph``."""
+    return sum(1 for _ in match_pattern(pattern, graph, induced=induced))
+
+
+def _matching_order(pattern: Pattern) -> List[int]:
+    """Connected matching order starting from the highest-degree vertex."""
+    n = pattern.n_vertices
+    if n == 0:
+        return []
+    start = max(range(n), key=pattern.degree)
+    order = [start]
+    in_order = {start}
+    while len(order) < n:
+        frontier: List[Tuple[int, int]] = []
+        for p in range(n):
+            if p in in_order:
+                continue
+            connections = sum(
+                1 for q, _ in pattern.neighborhood(p) if q in in_order
+            )
+            frontier.append((connections, p))
+        frontier.sort(key=lambda item: (-item[0], -pattern.degree(item[1])))
+        nxt = frontier[0][1]
+        order.append(nxt)
+        in_order.add(nxt)
+    return order

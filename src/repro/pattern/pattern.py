@@ -1,0 +1,304 @@
+"""Patterns: canonical templates of subgraphs (paper §2.1).
+
+A *pattern* is the equivalence class of all subgraphs isomorphic to each
+other; the paper identifies patterns through a canonical labeling ρ(S)
+computed with DFS coding [gSpan, Yan & Han 2002].  :class:`Pattern` is a
+small labeled graph whose identity (hash and equality) is its canonical
+code, so patterns can be used directly as aggregation keys — exactly how
+the motif-counting and FSM applications of Appendix A use them.
+
+Building a pattern per enumerated subgraph must be cheap: motif counting
+canonicalizes every enumerated subgraph.  :class:`PatternInterner`
+memoizes the (quotient structure -> canonical pattern) mapping so the
+expensive minimum-DFS-code search runs only once per distinct structure
+encountered.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.graph import Graph, GraphBuilder
+from . import dfscode
+
+__all__ = ["Pattern", "PatternInterner"]
+
+# A quotient structure: (vertex labels tuple, sorted edge tuples (a, b, elabel)).
+StructKey = Tuple[Tuple[int, ...], Tuple[Tuple[int, int, int], ...]]
+
+
+class Pattern:
+    """An immutable labeled graph template identified by its canonical code.
+
+    Vertices are ``0..n-1``.  ``edges`` holds ``(a, b, edge_label)`` tuples
+    with ``a < b``.  Two patterns compare equal iff their canonical DFS
+    codes are equal, i.e. iff they are isomorphic as labeled graphs.
+    """
+
+    __slots__ = (
+        "vertex_labels",
+        "edges",
+        "_code",
+        "_canonical_map",
+        "_adj",
+        "_orbits",
+    )
+
+    def __init__(
+        self,
+        vertex_labels: Sequence[int],
+        edges: Sequence[Tuple[int, int, int]],
+    ):
+        self.vertex_labels: Tuple[int, ...] = tuple(vertex_labels)
+        normalized = []
+        seen = set()
+        n = len(self.vertex_labels)
+        for a, b, elabel in edges:
+            if a == b:
+                raise ValueError("patterns cannot contain self-loops")
+            if not (0 <= a < n and 0 <= b < n):
+                raise ValueError(f"edge ({a}, {b}) out of range for {n} vertices")
+            key = (a, b) if a < b else (b, a)
+            if key in seen:
+                raise ValueError(f"duplicate pattern edge {key}")
+            seen.add(key)
+            normalized.append((key[0], key[1], elabel))
+        normalized.sort()
+        self.edges: Tuple[Tuple[int, int, int], ...] = tuple(normalized)
+        self._code: Optional[Tuple] = None
+        self._canonical_map: Optional[Tuple[int, ...]] = None
+        self._orbits: Optional[Tuple[int, ...]] = None
+        adj: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+        for a, b, elabel in self.edges:
+            adj[a].append((b, elabel))
+            adj[b].append((a, elabel))
+        for row in adj:
+            row.sort()
+        self._adj = adj
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_list(
+        cls,
+        edges: Sequence[Tuple[int, int]],
+        vertex_labels: Optional[Sequence[int]] = None,
+        edge_labels: Optional[Sequence[int]] = None,
+    ) -> "Pattern":
+        """Build a pattern from plain ``(a, b)`` pairs (labels default to 0)."""
+        n = 0
+        for a, b in edges:
+            n = max(n, a + 1, b + 1)
+        labels = list(vertex_labels) if vertex_labels is not None else [0] * n
+        elabels = list(edge_labels) if edge_labels is not None else [0] * len(edges)
+        triples = [(a, b, elabels[i]) for i, (a, b) in enumerate(edges)]
+        return cls(labels, triples)
+
+    @classmethod
+    def from_graph(cls, graph: Graph) -> "Pattern":
+        """Treat an entire (small) graph as a pattern."""
+        labels = [graph.vertex_label(v) for v in graph.vertices()]
+        triples = [
+            (u, v, graph.edge_label(e))
+            for e in graph.edges()
+            for u, v in [graph.edge(e)]
+        ]
+        return cls(labels, triples)
+
+    @classmethod
+    def single_vertex(cls, label: int = 0) -> "Pattern":
+        """The 1-vertex pattern."""
+        return cls([label], [])
+
+    @classmethod
+    def clique(cls, k: int, label: int = 0) -> "Pattern":
+        """The k-clique pattern."""
+        edges = [(u, v, 0) for u in range(k) for v in range(u + 1, k)]
+        return cls([label] * k, edges)
+
+    def to_graph(self, name: str = "pattern") -> Graph:
+        """Materialize the pattern as a :class:`~repro.graph.graph.Graph`."""
+        builder = GraphBuilder(name=name)
+        for label in self.vertex_labels:
+            builder.add_vertex(label=label)
+        for a, b, elabel in self.edges:
+            builder.add_edge(a, b, label=elabel)
+        return builder.build()
+
+    # ------------------------------------------------------------------
+    # Structure accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_vertices(self) -> int:
+        """Number of pattern vertices."""
+        return len(self.vertex_labels)
+
+    @property
+    def n_edges(self) -> int:
+        """Number of pattern edges."""
+        return len(self.edges)
+
+    def neighborhood(self, v: int) -> List[Tuple[int, int]]:
+        """``(neighbor, edge_label)`` pairs of pattern vertex ``v``."""
+        return self._adj[v]
+
+    def degree(self, v: int) -> int:
+        """Degree of pattern vertex ``v``."""
+        return len(self._adj[v])
+
+    def are_adjacent(self, a: int, b: int) -> bool:
+        """Whether pattern vertices ``a`` and ``b`` are connected."""
+        return any(u == b for u, _ in self._adj[a])
+
+    def edge_label_between(self, a: int, b: int) -> Optional[int]:
+        """Edge label between ``a`` and ``b`` or None if not adjacent."""
+        for u, elabel in self._adj[a]:
+            if u == b:
+                return elabel
+        return None
+
+    def is_connected(self) -> bool:
+        """Whether the pattern is connected (Fractal mines connected subgraphs)."""
+        n = self.n_vertices
+        if n == 0:
+            return True
+        seen = {0}
+        stack = [0]
+        while stack:
+            v = stack.pop()
+            for u, _ in self._adj[v]:
+                if u not in seen:
+                    seen.add(u)
+                    stack.append(u)
+        return len(seen) == n
+
+    def is_clique(self) -> bool:
+        """Whether the pattern is complete."""
+        k = self.n_vertices
+        return self.n_edges == k * (k - 1) // 2
+
+    # ------------------------------------------------------------------
+    # Canonical identity (ρ)
+    # ------------------------------------------------------------------
+    def canonical_code(self) -> Tuple:
+        """The canonical (minimum) DFS code of this pattern.
+
+        Computed lazily and cached; equal codes <=> isomorphic patterns.
+        """
+        if self._code is None:
+            self._code, self._canonical_map = dfscode.minimum_dfs_code(
+                self.vertex_labels, self.edges
+            )
+        return self._code
+
+    def canonical_vertex_map(self) -> Tuple[int, ...]:
+        """Map pattern vertex -> canonical position (discovery index).
+
+        The minimum-image (MNI) support of FSM counts distinct graph
+        vertices per *canonical position*, so equality of positions across
+        isomorphic subgraphs matters; this mapping provides it.
+        """
+        if self._canonical_map is None:
+            self.canonical_code()
+        assert self._canonical_map is not None
+        return self._canonical_map
+
+    def vertex_orbits(self) -> Tuple[int, ...]:
+        """Automorphism orbit id of every pattern vertex (cached).
+
+        Two vertices share an orbit id iff some automorphism maps one onto
+        the other.  Minimum-image (MNI) support counting needs this: the
+        domain of a pattern position is shared across its whole orbit,
+        because every embedding re-matched through an automorphism places
+        each vertex on every position of its orbit.
+        """
+        if self._orbits is None:
+            from .isomorphism import automorphisms  # deferred: avoids cycle
+
+            n = self.n_vertices
+            orbit_of = list(range(n))
+            for perm in automorphisms(self):
+                for v in range(n):
+                    a, b = orbit_of[v], orbit_of[perm[v]]
+                    if a != b:
+                        low, high = (a, b) if a < b else (b, a)
+                        orbit_of = [low if o == high else o for o in orbit_of]
+            # Renumber orbits densely.
+            remap: dict = {}
+            dense = []
+            for o in orbit_of:
+                if o not in remap:
+                    remap[o] = len(remap)
+                dense.append(remap[o])
+            self._orbits = tuple(dense)
+        return self._orbits
+
+    def canonical_position_orbits(self) -> Tuple[int, ...]:
+        """Orbit id per *canonical position* (see :meth:`vertex_orbits`)."""
+        orbits = self.vertex_orbits()
+        mapping = self.canonical_vertex_map()
+        by_position = [0] * self.n_vertices
+        for vertex, position in enumerate(mapping):
+            by_position[position] = orbits[vertex]
+        return tuple(by_position)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Pattern):
+            return NotImplemented
+        return self.canonical_code() == other.canonical_code()
+
+    def __hash__(self) -> int:
+        return hash(self.canonical_code())
+
+    def __lt__(self, other: "Pattern") -> bool:
+        return self.canonical_code() < other.canonical_code()
+
+    def __repr__(self) -> str:
+        return (
+            f"Pattern(n_vertices={self.n_vertices}, n_edges={self.n_edges}, "
+            f"labels={self.vertex_labels})"
+        )
+
+
+class PatternInterner:
+    """Memoizing factory: subgraph structure -> canonical pattern + mapping.
+
+    ``intern(vertex_labels, edges)`` returns ``(pattern, canonical_map)``
+    where ``canonical_map[i]`` is the canonical position of input vertex
+    ``i``.  The input is a *quotient* of an enumerated subgraph: vertices
+    renamed ``0..k-1`` in subgraph order.  The number of distinct quotient
+    structures for bounded ``k`` is small, so after warm-up interning is a
+    single dict lookup per subgraph.
+    """
+
+    def __init__(self):
+        self._cache: Dict[StructKey, Tuple[Pattern, Tuple[int, ...]]] = {}
+        self._by_code: Dict[Tuple, Pattern] = {}
+        self.misses = 0
+        self.hits = 0
+
+    def intern(
+        self,
+        vertex_labels: Tuple[int, ...],
+        edges: Tuple[Tuple[int, int, int], ...],
+    ) -> Tuple[Pattern, Tuple[int, ...]]:
+        """Canonicalize a quotient structure, reusing cached results."""
+        key = (vertex_labels, edges)
+        hit = self._cache.get(key)
+        if hit is not None:
+            self.hits += 1
+            return hit
+        self.misses += 1
+        pattern = Pattern(vertex_labels, edges)
+        code = pattern.canonical_code()
+        mapping = pattern.canonical_vertex_map()
+        # Share one Pattern instance per isomorphism class so downstream
+        # aggregation hashing compares precomputed codes of few objects.
+        shared = self._by_code.setdefault(code, pattern)
+        result = (shared, mapping)
+        self._cache[key] = result
+        return result
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -1,0 +1,92 @@
+"""Symmetry breaking for pattern-induced enumeration (paper §3, [24]).
+
+Pattern-induced extension must avoid enumerating the same subgraph once per
+automorphism of the query pattern.  Fractal adopts the Grochow–Kellis
+symmetry-breaking technique: from the automorphism group of the pattern,
+derive a set of ordering conditions ``m(a) < m(b)`` over matched graph
+vertices such that exactly one member of each automorphism class of
+embeddings satisfies all conditions.
+
+The classic construction: repeatedly pick a vertex in a non-trivial orbit,
+constrain it to carry the minimum graph-vertex id within its orbit (one
+``a < b`` condition per other orbit member), then restrict the group to the
+stabilizer of that vertex; repeat until the group is trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .isomorphism import automorphisms
+from .pattern import Pattern
+
+__all__ = [
+    "symmetry_breaking_conditions",
+    "conditions_by_position",
+    "satisfies_conditions",
+]
+
+
+def symmetry_breaking_conditions(pattern: Pattern) -> List[Tuple[int, int]]:
+    """Ordering conditions ``(a, b)`` meaning ``match[a] < match[b]``.
+
+    Guarantees that for every set of graph vertices forming an embedding of
+    ``pattern``, exactly one assignment (per automorphism class) satisfies
+    all returned conditions.
+    """
+    auts = automorphisms(pattern)
+    conditions: List[Tuple[int, int]] = []
+    while len(auts) > 1:
+        orbit = _smallest_nontrivial_orbit(auts, pattern.n_vertices)
+        anchor = min(orbit)
+        for other in sorted(orbit):
+            if other != anchor:
+                conditions.append((anchor, other))
+        auts = [perm for perm in auts if perm[anchor] == anchor]
+    return conditions
+
+
+def conditions_by_position(
+    conditions: Sequence[Tuple[int, int]], order: Sequence[int]
+) -> List[List[Tuple[int, bool]]]:
+    """Reindex conditions by matching-order position for incremental checks.
+
+    Args:
+        conditions: ``(a, b)`` pairs over pattern vertex ids.
+        order: the matching order (position -> pattern vertex).
+
+    Returns:
+        ``checks[pos]``: list of ``(earlier_pos, must_be_greater)`` entries;
+        when the vertex at ``pos`` is matched to graph vertex ``v`` it must
+        satisfy ``v > match[earlier_pos]`` (if ``must_be_greater``) or
+        ``v < match[earlier_pos]`` otherwise.
+    """
+    position_of: Dict[int, int] = {p: i for i, p in enumerate(order)}
+    checks: List[List[Tuple[int, bool]]] = [[] for _ in order]
+    for a, b in conditions:
+        pa, pb = position_of[a], position_of[b]
+        if pa < pb:
+            # b is matched later: match[b] must be greater than match[a].
+            checks[pb].append((pa, True))
+        else:
+            # a is matched later: match[a] must be smaller than match[b].
+            checks[pa].append((pb, False))
+    return checks
+
+
+def satisfies_conditions(
+    embedding: Sequence[int], conditions: Sequence[Tuple[int, int]]
+) -> bool:
+    """Whether a complete embedding satisfies every ordering condition."""
+    return all(embedding[a] < embedding[b] for a, b in conditions)
+
+
+def _smallest_nontrivial_orbit(
+    auts: Sequence[Tuple[int, ...]], n: int
+) -> Set[int]:
+    """Orbit of the smallest vertex moved by the group."""
+    for v in range(n):
+        orbit = {perm[v] for perm in auts}
+        if len(orbit) > 1:
+            return orbit
+    raise AssertionError("group is non-trivial but fixes every vertex")

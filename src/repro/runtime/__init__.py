@@ -1,0 +1,50 @@
+"""Execution runtime: engines, cluster simulation, metrics, cost model.
+
+Only :mod:`~repro.runtime.metrics` and :mod:`~repro.runtime.costmodel` are
+imported eagerly; the engines are resolved lazily (PEP 562) because they
+depend on :mod:`repro.core`, which itself imports the metrics module —
+eager imports here would create a cycle.
+"""
+
+from .metrics import Metrics
+from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .memory import DEFAULT_MEMORY_MODEL, MemoryModel
+
+__all__ = [
+    "Metrics",
+    "DEFAULT_COST_MODEL",
+    "CostModel",
+    "DEFAULT_MEMORY_MODEL",
+    "MemoryModel",
+    "ClusterConfig",
+    "ClusterEngine",
+    "ClusterStepResult",
+    "CoreReport",
+    "ExecutionReport",
+    "StepReport",
+    "execute_plan",
+    "run_step_sequential",
+]
+
+_LAZY = {
+    "ClusterConfig": "cluster",
+    "ClusterEngine": "cluster",
+    "ClusterStepResult": "cluster",
+    "CoreReport": "cluster",
+    "ExecutionReport": "driver",
+    "StepReport": "driver",
+    "execute_plan": "driver",
+    "run_step_sequential": "engine",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,561 @@
+"""Deterministic event-driven cluster engine with hierarchical work stealing.
+
+This is the reproduction's substitute for Fractal's Spark + Akka runtime
+(see DESIGN.md §1).  A cluster is W workers × C logical cores.  Each core
+runs Algorithm 1 as an explicit state machine over a stack of
+:class:`~repro.core.enumerator.SubgraphEnumerator` frames — one per
+enumeration level, exactly the structure the paper's work stealing
+operates on (§4.2):
+
+* each core owns a simulated clock, advanced by the metered cost of the
+  work it executes (extension tests, filters, aggregation updates);
+* the scheduler always advances the globally earliest core, so the
+  interleaving — and every reported number — is deterministic;
+* an idle core first attempts an **internal steal** (WS_int): scan cores
+  of its own worker and consume one extension from the victim's
+  *shallowest* non-exhausted enumerator (shallow prefixes carry the most
+  remaining work);
+* failing that, an **external steal** (WS_ext): pick a victim core on
+  another worker and pay the request-message plus prefix-serialization
+  cost before the stolen prefix becomes runnable;
+* level-0 extensions are partitioned round-robin by global core id, as in
+  the paper's system initialization.
+
+Both stealing levels can be disabled independently, reproducing the four
+configurations of Figure 16.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.aggregation import AggregationStorage
+from ..core.computation import Computation
+from ..core.enumerator import ExtensionStrategy, SubgraphEnumerator
+from ..core.primitives import (
+    AggregationFilter,
+    Expand,
+    Filter,
+    Primitive,
+)
+from ..core.subgraph import Subgraph
+from ..graph.graph import Graph
+from ..pattern.pattern import PatternInterner
+from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .engine import new_storages
+from .metrics import Metrics
+
+__all__ = ["ClusterConfig", "ClusterEngine", "ClusterStepResult", "CoreReport"]
+
+_WAIT_EPSILON = 1.0  # units an idle core waits before re-checking for work
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Simulated cluster shape and work-stealing policy.
+
+    ``fail_at`` injects core failures: ``{core_id: clock_units}`` kills a
+    core once its clock passes the given simulated time.  Its remaining
+    enumerators stay available for stealing — survivors recover the
+    orphaned work through the regular hierarchy (an idealization of the
+    paper's resilience-through-lineage claim, at quantum granularity) —
+    so results are identical with and without failures.  Requires both
+    stealing levels to be enabled.
+    """
+
+    workers: int = 1
+    cores_per_worker: int = 4
+    ws_internal: bool = True
+    ws_external: bool = True
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    include_setup_overhead: bool = True
+    record_timeline: bool = False
+    fail_at: Optional[Dict[int, float]] = None
+
+    def __post_init__(self):
+        if self.fail_at and not (self.ws_internal and self.ws_external):
+            raise ValueError(
+                "failure injection requires both work-stealing levels: "
+                "orphaned enumerators are recovered by stealing"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        """Number of logical cores across all workers."""
+        return self.workers * self.cores_per_worker
+
+    def worker_of(self, core_id: int) -> int:
+        """Worker index hosting a global core id."""
+        return core_id // self.cores_per_worker
+
+
+@dataclass
+class CoreReport:
+    """Per-core outcome of one simulated step."""
+
+    core_id: int
+    worker_id: int
+    finish_units: float
+    busy_units: float
+    steal_units: float
+    steals_internal: int
+    steals_external: int
+    peak_stack_bytes: int
+    failed: bool = False
+    # Merged (start, end) busy intervals in units, when timeline recording
+    # is enabled (Figure 8).
+    busy_intervals: List[Tuple[float, float]] = field(default_factory=list)
+
+
+@dataclass
+class ClusterStepResult:
+    """Outcome of one fractal step on the simulated cluster."""
+
+    storages: Dict[int, AggregationStorage]
+    metrics: Metrics
+    makespan_units: float
+    makespan_seconds: float
+    cores: List[CoreReport]
+    steal_messages: int
+
+    def finish_seconds(self, cost_model: CostModel) -> List[float]:
+        """Per-core finish times in seconds (task runtimes of Figure 16)."""
+        return [cost_model.seconds(core.finish_units) for core in self.cores]
+
+
+class _Core:
+    """Execution state of one simulated core."""
+
+    __slots__ = (
+        "core_id",
+        "worker_id",
+        "clock",
+        "busy_units",
+        "steal_units",
+        "steals_internal",
+        "steals_external",
+        "stack",
+        "subgraph",
+        "strategy",
+        "metrics",
+        "computation",
+        "done",
+        "peak_stack_bytes",
+        "busy_intervals",
+        "record_timeline",
+        "mem_tick",
+        "failed",
+    )
+
+    def __init__(
+        self,
+        core_id: int,
+        worker_id: int,
+        strategy: ExtensionStrategy,
+        computation: Computation,
+        record_timeline: bool,
+    ):
+        self.core_id = core_id
+        self.worker_id = worker_id
+        self.clock = 0.0
+        self.busy_units = 0.0
+        self.steal_units = 0.0
+        self.steals_internal = 0
+        self.steals_external = 0
+        self.stack: List[SubgraphEnumerator] = []
+        self.strategy = strategy
+        self.subgraph: Subgraph = strategy.make_subgraph()
+        self.metrics = computation.metrics
+        self.computation = computation
+        self.done = False
+        self.peak_stack_bytes = 0
+        self.busy_intervals: List[Tuple[float, float]] = []
+        self.record_timeline = record_timeline
+        self.mem_tick = 0
+        self.failed = False
+
+    def has_work(self) -> bool:
+        """Whether any frame still has unconsumed extensions."""
+        return any(frame.has_next() for frame in self.stack)
+
+    def stealable_frame(self) -> Optional[SubgraphEnumerator]:
+        """Shallowest stealable frame with available extensions, if any."""
+        for frame in self.stack:
+            if frame.stealable and frame.has_next():
+                return frame
+        return None
+
+    def charge(self, units: float) -> None:
+        """Advance the clock by busy work."""
+        if units <= 0.0:
+            return
+        if self.record_timeline:
+            start = self.clock
+            end = start + units
+            if self.busy_intervals and self.busy_intervals[-1][1] >= start:
+                prev_start, _ = self.busy_intervals[-1]
+                self.busy_intervals[-1] = (prev_start, end)
+            else:
+                self.busy_intervals.append((start, end))
+        self.clock += units
+        self.busy_units += units
+
+    def track_memory(self) -> None:
+        """Update the peak footprint of enumerator state (Table 2 model)."""
+        words = 0
+        for frame in self.stack:
+            words += len(frame.prefix_words) + frame.remaining()
+        words += len(self.subgraph.vertices) + len(self.subgraph.edges)
+        footprint = words * 8
+        if footprint > self.peak_stack_bytes:
+            self.peak_stack_bytes = footprint
+            if footprint > self.metrics.peak_enumerator_bytes:
+                self.metrics.peak_enumerator_bytes = footprint
+
+
+class ClusterEngine:
+    """Runs fractal steps over the simulated cluster."""
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+
+    def run_step(
+        self,
+        graph: Graph,
+        strategy_factory: Callable[[Graph, Metrics, PatternInterner], ExtensionStrategy],
+        interner: PatternInterner,
+        primitives: Sequence[Primitive],
+        aggregation_views: Dict[int, object],
+        cached_uids,
+        sink: Optional[Callable[[Subgraph], None]] = None,
+        root_words: Optional[List[int]] = None,
+    ) -> ClusterStepResult:
+        """Execute one fractal step and return its simulated outcome.
+
+        Args:
+            graph: input graph.
+            strategy_factory: builds one extension strategy per core
+                (strategies may hold per-core DFS state).
+            interner: shared pattern interner.
+            primitives: the step's primitive sequence.
+            aggregation_views: uid -> finalized views for agg filters.
+            cached_uids: aggregation uids already computed by prior steps.
+            sink: receives the live subgraph for results of the final step.
+            root_words: override the level-0 word set (graph reduction
+                experiments pass reduced partitions); None = full graph.
+        """
+        config = self.config
+        cost = config.cost_model
+        cores = self._build_cores(graph, strategy_factory, interner, aggregation_views)
+        storages_per_core = [
+            new_storages(primitives, cached_uids) for _ in cores
+        ]
+        self._distribute_roots(cores, primitives, root_words)
+
+        steal_messages = 0
+        heap: List[Tuple[float, int]] = [(core.clock, core.core_id) for core in cores]
+        heapq.heapify(heap)
+        active = len(cores)
+
+        fail_at = config.fail_at or {}
+        while heap:
+            clock, core_id = heapq.heappop(heap)
+            core = cores[core_id]
+            if core.done:
+                continue
+            if clock < core.clock:
+                # Stale heap entry; re-queue at the true clock.
+                heapq.heappush(heap, (core.clock, core_id))
+                continue
+            deadline = fail_at.get(core_id)
+            if deadline is not None and core.clock >= deadline and not core.failed:
+                # The core dies between quanta.  Its enumerators remain
+                # visible to thieves (lineage recovery); any frame it had
+                # claimed becomes public again.
+                core.failed = True
+                core.done = True
+                for frame in core.stack:
+                    frame.stealable = True
+                continue
+            if core.stack:
+                self._advance(core, primitives, storages_per_core[core_id], sink, cost)
+                heapq.heappush(heap, (core.clock, core_id))
+                continue
+            # Idle: the stack is empty. Try to steal.
+            stolen, messages = self._try_steal(core, cores, cost)
+            steal_messages += messages
+            if stolen:
+                heapq.heappush(heap, (core.clock, core_id))
+                continue
+            # Nothing stealable. If someone is still busy, work may appear.
+            busiest = self._earliest_busy_clock(cores, core_id)
+            if busiest is None:
+                core.done = True
+                active -= 1
+                continue
+            core.clock = max(core.clock, busiest) + _WAIT_EPSILON
+            heapq.heappush(heap, (core.clock, core_id))
+
+        return self._collect(cores, storages_per_core, steal_messages, cost)
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _build_cores(
+        self,
+        graph: Graph,
+        strategy_factory,
+        interner: PatternInterner,
+        aggregation_views,
+    ) -> List[_Core]:
+        config = self.config
+        cores = []
+        for core_id in range(config.total_cores):
+            metrics = Metrics()
+            strategy = strategy_factory(graph, metrics, interner)
+            computation = Computation(graph, metrics, interner, aggregation_views)
+            cores.append(
+                _Core(
+                    core_id,
+                    config.worker_of(core_id),
+                    strategy,
+                    computation,
+                    config.record_timeline,
+                )
+            )
+        return cores
+
+    def _distribute_roots(
+        self,
+        cores: List[_Core],
+        primitives: Sequence[Primitive],
+        root_words: Optional[List[int]],
+    ) -> None:
+        """Round-robin partition of level-0 extensions by global core id."""
+        first_expand = next(
+            (i for i, p in enumerate(primitives) if isinstance(p, Expand)), None
+        )
+        if first_expand is None:
+            # Degenerate step without extension: nothing to distribute;
+            # core 0 evaluates the empty-subgraph pipeline once.
+            if cores:
+                cores[0].stack.append(SubgraphEnumerator((), [], 0))
+            return
+        if root_words is None:
+            words = cores[0].strategy.extensions(cores[0].subgraph)
+        else:
+            words = list(root_words)
+        n = len(cores)
+        for core in cores:
+            partition = words[core.core_id::n]
+            core.stack.append(
+                SubgraphEnumerator((), partition, first_expand + 1)
+            )
+
+    # ------------------------------------------------------------------
+    # Core execution
+    # ------------------------------------------------------------------
+    def _advance(
+        self,
+        core: _Core,
+        primitives: Sequence[Primitive],
+        storages: Dict[int, AggregationStorage],
+        sink,
+        cost: CostModel,
+    ) -> None:
+        """Process one quantum: consume one extension or pop a dead frame."""
+        top = core.stack[-1]
+        if not top.has_next():
+            core.stack.pop()
+            if core.stack:
+                core.strategy.pop(core.subgraph)
+            return
+        word = top.take()
+        strategy = core.strategy
+        metrics = core.metrics
+        before_tests = metrics.extension_tests
+        before_scans = metrics.adjacency_scans
+        strategy.push(core.subgraph, word)
+        metrics.subgraphs_enumerated += 1
+        units = cost.subgraph_units
+        idx = top.primitive_index
+        n = len(primitives)
+        emitted = False
+        pushed_frame = False
+        while idx < n:
+            primitive = primitives[idx]
+            kind = type(primitive)
+            if kind is Expand:
+                extensions = strategy.extensions(core.subgraph)
+                core.stack.append(
+                    SubgraphEnumerator(
+                        tuple(self._words_of(core.subgraph, strategy)),
+                        extensions,
+                        idx + 1,
+                    )
+                )
+                pushed_frame = True
+                break
+            if kind is Filter:
+                metrics.filter_calls += 1
+                units += cost.filter_units
+                if not primitive.fn(core.subgraph, core.computation):
+                    break
+                metrics.filter_passed += 1
+            elif kind is AggregationFilter:
+                metrics.filter_calls += 1
+                units += cost.filter_units
+                view = core.computation.aggregation_views[primitive.source_uid]
+                if not primitive.fn(core.subgraph, view):
+                    break
+                metrics.filter_passed += 1
+            else:  # Aggregate
+                storage = storages.get(primitive.uid)
+                if storage is not None:
+                    key = primitive.key_fn(core.subgraph, core.computation)
+                    value = primitive.value_fn(core.subgraph, core.computation)
+                    storage.add(key, value)
+                    metrics.aggregate_updates += 1
+                    units += cost.aggregate_units
+            idx += 1
+        else:
+            emitted = True
+        if emitted:
+            if sink is not None:
+                sink(core.subgraph)
+            metrics.results_emitted += 1
+            units += cost.emit_units
+        units += (
+            (metrics.extension_tests - before_tests) * cost.extension_test_units
+            + (metrics.adjacency_scans - before_scans) * cost.adjacency_scan_units
+        )
+        core.charge(units)
+        # Sampling the footprint every few quanta captures the peak of the
+        # slowly-varying enumerator stack without per-quantum overhead.
+        core.mem_tick += 1
+        if core.mem_tick & 31 == 0 or pushed_frame:
+            core.track_memory()
+        if not pushed_frame:
+            strategy.pop(core.subgraph)
+
+    @staticmethod
+    def _words_of(subgraph: Subgraph, strategy: ExtensionStrategy) -> List[int]:
+        """The word sequence identifying the current prefix."""
+        if strategy.mode == "edge":
+            return list(subgraph.edges)
+        return list(subgraph.vertices)
+
+    # ------------------------------------------------------------------
+    # Work stealing
+    # ------------------------------------------------------------------
+    def _try_steal(
+        self, thief: _Core, cores: List[_Core], cost: CostModel
+    ) -> Tuple[bool, int]:
+        """Attempt WS_int, then WS_ext. Returns (success, messages sent)."""
+        config = self.config
+        if config.ws_internal:
+            frame = self._pick_victim(thief, cores, same_worker=True)
+            if frame is not None:
+                self._transfer(thief, frame, cost.steal_internal_cost())
+                thief.steals_internal += 1
+                thief.metrics.steals_internal += 1
+                return True, 0
+        if config.ws_external:
+            frame = self._pick_victim(thief, cores, same_worker=False)
+            if frame is not None:
+                units = cost.steal_external_cost(len(frame.prefix_words))
+                self._transfer(thief, frame, units)
+                thief.steals_external += 1
+                thief.metrics.steals_external += 1
+                thief.metrics.steal_messages += 2  # request + response
+                return True, 2
+        return False, 0
+
+    def _pick_victim(
+        self, thief: _Core, cores: List[_Core], same_worker: bool
+    ) -> Optional[SubgraphEnumerator]:
+        """Round-robin victim scan; returns the shallowest stealable frame."""
+        n = len(cores)
+        for offset in range(1, n):
+            candidate = cores[(thief.core_id + offset) % n]
+            is_local = candidate.worker_id == thief.worker_id
+            if is_local != same_worker:
+                continue
+            frame = candidate.stealable_frame()
+            if frame is not None:
+                return frame
+        return None
+
+    def _transfer(
+        self, thief: _Core, frame: SubgraphEnumerator, steal_units: float
+    ) -> None:
+        """Move one extension of ``frame`` onto the thief as new root work."""
+        word = frame.steal_one()
+        assert word is not None
+        thief.charge(steal_units)
+        thief.steal_units += steal_units
+        thief.metrics.steal_work_units += steal_units
+        thief.strategy.rebuild(thief.subgraph, frame.prefix_words)
+        thief.stack.append(
+            SubgraphEnumerator(
+                frame.prefix_words, [word], frame.primitive_index, stealable=False
+            )
+        )
+
+    @staticmethod
+    def _earliest_busy_clock(cores: List[_Core], excluding: int) -> Optional[float]:
+        """Earliest clock among cores that still hold frames."""
+        clocks = [
+            core.clock
+            for core in cores
+            if core.core_id != excluding and core.stack and not core.done
+        ]
+        return min(clocks) if clocks else None
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    def _collect(
+        self,
+        cores: List[_Core],
+        storages_per_core: List[Dict[int, AggregationStorage]],
+        steal_messages: int,
+        cost: CostModel,
+    ) -> ClusterStepResult:
+        merged: Dict[int, AggregationStorage] = {}
+        for storages in storages_per_core:
+            for uid, storage in storages.items():
+                if uid not in merged:
+                    merged[uid] = storage
+                else:
+                    merged[uid].merge(storage)
+        total_metrics = Metrics()
+        reports: List[CoreReport] = []
+        makespan = 0.0
+        for core in cores:
+            total_metrics.merge(core.metrics)
+            reports.append(
+                CoreReport(
+                    core_id=core.core_id,
+                    worker_id=core.worker_id,
+                    finish_units=core.clock,
+                    busy_units=core.busy_units,
+                    steal_units=core.steal_units,
+                    steals_internal=core.steals_internal,
+                    steals_external=core.steals_external,
+                    peak_stack_bytes=core.peak_stack_bytes,
+                    failed=core.failed,
+                    busy_intervals=core.busy_intervals,
+                )
+            )
+            makespan = max(makespan, core.clock)
+        return ClusterStepResult(
+            storages=merged,
+            metrics=total_metrics,
+            makespan_units=makespan,
+            makespan_seconds=cost.seconds(makespan),
+            cores=reports,
+            steal_messages=steal_messages,
+        )

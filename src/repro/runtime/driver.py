@@ -1,0 +1,210 @@
+"""Execution driver: Algorithm 2 over fractal steps.
+
+Given a fractoid's primitives, the driver plans steps
+(:func:`~repro.core.steps.plan_steps`), executes them in order on the
+configured engine (sequential Algorithm 1 or the simulated cluster),
+finalizes and caches aggregation results so later steps — and later
+executions of fractoids derived from this one — reuse instead of
+recompute, and assembles an :class:`ExecutionReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..core.aggregation import AggregationView
+from ..core.computation import Computation
+from ..core.primitives import Aggregate, Primitive
+from ..core.steps import plan_steps
+from ..core.subgraph import SubgraphResult
+from ..graph.graph import Graph
+from ..pattern.pattern import PatternInterner
+from .cluster import ClusterConfig, ClusterEngine, ClusterStepResult
+from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .engine import run_step_sequential
+from .metrics import Metrics
+
+__all__ = ["ExecutionReport", "StepReport", "execute_plan", "EngineSpec"]
+
+EngineSpec = Union[str, ClusterConfig]
+
+
+@dataclass
+class StepReport:
+    """Outcome of one fractal step."""
+
+    index: int
+    description: str
+    metrics: Metrics
+    work_units: float
+    simulated_seconds: float
+    cluster: Optional[ClusterStepResult] = None
+
+
+@dataclass
+class ExecutionReport:
+    """Outcome of a full fractoid execution."""
+
+    subgraphs: Optional[List[SubgraphResult]]
+    result_count: int
+    aggregations: Dict[int, AggregationView]
+    metrics: Metrics
+    steps: List[StepReport] = field(default_factory=list)
+    simulated_seconds: float = 0.0
+    setup_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        """Simulated runtime including framework setup overhead."""
+        return self.simulated_seconds + self.setup_seconds
+
+
+def execute_plan(
+    graph: Graph,
+    strategy_factory: Callable,
+    interner: PatternInterner,
+    primitives: Sequence[Primitive],
+    aggregation_cache: Dict[int, AggregationView],
+    engine: EngineSpec = "sequential",
+    collect: Optional[str] = None,
+    root_words: Optional[List[int]] = None,
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> ExecutionReport:
+    """Plan and execute a fractoid workflow.
+
+    Args:
+        graph: input graph.
+        strategy_factory: ``(graph, metrics, interner) -> ExtensionStrategy``.
+        interner: shared pattern interner.
+        primitives: the full workflow.
+        aggregation_cache: uid -> finalized view; mutated in place so the
+            owning :class:`~repro.core.context.FractalContext` reuses
+            results across derived fractoids (Algorithm 2's reuse rule).
+        engine: ``"sequential"`` or a :class:`ClusterConfig`.
+        collect: ``"subgraphs"`` materializes results, ``"count"`` only
+            counts them, ``None`` runs for aggregations alone.
+        root_words: optional level-0 partition restriction.
+        cost_model: calibration constants for simulated time.
+
+    Returns:
+        The :class:`ExecutionReport` with results, metrics and timings.
+    """
+    started = time.perf_counter()
+    steps = plan_steps(primitives, set(aggregation_cache))
+    total_metrics = Metrics()
+    reports: List[StepReport] = []
+    collected: Optional[List[SubgraphResult]] = (
+        [] if collect == "subgraphs" else None
+    )
+    count = 0
+    simulated = 0.0
+
+    for step_index, step in enumerate(steps):
+        is_final = step_index == len(steps) - 1
+        sink = None
+        if is_final and collect == "subgraphs":
+            def sink(subgraph, _out=collected):
+                _out.append(subgraph.freeze())
+        elif is_final and collect == "count":
+            def sink(subgraph):
+                pass  # counting happens via metrics.results_emitted
+        step_report = _run_one_step(
+            graph,
+            strategy_factory,
+            interner,
+            step,
+            step_index,
+            aggregation_cache,
+            engine,
+            sink,
+            root_words,
+            cost_model,
+        )
+        reports.append(step_report)
+        total_metrics.merge(step_report.metrics)
+        simulated += step_report.simulated_seconds
+        if is_final:
+            count = step_report.metrics.results_emitted
+
+    setup = 0.0
+    if isinstance(engine, ClusterConfig) and engine.include_setup_overhead:
+        setup = engine.cost_model.setup_overhead_s
+    return ExecutionReport(
+        subgraphs=collected,
+        result_count=count,
+        aggregations=dict(aggregation_cache),
+        metrics=total_metrics,
+        steps=reports,
+        simulated_seconds=simulated,
+        setup_seconds=setup,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def _run_one_step(
+    graph: Graph,
+    strategy_factory,
+    interner: PatternInterner,
+    step: List[Primitive],
+    step_index: int,
+    aggregation_cache: Dict[int, AggregationView],
+    engine: EngineSpec,
+    sink,
+    root_words,
+    cost_model: CostModel,
+) -> StepReport:
+    cached_uids = set(aggregation_cache)
+    description = "".join(repr(p) for p in step)
+    if isinstance(engine, ClusterConfig):
+        cluster_engine = ClusterEngine(engine)
+        result = cluster_engine.run_step(
+            graph,
+            strategy_factory,
+            interner,
+            step,
+            aggregation_cache,
+            cached_uids,
+            sink=sink,
+            root_words=root_words,
+        )
+        _finalize(result.storages, step, aggregation_cache)
+        return StepReport(
+            index=step_index,
+            description=description,
+            metrics=result.metrics,
+            work_units=result.makespan_units,
+            simulated_seconds=result.makespan_seconds,
+            cluster=result,
+        )
+    if engine != "sequential":
+        raise ValueError(f"unknown engine {engine!r}")
+    metrics = Metrics()
+    strategy = strategy_factory(graph, metrics, interner)
+    computation = Computation(graph, metrics, interner, aggregation_cache)
+    storages = run_step_sequential(
+        strategy,
+        step,
+        computation,
+        cached_uids,
+        sink=sink,
+        root_words=root_words,
+    )
+    _finalize(storages, step, aggregation_cache)
+    units = cost_model.step_units(metrics)
+    return StepReport(
+        index=step_index,
+        description=description,
+        metrics=metrics,
+        work_units=units,
+        simulated_seconds=cost_model.seconds(units),
+    )
+
+
+def _finalize(storages, step, aggregation_cache) -> None:
+    """Finalize this step's aggregations into the shared cache."""
+    for primitive in step:
+        if isinstance(primitive, Aggregate) and primitive.uid in storages:
+            aggregation_cache[primitive.uid] = storages[primitive.uid].finalize()

@@ -1,0 +1,124 @@
+"""Sequential DFS step executor (paper Algorithm 1).
+
+One fractal step = a pipelined primitive sequence.  The executor walks the
+primitive array recursively: an extension primitive loops over the
+canonical extensions of the current subgraph, reusing one
+:class:`~repro.core.subgraph.Subgraph` instance across the whole traversal;
+filters prune; aggregations update their storage and *continue* to the next
+primitive (a strict generalization of the paper's terminal aggregation —
+identical when, as in every Appendix A application, nothing follows an
+aggregation inside a step).  Subgraphs that reach the end of the final
+step are emitted to the sink (the output operators of Figure 5).
+
+Aggregations whose uid is in ``cached_uids`` were computed by an earlier
+step and are skipped — the reuse rule of Algorithm 2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.aggregation import AggregationStorage
+from ..core.computation import Computation
+from ..core.enumerator import ExtensionStrategy
+from ..core.primitives import (
+    Aggregate,
+    AggregationFilter,
+    Expand,
+    Filter,
+    Primitive,
+)
+
+__all__ = ["run_step_sequential", "new_storages"]
+
+Sink = Callable[[object], None]
+
+
+def new_storages(
+    primitives: Sequence[Primitive], cached_uids
+) -> Dict[int, AggregationStorage]:
+    """Fresh storage for every non-cached aggregation in a step."""
+    storages: Dict[int, AggregationStorage] = {}
+    for primitive in primitives:
+        if isinstance(primitive, Aggregate) and primitive.uid not in cached_uids:
+            storages[primitive.uid] = AggregationStorage(
+                primitive.name, primitive.reduce_fn, primitive.agg_filter
+            )
+    return storages
+
+
+def run_step_sequential(
+    strategy: ExtensionStrategy,
+    primitives: Sequence[Primitive],
+    computation: Computation,
+    cached_uids,
+    sink: Optional[Sink] = None,
+    root_words: Optional[List[int]] = None,
+) -> Dict[int, AggregationStorage]:
+    """Execute one fractal step depth-first on a single core.
+
+    Args:
+        strategy: the fractoid's extension strategy.
+        primitives: the step's primitive sequence.
+        computation: shared computation context (graph, metrics, views).
+        cached_uids: aggregation uids already computed by earlier steps.
+        sink: called with the live subgraph for every result reaching the
+            end of the step (callers snapshot via ``subgraph.freeze()``).
+        root_words: restrict the level-0 extensions to this partition
+            (used by the distributed engine; None = the full graph).
+
+    Returns:
+        uid -> filled :class:`AggregationStorage` for this step's
+        non-cached aggregations.
+    """
+    subgraph = strategy.make_subgraph()
+    strategy.reset_state()
+    storages = new_storages(primitives, cached_uids)
+    metrics = computation.metrics
+    views = computation.aggregation_views
+    n = len(primitives)
+
+    def process(idx: int) -> None:
+        while idx < n:
+            primitive = primitives[idx]
+            kind = type(primitive)
+            if kind is Expand:
+                if subgraph.depth == 0 and root_words is not None:
+                    extensions = root_words
+                else:
+                    extensions = strategy.extensions(subgraph)
+                next_idx = idx + 1
+                for word in extensions:
+                    strategy.push(subgraph, word)
+                    metrics.subgraphs_enumerated += 1
+                    process(next_idx)
+                    strategy.pop(subgraph)
+                return
+            if kind is Filter:
+                metrics.filter_calls += 1
+                if not primitive.fn(subgraph, computation):
+                    return
+                metrics.filter_passed += 1
+            elif kind is AggregationFilter:
+                metrics.filter_calls += 1
+                view = views[primitive.source_uid]
+                if not primitive.fn(subgraph, view):
+                    return
+                metrics.filter_passed += 1
+            else:  # Aggregate
+                storage = storages.get(primitive.uid)
+                if storage is not None:
+                    key = primitive.key_fn(subgraph, computation)
+                    value = primitive.value_fn(subgraph, computation)
+                    storage.add(key, value)
+                    metrics.aggregate_updates += 1
+            idx += 1
+        if sink is not None:
+            sink(subgraph)
+            metrics.results_emitted += 1
+
+    process(0)
+    for storage in storages.values():
+        if len(storage) > metrics.peak_aggregation_entries:
+            metrics.peak_aggregation_entries = len(storage)
+    return storages

@@ -1,0 +1,92 @@
+"""Execution metrics.
+
+The paper's evaluation is expressed in a handful of measurable quantities:
+
+* **extension cost (EC)** — "the number of tests performed to determine the
+  set of candidate subgraph extensions" (§4.3); the dominant work of any
+  GPM task and the currency of our simulated-time cost model;
+* subgraphs enumerated, filter evaluations, aggregation updates;
+* work-stealing activity (internal/external steals, steal messages);
+* memory footprints (enumerator state, aggregation storage).
+
+A single :class:`Metrics` instance accompanies every execution; engines and
+extension strategies increment its counters inline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["Metrics"]
+
+
+class Metrics:
+    """Mutable counter bundle threaded through an execution."""
+
+    __slots__ = (
+        "extension_tests",
+        "extensions_generated",
+        "subgraphs_enumerated",
+        "results_emitted",
+        "filter_calls",
+        "filter_passed",
+        "aggregate_updates",
+        "adjacency_scans",
+        "pattern_canonicalizations",
+        "steals_internal",
+        "steals_external",
+        "steal_messages",
+        "steal_work_units",
+        "peak_enumerator_bytes",
+        "peak_aggregation_entries",
+    )
+
+    def __init__(self):
+        self.extension_tests = 0
+        self.extensions_generated = 0
+        self.subgraphs_enumerated = 0
+        self.results_emitted = 0
+        self.filter_calls = 0
+        self.filter_passed = 0
+        self.aggregate_updates = 0
+        self.adjacency_scans = 0
+        self.pattern_canonicalizations = 0
+        self.steals_internal = 0
+        self.steals_external = 0
+        self.steal_messages = 0
+        self.steal_work_units = 0.0
+        self.peak_enumerator_bytes = 0
+        self.peak_aggregation_entries = 0
+
+    def merge(self, other: "Metrics") -> None:
+        """Accumulate counters from another instance (peaks take max)."""
+        self.extension_tests += other.extension_tests
+        self.extensions_generated += other.extensions_generated
+        self.subgraphs_enumerated += other.subgraphs_enumerated
+        self.results_emitted += other.results_emitted
+        self.filter_calls += other.filter_calls
+        self.filter_passed += other.filter_passed
+        self.aggregate_updates += other.aggregate_updates
+        self.adjacency_scans += other.adjacency_scans
+        self.pattern_canonicalizations += other.pattern_canonicalizations
+        self.steals_internal += other.steals_internal
+        self.steals_external += other.steals_external
+        self.steal_messages += other.steal_messages
+        self.steal_work_units += other.steal_work_units
+        self.peak_enumerator_bytes = max(
+            self.peak_enumerator_bytes, other.peak_enumerator_bytes
+        )
+        self.peak_aggregation_entries = max(
+            self.peak_aggregation_entries, other.peak_aggregation_entries
+        )
+
+    def snapshot(self) -> Dict[str, float]:
+        """Counters as a plain dict (for reports and tests)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:
+        return (
+            f"Metrics(EC={self.extension_tests}, "
+            f"subgraphs={self.subgraphs_enumerated}, "
+            f"steals={self.steals_internal}+{self.steals_external})"
+        )

@@ -1,0 +1,183 @@
+"""Shared fixtures and oracles for the test suite.
+
+The oracles here are deliberately naive (combinatorial brute force and
+networkx isomorphism) so they are independently credible: production code
+paths are never used to check themselves.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterator, List, Tuple
+
+import pytest
+
+from repro import FractalContext, Pattern
+from repro.graph import Graph, GraphBuilder, erdos_renyi_graph
+
+
+# ----------------------------------------------------------------------
+# Graph fixtures
+# ----------------------------------------------------------------------
+@pytest.fixture
+def triangle_graph() -> Graph:
+    """K3."""
+    builder = GraphBuilder()
+    for _ in range(3):
+        builder.add_vertex()
+    builder.add_edge(0, 1)
+    builder.add_edge(1, 2)
+    builder.add_edge(0, 2)
+    return builder.build()
+
+
+@pytest.fixture
+def small_random_graph() -> Graph:
+    """Fixed 30-vertex random graph used across integration tests."""
+    return erdos_renyi_graph(30, 80, n_labels=2, seed=3)
+
+
+@pytest.fixture
+def labeled_graph() -> Graph:
+    """Graph with vertex and edge labels plus keywords."""
+    builder = GraphBuilder()
+    builder.add_vertex(label=1, keywords=["alpha"])
+    builder.add_vertex(label=2, keywords=["beta"])
+    builder.add_vertex(label=1)
+    builder.add_vertex(label=2, keywords=["alpha", "gamma"])
+    builder.add_edge(0, 1, label=7, keywords=["edgeword"])
+    builder.add_edge(1, 2, label=8)
+    builder.add_edge(2, 3, label=7)
+    builder.add_edge(0, 3, label=8)
+    return builder.build()
+
+
+@pytest.fixture
+def context() -> FractalContext:
+    return FractalContext()
+
+
+# ----------------------------------------------------------------------
+# Brute-force oracles
+# ----------------------------------------------------------------------
+def brute_cliques(graph: Graph, k: int) -> int:
+    """Number of k-cliques by exhaustive combination testing."""
+    count = 0
+    for combo in combinations(range(graph.n_vertices), k):
+        if all(graph.are_adjacent(a, b) for a, b in combinations(combo, 2)):
+            count += 1
+    return count
+
+
+def _vertex_set_connected(graph: Graph, vertices: Tuple[int, ...]) -> bool:
+    members = set(vertices)
+    seen = {vertices[0]}
+    stack = [vertices[0]]
+    while stack:
+        v = stack.pop()
+        for u in graph.neighbors(v):
+            if u in members and u not in seen:
+                seen.add(u)
+                stack.append(u)
+    return len(seen) == len(members)
+
+
+def brute_connected_induced(graph: Graph, k: int) -> int:
+    """Number of connected induced k-vertex subgraphs."""
+    return sum(
+        1
+        for combo in combinations(range(graph.n_vertices), k)
+        if _vertex_set_connected(graph, combo)
+    )
+
+
+def iter_connected_edge_sets(graph: Graph, k: int) -> Iterator[Tuple[int, ...]]:
+    """All connected k-edge subgraphs as edge-id tuples."""
+    for combo in combinations(range(graph.n_edges), k):
+        covered = set(graph.edge(combo[0]))
+        remaining = set(combo[1:])
+        changed = True
+        while remaining and changed:
+            changed = False
+            for e in list(remaining):
+                u, v = graph.edge(e)
+                if u in covered or v in covered:
+                    covered.update((u, v))
+                    remaining.discard(e)
+                    changed = True
+        if not remaining:
+            yield combo
+
+
+def brute_connected_edge_subgraphs(graph: Graph, k: int) -> int:
+    """Number of connected k-edge subgraphs."""
+    return sum(1 for _ in iter_connected_edge_sets(graph, k))
+
+
+def pattern_of_edge_set(graph: Graph, edges: Tuple[int, ...]) -> Pattern:
+    """Canonical pattern of an edge-id set."""
+    vertices = sorted({v for e in edges for v in graph.edge(e)})
+    position = {v: i for i, v in enumerate(vertices)}
+    labels = [graph.vertex_label(v) for v in vertices]
+    triples = []
+    for e in edges:
+        a, b = graph.edge(e)
+        pa, pb = position[a], position[b]
+        if pa > pb:
+            pa, pb = pb, pa
+        triples.append((pa, pb, graph.edge_label(e)))
+    return Pattern(labels, triples)
+
+
+def brute_motif_census(graph: Graph, k: int) -> Dict[Tuple, int]:
+    """Canonical code -> count of connected induced k-subgraphs."""
+    census: Dict[Tuple, int] = {}
+    for combo in combinations(range(graph.n_vertices), k):
+        if not _vertex_set_connected(graph, combo):
+            continue
+        position = {v: i for i, v in enumerate(combo)}
+        labels = [graph.vertex_label(v) for v in combo]
+        triples = []
+        for i, v in enumerate(combo):
+            for u, eid in graph.neighborhood(v):
+                j = position.get(u)
+                if j is not None and i < j:
+                    triples.append((i, j, graph.edge_label(eid)))
+        code = Pattern(labels, triples).canonical_code()
+        census[code] = census.get(code, 0) + 1
+    return census
+
+
+def brute_true_mni(graph: Graph, pattern: Pattern) -> int:
+    """MNI support over *all* isomorphisms (the definitional computation)."""
+    n = pattern.n_vertices
+    domains: List[set] = [set() for _ in range(n)]
+
+    match = [-1] * n
+    used: set = set()
+
+    def feasible(p: int, v: int) -> bool:
+        if v in used or graph.vertex_label(v) != pattern.vertex_labels[p]:
+            return False
+        for q, elabel in pattern.neighborhood(p):
+            if match[q] >= 0:
+                eid = graph.edge_between(v, match[q])
+                if eid < 0 or graph.edge_label(eid) != elabel:
+                    return False
+        return True
+
+    def extend(p: int) -> None:
+        if p == n:
+            for q in range(n):
+                domains[q].add(match[q])
+            return
+        for v in graph.vertices():
+            if feasible(p, v):
+                match[p] = v
+                used.add(v)
+                extend(p + 1)
+                used.discard(v)
+                match[p] = -1
+
+    extend(0)
+    return min((len(d) for d in domains), default=0)

@@ -1,0 +1,154 @@
+"""Tests for the FSM application (minimum image-based support)."""
+
+import pytest
+
+from repro import FractalContext, Pattern
+from repro.apps import fsm
+from repro.graph import erdos_renyi_graph, path_graph
+
+from conftest import (
+    brute_true_mni,
+    iter_connected_edge_sets,
+    pattern_of_edge_set,
+)
+
+
+def _ground_truth(graph, min_support, max_edges):
+    truth = {}
+    for k in range(1, max_edges + 1):
+        for combo in iter_connected_edge_sets(graph, k):
+            pattern = pattern_of_edge_set(graph, combo)
+            code = pattern.canonical_code()
+            if code not in truth:
+                truth[code] = brute_true_mni(graph, pattern)
+    return {code for code, support in truth.items() if support >= min_support}
+
+
+class TestFSMCorrectness:
+    @pytest.mark.parametrize("seed", [9, 21, 33])
+    def test_matches_ground_truth(self, seed):
+        graph = erdos_renyi_graph(30, 60, n_labels=2, seed=seed)
+        result = fsm(
+            FractalContext().from_graph(graph), min_support=4, max_edges=3
+        )
+        mined = {p.canonical_code() for p in result.frequent}
+        assert mined == _ground_truth(graph, 4, 3)
+
+    def test_supports_are_exact(self):
+        graph = erdos_renyi_graph(30, 60, n_labels=2, seed=9)
+        result = fsm(
+            FractalContext().from_graph(graph), min_support=4, max_edges=2
+        )
+        for pattern in result.frequent:
+            assert result.support_of(pattern) == brute_true_mni(graph, pattern)
+
+    def test_anti_monotonicity_of_result(self):
+        graph = erdos_renyi_graph(30, 70, n_labels=2, seed=12)
+        result = fsm(
+            FractalContext().from_graph(graph), min_support=4, max_edges=3
+        )
+        supports = {
+            p.canonical_code(): result.support_of(p) for p in result.frequent
+        }
+        # Every frequent 2+-edge pattern has all its one-smaller connected
+        # sub-patterns frequent with support at least its own.
+        for pattern in result.frequent:
+            if pattern.n_edges < 2:
+                continue
+            for skip in range(pattern.n_edges):
+                sub_edges = [
+                    e for i, e in enumerate(pattern.edges) if i != skip
+                ]
+                touched = sorted({v for a, b, _ in sub_edges for v in (a, b)})
+                remap = {v: i for i, v in enumerate(touched)}
+                sub = Pattern(
+                    [pattern.vertex_labels[v] for v in touched],
+                    [(remap[a], remap[b], l) for a, b, l in sub_edges],
+                )
+                if not sub.is_connected():
+                    continue
+                assert sub.canonical_code() in supports
+                assert supports[sub.canonical_code()] >= supports[
+                    pattern.canonical_code()
+                ]
+
+    def test_higher_support_fewer_patterns(self):
+        graph = erdos_renyi_graph(30, 70, n_labels=2, seed=13)
+        low = fsm(FractalContext().from_graph(graph), min_support=3, max_edges=2)
+        high = fsm(FractalContext().from_graph(graph), min_support=8, max_edges=2)
+        low_set = {p.canonical_code() for p in low.frequent}
+        high_set = {p.canonical_code() for p in high.frequent}
+        assert high_set <= low_set
+
+    def test_nothing_frequent(self):
+        graph = path_graph(4, labels=[1, 2, 3, 4])
+        result = fsm(
+            FractalContext().from_graph(graph), min_support=2, max_edges=3
+        )
+        assert not result.frequent
+        assert result.rounds == 1
+
+    def test_min_support_validation(self):
+        graph = path_graph(3)
+        with pytest.raises(ValueError):
+            fsm(FractalContext().from_graph(graph), min_support=0)
+
+
+class TestFSMOptions:
+    def test_graph_reduction_preserves_results(self):
+        graph = erdos_renyi_graph(35, 75, n_labels=3, seed=14)
+        plain = fsm(
+            FractalContext().from_graph(graph), min_support=4, max_edges=3
+        )
+        reduced = fsm(
+            FractalContext().from_graph(graph),
+            min_support=4,
+            max_edges=3,
+            reduce_input=True,
+        )
+        assert {p.canonical_code() for p in plain.frequent} == {
+            p.canonical_code() for p in reduced.frequent
+        }
+
+    def test_capped_mode_same_set(self):
+        graph = erdos_renyi_graph(30, 60, n_labels=2, seed=9)
+        exact = fsm(
+            FractalContext().from_graph(graph), min_support=4, max_edges=3
+        )
+        capped = fsm(
+            FractalContext().from_graph(graph),
+            min_support=4,
+            max_edges=3,
+            exact=False,
+        )
+        assert {p.canonical_code() for p in exact.frequent} == {
+            p.canonical_code() for p in capped.frequent
+        }
+
+    def test_cluster_engine_same_set(self):
+        from repro import ClusterConfig
+
+        graph = erdos_renyi_graph(30, 60, n_labels=2, seed=9)
+        seq = fsm(FractalContext().from_graph(graph), min_support=4, max_edges=3)
+        par = fsm(
+            FractalContext(
+                engine=ClusterConfig(workers=2, cores_per_worker=2)
+            ).from_graph(graph),
+            min_support=4,
+            max_edges=3,
+        )
+        assert {p.canonical_code() for p in seq.frequent} == {
+            p.canonical_code() for p in par.frequent
+        }
+
+    def test_result_helpers(self):
+        graph = erdos_renyi_graph(30, 60, n_labels=2, seed=9)
+        result = fsm(
+            FractalContext().from_graph(graph), min_support=4, max_edges=2
+        )
+        ordered = result.patterns
+        assert ordered == sorted(
+            ordered, key=lambda p: (p.n_edges, p.canonical_code())
+        )
+        assert result.total_simulated_seconds() > 0
+        assert result.rounds >= 1

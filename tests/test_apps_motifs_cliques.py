@@ -1,0 +1,152 @@
+"""Tests for the motifs and cliques applications."""
+
+import pytest
+
+from repro import FractalContext
+from repro.apps import (
+    KClistStrategy,
+    cliques,
+    cliques_fractoid,
+    cliques_optimized_fractoid,
+    count_cliques,
+    degeneracy_order,
+    motif_counts_ignoring_labels,
+    motifs,
+)
+from repro.graph import complete_graph, cycle_graph, erdos_renyi_graph
+from repro.pattern import PatternInterner
+from repro.runtime import Metrics
+
+from conftest import brute_cliques, brute_motif_census
+
+
+class TestMotifs:
+    def test_census_matches_brute_force(self):
+        graph = erdos_renyi_graph(25, 60, n_labels=3, seed=4)
+        fg = FractalContext().from_graph(graph)
+        census = motifs(fg, 3)
+        expected = brute_motif_census(graph, 3)
+        assert {p.canonical_code(): c for p, c in census.items()} == expected
+
+    def test_k4_single_motif(self):
+        fg = FractalContext().from_graph(complete_graph(4))
+        census = motifs(fg, 4)
+        assert len(census) == 1
+        (pattern, count), = census.items()
+        assert pattern.is_clique()
+        assert count == 1
+
+    def test_cycle_motifs(self):
+        fg = FractalContext().from_graph(cycle_graph(5))
+        census = motifs(fg, 3)
+        # Only paths of 3 vertices exist in a C5.
+        assert sum(census.values()) == 5
+        assert len(census) == 1
+
+    def test_k_validation(self):
+        fg = FractalContext().from_graph(complete_graph(3))
+        with pytest.raises(ValueError):
+            motifs(fg, 0)
+
+    def test_label_collapse(self):
+        graph = erdos_renyi_graph(25, 60, n_labels=3, seed=4)
+        fg = FractalContext().from_graph(graph)
+        labeled = motifs(fg, 3)
+        collapsed = motif_counts_ignoring_labels(labeled)
+        assert sum(collapsed.values()) == sum(labeled.values())
+        assert len(collapsed) <= len(labeled)
+        assert all(
+            set(p.vertex_labels) == {0} for p in collapsed
+        )
+
+
+class TestCliques:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_counts_match_brute_force(self, k):
+        graph = erdos_renyi_graph(25, 110, seed=5)
+        fg = FractalContext().from_graph(graph)
+        assert count_cliques(fg, k) == brute_cliques(graph, k)
+
+    def test_listing_returns_cliques(self):
+        graph = erdos_renyi_graph(20, 80, seed=6)
+        fg = FractalContext().from_graph(graph)
+        for result in cliques(fg, 3):
+            a, b, c = result.vertices
+            assert graph.are_adjacent(a, b)
+            assert graph.are_adjacent(b, c)
+            assert graph.are_adjacent(a, c)
+
+    def test_k_validation(self):
+        fg = FractalContext().from_graph(complete_graph(3))
+        with pytest.raises(ValueError):
+            cliques_fractoid(fg, 0)
+
+
+class TestDegeneracyOrder:
+    def test_is_permutation(self):
+        graph = erdos_renyi_graph(30, 70, seed=7)
+        rank = degeneracy_order(graph)
+        assert sorted(rank) == list(range(30))
+
+    def test_clique_ordering_valid(self):
+        graph = complete_graph(5)
+        rank = degeneracy_order(graph)
+        assert sorted(rank) == list(range(5))
+
+    def test_empty_graph(self):
+        from repro.graph import GraphBuilder
+
+        graph = GraphBuilder().build()
+        assert degeneracy_order(graph) == []
+
+
+class TestKClist:
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_matches_generic_implementation(self, k):
+        graph = erdos_renyi_graph(25, 110, seed=5)
+        fg = FractalContext().from_graph(graph)
+        generic = count_cliques(fg, k)
+        optimized = cliques_optimized_fractoid(
+            FractalContext().from_graph(graph), k
+        ).count()
+        assert optimized == generic
+
+    def test_no_filter_needed(self):
+        # Every enumerated subgraph of the KClist strategy is a clique.
+        graph = erdos_renyi_graph(20, 80, seed=6)
+        fg = FractalContext().from_graph(graph)
+        for result in cliques_optimized_fractoid(fg, 3).subgraphs():
+            assert len(result.edges) == 3
+
+    def test_lower_extension_cost_than_generic(self):
+        graph = erdos_renyi_graph(40, 250, seed=8)
+        generic = cliques_fractoid(
+            FractalContext().from_graph(graph), 4
+        ).execute(collect="count")
+        optimized = cliques_optimized_fractoid(
+            FractalContext().from_graph(graph), 4
+        ).execute(collect="count")
+        assert optimized.result_count == generic.result_count
+        assert (
+            optimized.metrics.extension_tests < generic.metrics.extension_tests
+        )
+
+    def test_strategy_reset(self):
+        graph = erdos_renyi_graph(15, 40, seed=9)
+        strategy = KClistStrategy(graph, Metrics(), PatternInterner())
+        subgraph = strategy.make_subgraph()
+        strategy.push(subgraph, 0)
+        strategy.reset_state()
+        subgraph.clear()
+        # After a reset the strategy accepts a fresh enumeration.
+        assert strategy.extensions(subgraph) == list(graph.vertices())
+
+    def test_cluster_engine_compatible(self):
+        from repro import ClusterConfig
+
+        graph = erdos_renyi_graph(25, 110, seed=5)
+        config = ClusterConfig(workers=2, cores_per_worker=2)
+        count = cliques_optimized_fractoid(
+            FractalContext(engine=config).from_graph(graph), 3
+        ).count()
+        assert count == brute_cliques(graph, 3)

@@ -1,0 +1,160 @@
+"""Tests for subgraph querying, keyword search and triangles."""
+
+import pytest
+
+from repro import FractalContext, Pattern
+from repro.apps import (
+    QUERY_PATTERNS,
+    build_inverted_index,
+    count_query_matches,
+    count_triangles,
+    keyword_fractoid,
+    keyword_search,
+    query_subgraphs,
+)
+from repro.graph import (
+    GraphBuilder,
+    complete_graph,
+    erdos_renyi_graph,
+    wikidata_like,
+)
+from repro.pattern import count_pattern_matches
+
+from conftest import brute_cliques
+
+
+class TestQueryPatterns:
+    def test_catalogue_complete(self):
+        assert set(QUERY_PATTERNS) == {f"q{i}" for i in range(1, 9)}
+
+    def test_stated_properties(self):
+        # q1, q4, q5 are cliques; q3 is a subgraph of q7.
+        assert QUERY_PATTERNS["q1"].is_clique()
+        assert QUERY_PATTERNS["q4"].is_clique()
+        assert QUERY_PATTERNS["q5"].is_clique()
+        assert QUERY_PATTERNS["q7"].n_vertices > QUERY_PATTERNS["q3"].n_vertices
+        for pattern in QUERY_PATTERNS.values():
+            assert pattern.is_connected()
+
+
+class TestSubgraphQuerying:
+    @pytest.mark.parametrize("name", ["q1", "q2", "q3", "q4", "q6", "q8"])
+    def test_counts_match_oracle(self, name):
+        graph = erdos_renyi_graph(25, 80, seed=5)
+        fg = FractalContext().from_graph(graph)
+        pattern = QUERY_PATTERNS[name]
+        assert count_query_matches(fg, pattern) == count_pattern_matches(
+            pattern, graph
+        )
+
+    def test_subgraphs_contain_pattern_edges(self):
+        graph = erdos_renyi_graph(20, 70, seed=6)
+        fg = FractalContext().from_graph(graph)
+        pattern = QUERY_PATTERNS["q3"]
+        for result in query_subgraphs(fg, pattern):
+            assert len(result.edges) == pattern.n_edges
+            assert len(result.vertices) == pattern.n_vertices
+
+    def test_triangle_query_equals_cliques(self):
+        graph = erdos_renyi_graph(25, 80, seed=7)
+        fg = FractalContext().from_graph(graph)
+        assert count_query_matches(fg, Pattern.clique(3)) == brute_cliques(
+            graph, 3
+        )
+
+
+class TestTriangles:
+    def test_counts(self):
+        graph = erdos_renyi_graph(30, 110, seed=8)
+        fg = FractalContext().from_graph(graph)
+        expected = brute_cliques(graph, 3)
+        assert count_triangles(fg) == expected
+        assert count_triangles(fg, optimized=True) == expected
+
+    def test_k4_has_four_triangles(self):
+        fg = FractalContext().from_graph(complete_graph(4))
+        assert count_triangles(fg) == 4
+
+
+def _keyword_graph():
+    """Small deterministic keyword graph: a path with annotated edges."""
+    builder = GraphBuilder()
+    for _ in range(5):
+        builder.add_vertex()
+    builder.add_edge(0, 1, keywords=["alpha"])
+    builder.add_edge(1, 2, keywords=["beta"])
+    builder.add_edge(2, 3, keywords=["alpha", "beta"])
+    builder.add_edge(3, 4, keywords=["gamma"])
+    return builder.build()
+
+
+class TestKeywordSearch:
+    def test_inverted_index(self):
+        graph = _keyword_graph()
+        index = build_inverted_index(graph, ["alpha", "beta", "missing"])
+        assert index[0] == {0, 2}
+        assert index[1] == {1, 2}
+        assert index[2] == set()
+
+    def test_minimal_covers(self):
+        graph = _keyword_graph()
+        fg = FractalContext().from_graph(graph)
+        result = keyword_search(fg, ["alpha", "beta"])
+        covers = {tuple(sorted(r.edges)) for r in result.subgraphs}
+        # Edge 2 alone covers both words; edges {0,1} together cover both.
+        # {1, 2} is NOT minimal: dropping edge 1 still covers the query.
+        assert (2,) in covers
+        assert (0, 1) in covers
+        assert (1, 2) not in covers
+
+    def test_every_result_covers_query(self):
+        graph = wikidata_like(scale=0.25)
+        fg = FractalContext().from_graph(graph)
+        query = ["paris", "revolution"]
+        result = keyword_search(fg, query)
+        query_set = frozenset(query)
+        for subgraph in result.subgraphs:
+            words = set()
+            for v in subgraph.vertices:
+                words |= graph.vertex_keywords(v)
+            for e in subgraph.edges:
+                words |= graph.edge_keywords(e)
+            assert query_set <= words
+
+    def test_results_bounded_by_query_length(self):
+        graph = wikidata_like(scale=0.25)
+        fg = FractalContext().from_graph(graph)
+        query = ["paris", "revolution", "author"]
+        result = keyword_search(fg, query)
+        assert all(len(r.edges) <= len(query) for r in result.subgraphs)
+
+    def test_graph_reduction_preserves_results(self):
+        graph = wikidata_like(scale=0.25)
+        query = ["paris", "revolution"]
+        full = keyword_search(FractalContext().from_graph(graph), query)
+        reduced = keyword_search(
+            FractalContext().from_graph(graph), query, use_graph_reduction=True
+        )
+        assert len(full.subgraphs) == len(reduced.subgraphs)
+        # Map reduced ids back to original ids and compare edge sets.
+        assert reduced.reduction is not None
+        full_sets = {frozenset(r.edges) for r in full.subgraphs}
+        mapped = {
+            frozenset(reduced.reduction.original_edges(r.edges))
+            for r in reduced.subgraphs
+        }
+        assert mapped == full_sets
+
+    def test_graph_reduction_cuts_extension_cost(self):
+        graph = wikidata_like(scale=0.4)
+        query = ["paris", "revolution"]
+        full = keyword_search(FractalContext().from_graph(graph), query)
+        reduced = keyword_search(
+            FractalContext().from_graph(graph), query, use_graph_reduction=True
+        )
+        assert reduced.extension_cost < full.extension_cost
+
+    def test_empty_query_rejected(self):
+        fg = FractalContext().from_graph(_keyword_graph())
+        with pytest.raises(ValueError):
+            keyword_fractoid(fg, [])

@@ -1,0 +1,159 @@
+"""Tests for the Arabesque-like BFS engine and ODAG storage."""
+
+import pytest
+
+from repro import FractalContext
+from repro.apps import motifs_fractoid, triangles_fractoid
+from repro.baselines import (
+    BFSConfig,
+    ODAG,
+    ODAGStore,
+    SimulatedOOM,
+    arabesque_run,
+    run_bfs,
+)
+from repro.graph import erdos_renyi_graph
+
+from conftest import brute_cliques, brute_motif_census
+
+
+class TestODAG:
+    def test_add_and_sizes(self):
+        odag = ODAG(3)
+        odag.add((1, 2, 3))
+        odag.add((1, 2, 4))
+        assert odag.n_embeddings == 2
+        assert [len(d) for d in odag.domains] == [1, 1, 2]
+        assert len(odag.connections[0]) == 1  # (1, 2) shared
+        assert len(odag.connections[1]) == 2
+
+    def test_compression_bound(self):
+        odag = ODAG(3)
+        for i in range(50):
+            odag.add((0, 1, i))
+        assert odag.total_bytes() < odag.uncompressed_bytes()
+
+    def test_store_per_pattern(self):
+        store = ODAGStore()
+        store.add("p1", (1, 2))
+        store.add("p1", (1, 3))
+        store.add("p2", (5, 6, 7))
+        assert store.n_patterns == 2
+        assert store.n_embeddings == 3
+        assert store.total_bytes() > 0
+        assert store.compression_ratio() >= 0.0
+
+    def test_more_patterns_more_bytes(self):
+        # The Table 2 effect: same embeddings split over more patterns
+        # cost more (per-pattern overhead).
+        single = ODAGStore()
+        multi = ODAGStore()
+        for i in range(40):
+            single.add("p", (i, i + 1))
+            multi.add(f"p{i % 10}", (i, i + 1))
+        assert multi.total_bytes() > single.total_bytes()
+
+
+class TestBFSEngine:
+    def test_results_match_fractal(self):
+        graph = erdos_renyi_graph(30, 80, seed=3)
+        fractal_count = triangles_fractoid(
+            FractalContext().from_graph(graph)
+        ).count()
+        report = arabesque_run(
+            triangles_fractoid(FractalContext().from_graph(graph))
+        )
+        assert not report.oom
+        assert report.result_count == fractal_count == brute_cliques(graph, 3)
+
+    def test_motif_census_matches(self):
+        graph = erdos_renyi_graph(25, 60, n_labels=2, seed=4)
+        report = arabesque_run(
+            motifs_fractoid(FractalContext().from_graph(graph), 3)
+        )
+        (view,) = report.details["aggregations"].values()
+        census = {p.canonical_code(): c for p, c in view.items()}
+        assert census == brute_motif_census(graph, 3)
+
+    def test_levels_recorded(self):
+        graph = erdos_renyi_graph(25, 60, seed=4)
+        report = arabesque_run(
+            FractalContext().from_graph(graph).vfractoid().expand(3)
+        )
+        levels = report.details["levels"]
+        assert [l.level for l in levels] == [1, 2, 3]
+        assert all(l.embeddings > 0 for l in levels)
+        assert all(l.odag_bytes > 0 for l in levels)
+
+    def test_memory_grows_with_depth(self):
+        graph = erdos_renyi_graph(40, 140, seed=5)
+        report = arabesque_run(
+            FractalContext().from_graph(graph).vfractoid().expand(3)
+        )
+        levels = report.details["levels"]
+        assert levels[-1].odag_bytes > levels[0].odag_bytes
+
+    def test_oom_on_small_budget(self):
+        graph = erdos_renyi_graph(40, 140, seed=5)
+        config = BFSConfig(memory_budget_bytes=2_000)
+        report = arabesque_run(
+            FractalContext().from_graph(graph).vfractoid().expand(3),
+            config=config,
+        )
+        assert report.oom
+        assert report.runtime_seconds == float("inf")
+
+    def test_oom_raises_from_run_bfs(self):
+        graph = erdos_renyi_graph(40, 140, seed=5)
+        from repro.core import VertexInducedStrategy
+        from repro.core.primitives import Expand
+
+        with pytest.raises(SimulatedOOM):
+            run_bfs(
+                graph,
+                VertexInducedStrategy,
+                [Expand(), Expand(), Expand()],
+                config=BFSConfig(memory_budget_bytes=2_000),
+            )
+
+    def test_fsm_workflow_single_pass(self):
+        # Arabesque runs FSM without from-scratch recomputation: the
+        # aggregation filter reads the aggregation finalized earlier in
+        # the same pass.
+        from repro.apps.fsm import _support_aggregate
+
+        graph = erdos_renyi_graph(30, 60, n_labels=2, seed=9)
+        context = FractalContext()
+        fg = context.from_graph(graph)
+        bootstrap = _support_aggregate(fg.efractoid().expand(1), 4, True)
+        workflow = _support_aggregate(
+            bootstrap.filter_agg(
+                "support", lambda s, agg: s.pattern() in agg
+            ).expand(1),
+            4,
+            True,
+        )
+        report = arabesque_run(workflow)
+        assert not report.oom
+        fractal = fsm_reference = None
+        from repro.apps import fsm
+
+        reference = fsm(
+            FractalContext().from_graph(graph), min_support=4, max_edges=2
+        )
+        views = report.details["aggregations"]
+        mined = set()
+        for view in views.values():
+            mined |= {p.canonical_code() for p in view.keys()}
+        expected = {p.canonical_code() for p in reference.frequent}
+        assert mined == expected
+
+    def test_superstep_overheads_accumulate(self):
+        graph = erdos_renyi_graph(25, 60, seed=4)
+        fast = arabesque_run(
+            FractalContext().from_graph(graph).vfractoid().expand(2)
+        )
+        slow = arabesque_run(
+            FractalContext().from_graph(graph).vfractoid().expand(3)
+        )
+        assert slow.runtime_seconds > fast.runtime_seconds

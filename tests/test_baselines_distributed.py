@@ -1,0 +1,72 @@
+"""Tests for the QKCount-like and GraphX-like comparators."""
+
+import pytest
+
+from repro.baselines import (
+    DistributedConfig,
+    graphx_triangles,
+    qkcount_cliques,
+)
+from repro.graph import complete_graph, erdos_renyi_graph
+
+from conftest import brute_cliques
+
+
+class TestQKCount:
+    @pytest.mark.parametrize("k", [2, 3, 4, 5])
+    def test_counts_match_brute_force(self, k):
+        graph = erdos_renyi_graph(25, 110, seed=5)
+        report = qkcount_cliques(graph, k)
+        assert report.result_count == brute_cliques(graph, k)
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            qkcount_cliques(erdos_renyi_graph(5, 4, seed=1), 1)
+
+    def test_rounds_grow_with_k(self):
+        graph = erdos_renyi_graph(25, 110, seed=5)
+        r4 = qkcount_cliques(graph, 4)
+        r6 = qkcount_cliques(graph, 6)
+        assert r6.details["rounds"] > r4.details["rounds"]
+        assert r6.runtime_seconds > r4.runtime_seconds
+
+    def test_io_factor_slows_runtime(self):
+        graph = erdos_renyi_graph(40, 200, seed=6)
+        fast = qkcount_cliques(
+            graph, 4, DistributedConfig(io_factor=1.0, round_overhead_s=0.0)
+        )
+        slow = qkcount_cliques(
+            graph, 4, DistributedConfig(io_factor=4.0, round_overhead_s=0.0)
+        )
+        assert slow.runtime_seconds > fast.runtime_seconds
+        assert slow.result_count == fast.result_count
+
+    def test_complete_graph(self):
+        k5 = complete_graph(5)
+        assert qkcount_cliques(k5, 5).result_count == 1
+        assert qkcount_cliques(k5, 3).result_count == 10
+
+
+class TestGraphX:
+    def test_triangles_match_brute_force(self):
+        graph = erdos_renyi_graph(30, 110, seed=8)
+        report = graphx_triangles(graph)
+        assert report.result_count == brute_cliques(graph, 3)
+
+    def test_k4_triangles(self):
+        assert graphx_triangles(complete_graph(4)).result_count == 4
+
+    def test_more_cores_faster(self):
+        graph = erdos_renyi_graph(40, 200, seed=9)
+        small = graphx_triangles(
+            graph, DistributedConfig(workers=1, cores_per_worker=1)
+        )
+        large = graphx_triangles(
+            graph, DistributedConfig(workers=4, cores_per_worker=8)
+        )
+        assert large.runtime_seconds < small.runtime_seconds
+
+    def test_work_units_recorded(self):
+        graph = erdos_renyi_graph(30, 110, seed=8)
+        report = graphx_triangles(graph)
+        assert report.work_units > 0

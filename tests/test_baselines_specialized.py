@@ -1,0 +1,215 @@
+"""Tests for SEED, ScaleMine, MRSUB, GraphFrames and single-thread baselines."""
+
+import pytest
+
+from repro import FractalContext, Pattern
+from repro.apps import QUERY_PATTERNS, fsm, motifs_fractoid, query_fractoid
+from repro.baselines import (
+    GraphFramesConfig,
+    MRSubConfig,
+    ScaleMineConfig,
+    WorkCounter,
+    count_embeddings,
+    decompose_pattern,
+    enumerate_embeddings,
+    grami_fsm,
+    graphframes_cliques,
+    graphframes_triangles,
+    gtries_cliques,
+    gtries_motifs,
+    kclist_cliques,
+    mrsub_motifs,
+    neo4j_triangles,
+    scalemine_fsm,
+    seed_query,
+    singlethread_query,
+)
+from repro.graph import erdos_renyi_graph, star_graph
+
+from conftest import brute_cliques, brute_motif_census
+
+
+class TestMatchwork:
+    def test_counts_all_isomorphisms(self):
+        star = star_graph(4)
+        p3 = Pattern.from_edge_list([(0, 1), (1, 2)])
+        counter = WorkCounter()
+        assert count_embeddings(star, p3, counter, distinct=False) == 12
+        assert counter.tests > 0
+        assert counter.embeddings == 12
+
+    def test_distinct_counts_instances(self):
+        star = star_graph(4)
+        p3 = Pattern.from_edge_list([(0, 1), (1, 2)])
+        assert count_embeddings(star, p3, distinct=True) == 6
+
+    def test_limit_stops_early(self):
+        graph = erdos_renyi_graph(30, 100, seed=3)
+        p = Pattern.clique(3)
+        counter_all = WorkCounter()
+        total = count_embeddings(graph, p, counter_all, distinct=True)
+        counter_limited = WorkCounter()
+        limited = count_embeddings(
+            graph, p, counter_limited, distinct=True, limit=2
+        )
+        assert total > 2
+        assert limited == 2
+        assert counter_limited.tests < counter_all.tests
+
+    def test_embeddings_valid(self):
+        graph = erdos_renyi_graph(20, 60, seed=4)
+        p = QUERY_PATTERNS["q3"]
+        counter = WorkCounter()
+        for embedding in enumerate_embeddings(graph, p, counter):
+            for a, b, _ in p.edges:
+                assert graph.are_adjacent(embedding[a], embedding[b])
+
+
+class TestSeed:
+    def test_small_patterns_direct(self):
+        assert decompose_pattern(Pattern.clique(3)) is None
+
+    def test_decomposition_valid(self):
+        for name in ("q4", "q5", "q6", "q7", "q8"):
+            pattern = QUERY_PATTERNS[name]
+            halves = decompose_pattern(pattern)
+            if halves is None:
+                continue
+            half1, half2 = halves
+            assert half1.pattern.is_connected()
+            assert half2.pattern.is_connected()
+            assert half1.pattern.n_edges + half2.pattern.n_edges == \
+                pattern.n_edges
+            assert set(half1.to_query) & set(half2.to_query)
+
+    @pytest.mark.parametrize("name", ["q1", "q2", "q3", "q4", "q6", "q7", "q8"])
+    def test_counts_match_fractal(self, name):
+        graph = erdos_renyi_graph(25, 85, seed=5)
+        pattern = QUERY_PATTERNS[name]
+        fractal = query_fractoid(
+            FractalContext().from_graph(graph), pattern
+        ).count()
+        report = seed_query(graph, pattern)
+        assert report.result_count == fractal
+
+    def test_q7_uses_join_plan(self):
+        report = seed_query(
+            erdos_renyi_graph(25, 85, seed=5), QUERY_PATTERNS["q7"]
+        )
+        assert report.details["plan"] == "join"
+
+
+class TestScaleMineAndGrami:
+    @pytest.mark.parametrize("seed", [9, 21])
+    def test_same_frequent_set_as_fractal(self, seed):
+        graph = erdos_renyi_graph(30, 60, n_labels=2, seed=seed)
+        reference = {
+            p.canonical_code()
+            for p in fsm(
+                FractalContext().from_graph(graph), min_support=4, max_edges=3
+            ).frequent
+        }
+        grami = {p.canonical_code() for p in grami_fsm(graph, 4, 3).result}
+        scale = {p.canonical_code() for p in scalemine_fsm(graph, 4, 3).result}
+        assert grami == reference
+        assert scale == reference
+
+    def test_scalemine_details(self):
+        graph = erdos_renyi_graph(30, 60, n_labels=2, seed=9)
+        report = scalemine_fsm(graph, 4, 3)
+        assert report.details["candidates"] >= 0
+        assert report.details["phase1_units"] > 0
+        assert report.runtime_seconds >= ScaleMineConfig().phase1_overhead_s
+
+    def test_grami_early_termination_saves_work(self):
+        graph = erdos_renyi_graph(40, 120, n_labels=1, seed=7)
+        low = grami_fsm(graph, 2, 2)
+        high = grami_fsm(graph, 60, 2)
+        # A low threshold saturates domains quickly; a high threshold
+        # forces full enumeration per candidate.
+        assert low.work_units < high.work_units
+
+
+class TestMRSub:
+    def test_census_matches(self):
+        graph = erdos_renyi_graph(25, 60, n_labels=2, seed=4)
+        report = mrsub_motifs(graph, 3)
+        assert not report.oom
+        census = {p.canonical_code(): c for p, c in report.result.items()}
+        assert census == brute_motif_census(graph, 3)
+
+    def test_oom_on_small_budget(self):
+        graph = erdos_renyi_graph(40, 140, seed=5)
+        report = mrsub_motifs(
+            graph, 4, MRSubConfig(memory_budget_bytes=2_000)
+        )
+        assert report.oom
+
+    def test_slower_than_fractal_shape(self):
+        # MRSUB materializes duplicated rows; Fractal enumerates once.
+        graph = erdos_renyi_graph(30, 80, n_labels=1, seed=6)
+        mrsub = mrsub_motifs(graph, 3)
+        fractal = motifs_fractoid(
+            FractalContext().from_graph(graph), 3
+        ).execute(collect=None)
+        assert mrsub.work_units > fractal.metrics.extension_tests
+
+
+class TestGraphFrames:
+    def test_triangles_match(self):
+        graph = erdos_renyi_graph(30, 110, seed=8)
+        report = graphframes_triangles(graph)
+        assert report.result_count == brute_cliques(graph, 3)
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_cliques_match(self, k):
+        graph = erdos_renyi_graph(25, 110, seed=5)
+        report = graphframes_cliques(graph, k)
+        assert report.result_count == brute_cliques(graph, k)
+
+    def test_oom_on_small_budget(self):
+        graph = erdos_renyi_graph(40, 200, seed=9)
+        report = graphframes_cliques(
+            graph, 4, GraphFramesConfig(memory_budget_bytes=500)
+        )
+        assert report.oom
+
+    def test_validates_k(self):
+        with pytest.raises(ValueError):
+            graphframes_cliques(erdos_renyi_graph(5, 4, seed=1), 1)
+
+
+class TestSingleThread:
+    def test_gtries_motifs_census(self):
+        graph = erdos_renyi_graph(25, 60, n_labels=2, seed=4)
+        report = gtries_motifs(graph, 3)
+        census = {p.canonical_code(): c for p, c in report.result.items()}
+        assert census == brute_motif_census(graph, 3)
+
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_clique_counters_agree(self, k):
+        graph = erdos_renyi_graph(25, 110, seed=5)
+        expected = brute_cliques(graph, k)
+        assert gtries_cliques(graph, k).result_count == expected
+        assert kclist_cliques(graph, k).result_count == expected
+
+    def test_neo4j_triangles(self):
+        graph = erdos_renyi_graph(30, 110, seed=8)
+        assert neo4j_triangles(graph).result_count == brute_cliques(graph, 3)
+
+    def test_singlethread_query(self):
+        graph = erdos_renyi_graph(25, 85, seed=5)
+        pattern = QUERY_PATTERNS["q2"]
+        fractal = query_fractoid(
+            FractalContext().from_graph(graph), pattern
+        ).count()
+        assert singlethread_query(graph, pattern).result_count == fractal
+
+    def test_specialized_rate_faster_than_framework(self):
+        # The same work takes less time at the specialized rate — the
+        # asymmetry the COST figure measures.
+        from repro.runtime import DEFAULT_COST_MODEL
+
+        units = 1_000_000
+        assert DEFAULT_COST_MODEL.specialized_seconds(units) < \
+            DEFAULT_COST_MODEL.seconds(units)

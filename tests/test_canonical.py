@@ -1,0 +1,112 @@
+"""Tests for Arabesque-style canonical extension checking."""
+
+import random
+from itertools import permutations
+
+from repro.graph import erdos_renyi_graph
+from repro.pattern import edge_adjacency, is_canonical_extension, vertex_adjacency
+
+
+class TestCanonicalRule:
+    def test_empty_prefix_always_canonical(self):
+        assert is_canonical_extension([], 5, lambda a, b: True)
+
+    def test_smaller_than_first_rejected(self):
+        adjacent = lambda a, b: True  # noqa: E731
+        assert not is_canonical_extension([3], 1, adjacent)
+
+    def test_requires_connection(self):
+        adjacent = lambda a, b: False  # noqa: E731
+        assert not is_canonical_extension([1], 2, adjacent)
+
+    def test_unique_generation_order(self):
+        # For every connected vertex set of a random graph, exactly one
+        # addition order passes the canonicality checks.
+        graph = erdos_renyi_graph(12, 25, seed=4)
+        adjacent = vertex_adjacency(graph)
+        rng = random.Random(7)
+        tested = 0
+        for _ in range(300):
+            size = rng.randint(2, 4)
+            start = rng.randrange(graph.n_vertices)
+            members = {start}
+            while len(members) < size:
+                frontier = {
+                    u
+                    for v in members
+                    for u in graph.neighbors(v)
+                    if u not in members
+                }
+                if not frontier:
+                    break
+                members.add(rng.choice(sorted(frontier)))
+            if len(members) != size:
+                continue
+            tested += 1
+            canonical_orders = 0
+            for order in permutations(sorted(members)):
+                ok = True
+                for i in range(1, size):
+                    if not is_canonical_extension(order[:i], order[i], adjacent):
+                        ok = False
+                        break
+                if ok:
+                    canonical_orders += 1
+            assert canonical_orders == 1, sorted(members)
+        assert tested > 50
+
+    def test_unique_generation_order_edges(self):
+        graph = erdos_renyi_graph(10, 20, seed=6)
+        adjacent = edge_adjacency(graph)
+        rng = random.Random(8)
+        tested = 0
+        for _ in range(200):
+            size = rng.randint(2, 3)
+            start = rng.randrange(graph.n_edges)
+            members = {start}
+            while len(members) < size:
+                frontier = set()
+                for e in members:
+                    for endpoint in graph.edge(e):
+                        for eid in graph.incident_edges(endpoint):
+                            if eid not in members:
+                                frontier.add(eid)
+                if not frontier:
+                    break
+                members.add(rng.choice(sorted(frontier)))
+            if len(members) != size:
+                continue
+            tested += 1
+            canonical_orders = sum(
+                1
+                for order in permutations(sorted(members))
+                if all(
+                    is_canonical_extension(order[:i], order[i], adjacent)
+                    for i in range(1, size)
+                )
+            )
+            assert canonical_orders == 1, sorted(members)
+        assert tested > 50
+
+    def test_first_word_must_be_minimum(self):
+        # The only passing order starts at the smallest id; directly check
+        # that orders starting elsewhere fail.
+        adjacent = lambda a, b: True  # noqa: E731
+        assert is_canonical_extension([2], 5, adjacent)
+        assert not is_canonical_extension([5], 2, adjacent)
+
+    def test_late_small_word_rejected(self):
+        # words [1, 4]; extension 2 adjacent to 1 but 4 > 2 follows the
+        # first neighbor -> 2 should have been added before 4.
+        def adjacent(a, b):
+            return {a, b} in ({1, 2}, {1, 4}, {2, 4})
+
+        assert not is_canonical_extension([1, 4], 2, adjacent)
+
+    def test_late_small_word_accepted_when_connected_late(self):
+        # words [1, 4]; extension 2 adjacent only to 4: first neighbor is
+        # at the last position, nothing follows it -> canonical.
+        def adjacent(a, b):
+            return {a, b} in ({1, 4}, {4, 2})
+
+        assert is_canonical_extension([1, 4], 2, adjacent)

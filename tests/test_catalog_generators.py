@@ -1,0 +1,134 @@
+"""Tests for the pattern catalog and the extra graph generators."""
+
+import pytest
+
+from repro import FractalContext
+from repro.apps import motif_counts_ignoring_labels, motifs
+from repro.graph import (
+    erdos_renyi_graph,
+    rmat_graph,
+    watts_strogatz_graph,
+)
+from repro.pattern import all_connected_patterns, named_patterns
+
+
+class TestPatternCatalog:
+    @pytest.mark.parametrize(
+        "k,expected", [(1, 1), (2, 1), (3, 2), (4, 6), (5, 21)]
+    )
+    def test_connected_graph_counts(self, k, expected):
+        # OEIS A001349: connected graphs on k nodes.
+        assert len(all_connected_patterns(k)) == expected
+
+    def test_all_distinct(self):
+        patterns = all_connected_patterns(5)
+        codes = {p.canonical_code() for p in patterns}
+        assert len(codes) == len(patterns)
+
+    def test_all_connected(self):
+        assert all(p.is_connected() for p in all_connected_patterns(5))
+
+    def test_sorted_by_edges(self):
+        patterns = all_connected_patterns(4)
+        sizes = [p.n_edges for p in patterns]
+        assert sizes == sorted(sizes)
+        assert sizes[0] == 3  # trees first
+        assert sizes[-1] == 6  # the clique last
+
+    def test_validates_k(self):
+        with pytest.raises(ValueError):
+            all_connected_patterns(0)
+
+    def test_custom_label(self):
+        patterns = all_connected_patterns(3, label=7)
+        assert all(set(p.vertex_labels) == {7} for p in patterns)
+
+    def test_catalog_covers_motif_census(self):
+        """Every motif found in a random graph is in the catalog."""
+        graph = erdos_renyi_graph(25, 70, seed=3)
+        census = motif_counts_ignoring_labels(
+            motifs(FractalContext().from_graph(graph), 4)
+        )
+        catalog_codes = {
+            p.canonical_code() for p in all_connected_patterns(4)
+        }
+        assert {p.canonical_code() for p in census} <= catalog_codes
+
+    def test_named_patterns(self):
+        catalog = named_patterns()
+        assert catalog["triangle"].is_clique()
+        assert catalog["diamond"].n_edges == 5
+        assert catalog["house"].n_vertices == 5
+        # Names map to distinct isomorphism classes.
+        codes = {p.canonical_code() for p in catalog.values()}
+        assert len(codes) == len(catalog)
+
+    def test_named_patterns_with_label(self):
+        catalog = named_patterns(label=2)
+        assert set(catalog["square"].vertex_labels) == {2}
+
+
+class TestWattsStrogatz:
+    def test_shape_and_determinism(self):
+        g1 = watts_strogatz_graph(50, 4, 0.1, seed=5)
+        g2 = watts_strogatz_graph(50, 4, 0.1, seed=5)
+        assert g1.n_vertices == 50
+        assert list(g1.iter_edge_tuples()) == list(g2.iter_edge_tuples())
+
+    def test_zero_rewire_is_ring_lattice(self):
+        g = watts_strogatz_graph(20, 4, 0.0)
+        assert g.n_edges == 40
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        assert g.are_adjacent(0, 1)
+        assert g.are_adjacent(0, 2)
+
+    def test_high_clustering_vs_er(self):
+        ws = watts_strogatz_graph(80, 6, 0.05, seed=7)
+        er = erdos_renyi_graph(80, ws.n_edges, seed=7)
+        fc = FractalContext()
+
+        def triangles(graph):
+            return (
+                fc.from_graph(graph)
+                .vfractoid()
+                .expand(1)
+                .filter(lambda s, c: s.edges_added_last() == s.n_vertices - 1)
+                .explore(3)
+                .count()
+            )
+
+        assert triangles(ws) > 2 * triangles(er)
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(10, 3, 0.1)  # odd neighbors
+        with pytest.raises(ValueError):
+            watts_strogatz_graph(4, 4, 0.1)  # too small
+
+
+class TestRMAT:
+    def test_shape_and_determinism(self):
+        g1 = rmat_graph(6, 120, seed=9)
+        g2 = rmat_graph(6, 120, seed=9)
+        assert g1.n_vertices == 64
+        assert g1.n_edges <= 120
+        assert g1.n_edges > 60  # most draws succeed
+        assert list(g1.iter_edge_tuples()) == list(g2.iter_edge_tuples())
+
+    def test_skewed_degrees(self):
+        g = rmat_graph(8, 600, seed=10)
+        degrees = sorted(g.degree(v) for v in g.vertices())
+        assert degrees[-1] >= 4 * max(1, degrees[len(degrees) // 2])
+
+    def test_validates_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat_graph(4, 10, a=0.5, b=0.3, c=0.3)
+
+    def test_no_self_loops_or_duplicates(self):
+        g = rmat_graph(5, 80, seed=11)
+        seen = set()
+        for e in g.edges():
+            u, v = g.edge(e)
+            assert u != v
+            assert (u, v) not in seen
+            seen.add((u, v))

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "motifs"])
+        assert args.dataset == "mico"
+        assert args.k == 3
+        assert args.workers == 1
+
+    def test_cluster_flags(self):
+        args = build_parser().parse_args(
+            ["run", "cliques", "--workers", "2", "--cores", "8"]
+        )
+        assert args.workers == 2
+        assert args.cores == 8
+
+
+class TestCommands:
+    def test_datasets(self, capsys):
+        assert main(["datasets", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "mico" in out
+        assert "wikidata" in out
+
+    def test_run_cliques(self, capsys):
+        assert main(
+            ["run", "cliques", "--dataset", "mico", "--scale", "0.3", "--k", "3"]
+        ) == 0
+        assert "3-cliques" in capsys.readouterr().out
+
+    def test_run_motifs(self, capsys):
+        assert main(
+            ["run", "motifs", "--dataset", "mico", "--scale", "0.25", "--k", "3"]
+        ) == 0
+        assert "motifs" in capsys.readouterr().out
+
+    def test_run_fsm(self, capsys):
+        assert main(
+            [
+                "run", "fsm", "--dataset", "mico", "--scale", "0.3",
+                "--support", "5", "--max-edges", "2",
+            ]
+        ) == 0
+        assert "FSM" in capsys.readouterr().out
+
+    def test_run_query(self, capsys):
+        assert main(
+            ["run", "query", "--dataset", "mico", "--scale", "0.3",
+             "--query", "q1"]
+        ) == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_run_keywords(self, capsys):
+        assert main(
+            [
+                "run", "keywords", "--dataset", "wikidata", "--scale", "0.2",
+                "--words", "paris", "revolution",
+            ]
+        ) == 0
+        assert "covers" in capsys.readouterr().out
+
+    def test_run_keywords_requires_words(self):
+        with pytest.raises(SystemExit):
+            main(["run", "keywords", "--dataset", "wikidata"])
+
+    def test_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            main(["run", "cliques", "--dataset", "nope"])
+
+    def test_unknown_query(self):
+        with pytest.raises(SystemExit):
+            main(["run", "query", "--query", "q99", "--scale", "0.2"])
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "nope"])
+
+    def test_run_on_cluster(self, capsys):
+        assert main(
+            [
+                "run", "cliques", "--dataset", "mico", "--scale", "0.3",
+                "--k", "3", "--workers", "2", "--cores", "2",
+            ]
+        ) == 0
+        assert "3-cliques" in capsys.readouterr().out

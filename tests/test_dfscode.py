@@ -1,0 +1,192 @@
+"""Tests for minimum DFS-code canonicalization, including property tests."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+from networkx.algorithms.isomorphism import (
+    GraphMatcher,
+    categorical_edge_match,
+    categorical_node_match,
+)
+
+from repro import Pattern
+from repro.pattern import code_to_edges, minimum_dfs_code
+
+
+def _random_connected(rng, n, n_vlabels=3, n_elabels=2, extra_max=None):
+    """Random connected labeled graph as (labels, edge triples)."""
+    nodes = list(range(n))
+    rng.shuffle(nodes)
+    edges = {}
+    for i in range(1, n):
+        a, b = nodes[i], nodes[rng.randrange(i)]
+        key = (min(a, b), max(a, b))
+        edges[key] = rng.randrange(n_elabels)
+    extra = rng.randint(0, extra_max if extra_max is not None else n)
+    for _ in range(extra):
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            key = (min(a, b), max(a, b))
+            edges.setdefault(key, rng.randrange(n_elabels))
+    labels = [rng.randrange(n_vlabels) for _ in range(n)]
+    return labels, [(a, b, l) for (a, b), l in edges.items()]
+
+
+def _permuted(labels, edges, perm):
+    new_labels = [0] * len(labels)
+    for old, label in enumerate(labels):
+        new_labels[perm[old]] = label
+    new_edges = [
+        (min(perm[a], perm[b]), max(perm[a], perm[b]), l) for a, b, l in edges
+    ]
+    return new_labels, new_edges
+
+
+class TestBasics:
+    def test_single_vertex(self):
+        code, mapping = minimum_dfs_code([7], [])
+        assert code == ((0, 0, 7, -1, -1),)
+        assert mapping == (0,)
+
+    def test_single_edge(self):
+        code, mapping = minimum_dfs_code([1, 2], [(0, 1, 5)])
+        assert code == ((0, 1, 1, 5, 2),)
+        # Vertex with the smaller label is discovered first.
+        assert mapping == (0, 1)
+
+    def test_single_edge_label_order(self):
+        code, mapping = minimum_dfs_code([2, 1], [(0, 1, 5)])
+        assert code == ((0, 1, 1, 5, 2),)
+        assert mapping == (1, 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_dfs_code([], [])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_dfs_code([0, 0, 0], [(0, 1, 0)])
+
+    def test_triangle_code_shape(self):
+        code, _ = minimum_dfs_code([0, 0, 0], [(0, 1, 0), (1, 2, 0), (0, 2, 0)])
+        assert len(code) == 3
+        # Forward, forward, backward.
+        assert code[0][:2] == (0, 1)
+        assert code[1][:2] == (1, 2)
+        assert code[2][:2] == (2, 0)
+
+    def test_code_reconstruction(self):
+        labels = [1, 0, 2, 0]
+        edges = [(0, 1, 0), (1, 2, 1), (2, 3, 0), (0, 3, 1)]
+        code, _ = minimum_dfs_code(labels, edges)
+        r_labels, r_edges = code_to_edges(code)
+        r_code, _ = minimum_dfs_code(list(r_labels), list(r_edges))
+        assert r_code == code
+
+    def test_mapping_is_permutation(self):
+        labels = [0, 1, 0, 1]
+        edges = [(0, 1, 0), (1, 2, 0), (2, 3, 0)]
+        _, mapping = minimum_dfs_code(labels, edges)
+        assert sorted(mapping) == [0, 1, 2, 3]
+
+
+class TestInvariance:
+    def test_relabeling_invariance_seeded(self):
+        rng = random.Random(99)
+        for _ in range(60):
+            n = rng.randint(2, 7)
+            labels, edges = _random_connected(rng, n)
+            code1, _ = minimum_dfs_code(labels, edges)
+            perm = list(range(n))
+            rng.shuffle(perm)
+            labels2, edges2 = _permuted(labels, edges, perm)
+            code2, _ = minimum_dfs_code(labels2, edges2)
+            assert code1 == code2
+
+    def test_distinctness_vs_networkx(self):
+        rng = random.Random(5)
+        for _ in range(60):
+            pair = []
+            for _ in range(2):
+                n = rng.randint(2, 6)
+                labels, edges = _random_connected(rng, n, 2, 2, extra_max=3)
+                pair.append((labels, edges))
+            (l1, e1), (l2, e2) = pair
+            same_code = (
+                minimum_dfs_code(l1, e1)[0] == minimum_dfs_code(l2, e2)[0]
+            )
+            g1, g2 = nx.Graph(), nx.Graph()
+            for i, l in enumerate(l1):
+                g1.add_node(i, label=l)
+            for a, b, l in e1:
+                g1.add_edge(a, b, label=l)
+            for i, l in enumerate(l2):
+                g2.add_node(i, label=l)
+            for a, b, l in e2:
+                g2.add_edge(a, b, label=l)
+            iso = GraphMatcher(
+                g1,
+                g2,
+                node_match=categorical_node_match("label", None),
+                edge_match=categorical_edge_match("label", None),
+            ).is_isomorphic()
+            assert same_code == iso
+
+    def test_mapping_consistency_under_relabeling(self):
+        # The canonical position of a vertex must be stable (up to
+        # automorphism orbit) across presentations — the property MNI
+        # support counting relies on.
+        rng = random.Random(17)
+        for _ in range(40):
+            n = rng.randint(2, 6)
+            labels, edges = _random_connected(rng, n)
+            pattern = Pattern(labels, edges)
+            orbit_of = pattern.canonical_position_orbits()
+            _, mapping = minimum_dfs_code(labels, edges)
+            perm = list(range(n))
+            rng.shuffle(perm)
+            labels2, edges2 = _permuted(labels, edges, perm)
+            _, mapping2 = minimum_dfs_code(labels2, edges2)
+            for v in range(n):
+                pos1 = mapping[v]
+                pos2 = mapping2[perm[v]]
+                assert orbit_of[pos1] == orbit_of[pos2]
+
+
+@st.composite
+def connected_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=6))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    return _random_connected(rng, n)
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(connected_graphs(), st.integers(min_value=0, max_value=10_000))
+    def test_relabeling_invariance_property(self, graph, perm_seed):
+        labels, edges = graph
+        n = len(labels)
+        code1, _ = minimum_dfs_code(labels, edges)
+        perm = list(range(n))
+        random.Random(perm_seed).shuffle(perm)
+        labels2, edges2 = _permuted(labels, edges, perm)
+        code2, _ = minimum_dfs_code(labels2, edges2)
+        assert code1 == code2
+
+    @settings(max_examples=40, deadline=None)
+    @given(connected_graphs())
+    def test_roundtrip_property(self, graph):
+        labels, edges = graph
+        code, _ = minimum_dfs_code(labels, edges)
+        r_labels, r_edges = code_to_edges(code)
+        assert minimum_dfs_code(list(r_labels), list(r_edges))[0] == code
+
+    @settings(max_examples=40, deadline=None)
+    @given(connected_graphs())
+    def test_code_edge_count_property(self, graph):
+        labels, edges = graph
+        code, _ = minimum_dfs_code(labels, edges)
+        assert len(code) == max(1, len(edges))

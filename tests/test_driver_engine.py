@@ -1,0 +1,170 @@
+"""Tests for the execution driver and sequential engine internals."""
+
+import pytest
+
+from repro import ClusterConfig, FractalContext
+from repro.core import Computation, Expand, Filter, VertexInducedStrategy
+from repro.graph import erdos_renyi_graph
+from repro.pattern import PatternInterner
+from repro.runtime import Metrics
+from repro.runtime.driver import execute_plan
+from repro.runtime.engine import run_step_sequential
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi_graph(20, 50, seed=4)
+
+
+class TestRunStepSequential:
+    def test_root_words_restriction(self, graph):
+        metrics = Metrics()
+        interner = PatternInterner()
+        strategy = VertexInducedStrategy(graph, metrics, interner)
+        computation = Computation(graph, metrics, interner)
+        emitted = []
+        run_step_sequential(
+            strategy,
+            [Expand()],
+            computation,
+            cached_uids=set(),
+            sink=lambda s: emitted.append(tuple(s.vertices)),
+            root_words=[0, 1, 2],
+        )
+        assert sorted(emitted) == [(0,), (1,), (2,)]
+
+    def test_empty_root_words(self, graph):
+        metrics = Metrics()
+        interner = PatternInterner()
+        strategy = VertexInducedStrategy(graph, metrics, interner)
+        computation = Computation(graph, metrics, interner)
+        run_step_sequential(
+            strategy, [Expand()], computation, set(), sink=None, root_words=[]
+        )
+        assert metrics.subgraphs_enumerated == 0
+
+    def test_filter_short_circuits(self, graph):
+        metrics = Metrics()
+        interner = PatternInterner()
+        strategy = VertexInducedStrategy(graph, metrics, interner)
+        computation = Computation(graph, metrics, interner)
+        emitted = []
+        run_step_sequential(
+            strategy,
+            [Expand(), Filter(lambda s, c: False), Expand()],
+            computation,
+            set(),
+            sink=lambda s: emitted.append(1),
+        )
+        assert not emitted
+        assert metrics.filter_calls == graph.n_vertices
+        assert metrics.filter_passed == 0
+
+
+class TestExecutePlan:
+    def test_unknown_engine_rejected(self, graph):
+        with pytest.raises(ValueError):
+            execute_plan(
+                graph,
+                VertexInducedStrategy,
+                PatternInterner(),
+                [Expand()],
+                aggregation_cache={},
+                engine="mystery",
+            )
+
+    def test_collect_none_keeps_no_subgraphs(self, graph):
+        report = execute_plan(
+            graph,
+            VertexInducedStrategy,
+            PatternInterner(),
+            [Expand()],
+            aggregation_cache={},
+            collect=None,
+        )
+        assert report.subgraphs is None
+        assert report.result_count == 0
+
+    def test_collect_count(self, graph):
+        report = execute_plan(
+            graph,
+            VertexInducedStrategy,
+            PatternInterner(),
+            [Expand()],
+            aggregation_cache={},
+            collect="count",
+        )
+        assert report.subgraphs is None
+        assert report.result_count == graph.n_vertices
+
+    def test_collect_subgraphs(self, graph):
+        report = execute_plan(
+            graph,
+            VertexInducedStrategy,
+            PatternInterner(),
+            [Expand()],
+            aggregation_cache={},
+            collect="subgraphs",
+        )
+        assert len(report.subgraphs) == graph.n_vertices
+        assert report.result_count == graph.n_vertices
+
+    def test_wall_time_recorded(self, graph):
+        report = execute_plan(
+            graph,
+            VertexInducedStrategy,
+            PatternInterner(),
+            [Expand(), Expand()],
+            aggregation_cache={},
+            collect="count",
+        )
+        assert report.wall_seconds > 0
+        assert report.simulated_seconds > 0
+
+    def test_setup_overhead_only_for_cluster(self, graph):
+        sequential = execute_plan(
+            graph,
+            VertexInducedStrategy,
+            PatternInterner(),
+            [Expand()],
+            aggregation_cache={},
+            collect="count",
+        )
+        assert sequential.setup_seconds == 0.0
+        cluster = execute_plan(
+            graph,
+            VertexInducedStrategy,
+            PatternInterner(),
+            [Expand()],
+            aggregation_cache={},
+            engine=ClusterConfig(workers=1, cores_per_worker=2),
+            collect="count",
+        )
+        assert cluster.setup_seconds > 0
+
+
+class TestStepReports:
+    def test_description_strings(self, graph):
+        fc = FractalContext()
+        report = (
+            fc.from_graph(graph)
+            .vfractoid()
+            .expand(1)
+            .filter(lambda s, c: True)
+            .execute(collect="count")
+        )
+        assert report.steps[0].description == "EF"
+
+    def test_cluster_step_carries_core_data(self, graph):
+        config = ClusterConfig(workers=1, cores_per_worker=2)
+        report = (
+            FractalContext(engine=config)
+            .from_graph(graph)
+            .vfractoid()
+            .expand(2)
+            .execute(collect="count")
+        )
+        step = report.steps[0]
+        assert step.cluster is not None
+        assert len(step.cluster.cores) == 2
+        assert step.cluster.makespan_units > 0

@@ -1,0 +1,136 @@
+"""Edge cases across the stack: tiny graphs, degenerate workflows, misuse."""
+
+import pytest
+
+from repro import ClusterConfig, FractalContext, Pattern
+from repro.apps import count_cliques, fsm, motifs
+from repro.graph import GraphBuilder, path_graph
+from repro.harness import cost_of
+
+
+def _empty_graph():
+    return GraphBuilder(name="empty").build()
+
+
+def _single_vertex():
+    builder = GraphBuilder(name="one")
+    builder.add_vertex(label=3)
+    return builder.build()
+
+
+def _two_components():
+    builder = GraphBuilder(name="two-comp")
+    builder.add_vertices(4)
+    builder.add_edge(0, 1)
+    builder.add_edge(2, 3)
+    return builder.build()
+
+
+class TestDegenerateGraphs:
+    def test_empty_graph_enumeration(self):
+        fg = FractalContext().from_graph(_empty_graph())
+        assert fg.vfractoid().expand(1).count() == 0
+        assert fg.efractoid().expand(1).count() == 0
+
+    def test_single_vertex_graph(self):
+        fg = FractalContext().from_graph(_single_vertex())
+        assert fg.vfractoid().expand(1).count() == 1
+        assert fg.vfractoid().expand(2).count() == 0
+        census = motifs(fg, 1)
+        (pattern, count), = census.items()
+        assert count == 1
+        assert pattern.vertex_labels == (3,)
+
+    def test_disconnected_components_enumerated_separately(self):
+        fg = FractalContext().from_graph(_two_components())
+        # 2-vertex connected subgraphs = the two edges.
+        assert fg.vfractoid().expand(2).count() == 2
+        # No connected 3-vertex subgraph spans components.
+        assert fg.vfractoid().expand(3).count() == 0
+
+    def test_cluster_engine_on_empty_graph(self):
+        config = ClusterConfig(workers=1, cores_per_worker=2)
+        fg = FractalContext(engine=config).from_graph(_empty_graph())
+        assert fg.vfractoid().expand(1).count() == 0
+
+    def test_cliques_larger_than_graph(self):
+        fg = FractalContext().from_graph(path_graph(3))
+        assert count_cliques(fg, 5) == 0
+
+    def test_fsm_on_tiny_graph(self):
+        fg = FractalContext().from_graph(path_graph(2))
+        result = fsm(fg, min_support=1, max_edges=2)
+        assert len(result.frequent) == 1  # the single edge pattern
+
+    def test_more_cores_than_roots(self):
+        config = ClusterConfig(workers=2, cores_per_worker=8)  # 16 cores
+        fg = FractalContext(engine=config).from_graph(path_graph(3))
+        assert fg.vfractoid().expand(2).count() == 2
+
+
+class TestWorkflowMisuse:
+    def test_expand_beyond_pattern_yields_nothing(self):
+        graph = path_graph(4)
+        fg = FractalContext().from_graph(graph)
+        pattern = Pattern.from_edge_list([(0, 1)])
+        # Expanding past the pattern's vertex count finds no extensions.
+        assert fg.pfractoid(pattern).expand(4).count() == 0
+
+    def test_filter_before_expand_runs_on_empty_subgraph(self):
+        graph = path_graph(3)
+        fg = FractalContext().from_graph(graph)
+        seen = []
+
+        def probe(subgraph, computation):
+            seen.append(subgraph.n_vertices)
+            return True
+
+        fg.vfractoid().filter(probe).expand(1).count()
+        assert seen[0] == 0
+
+    def test_aggregation_with_no_results(self):
+        fg = FractalContext().from_graph(_single_vertex())
+        counts = (
+            fg.vfractoid()
+            .expand(2)
+            .aggregate(
+                "none",
+                key_fn=lambda s, c: 0,
+                value_fn=lambda s, c: 1,
+                reduce_fn=lambda a, b: a + b,
+            )
+            .aggregation("none")
+        )
+        assert counts == {}
+
+    def test_zero_support_pattern_not_in_fsm(self):
+        graph = path_graph(3, labels=[1, 2, 3])
+        result = fsm(
+            FractalContext().from_graph(graph), min_support=2, max_edges=2
+        )
+        assert not result.frequent
+
+
+class TestCostOfHelper:
+    def test_cost_found_immediately_for_slow_baseline(self):
+        from repro.graph import erdos_renyi_graph
+
+        graph = erdos_renyi_graph(15, 30, seed=2)
+        outcome = cost_of(
+            lambda: FractalContext().from_graph(graph).vfractoid().expand(2),
+            baseline_seconds=1e9,
+            max_threads=4,
+        )
+        assert outcome["cost"] == 1
+
+    def test_cost_none_for_instant_baseline(self):
+        from repro.graph import erdos_renyi_graph
+
+        graph = erdos_renyi_graph(15, 30, seed=2)
+        outcome = cost_of(
+            lambda: FractalContext().from_graph(graph).vfractoid().expand(2),
+            baseline_seconds=0.0,
+            max_threads=2,
+        )
+        assert outcome["cost"] is None
+        assert set(outcome["times"]) == {1, 2}

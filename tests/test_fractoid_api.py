@@ -1,0 +1,205 @@
+"""Tests for the fractoid API: chaining, outputs, caching, explore."""
+
+import pytest
+
+from repro import FractalContext, Pattern
+from repro.core import Expand, Filter
+
+from conftest import brute_cliques, brute_connected_induced
+
+
+class TestChaining:
+    def test_fractoids_are_immutable(self, context, small_random_graph):
+        fg = context.from_graph(small_random_graph)
+        base = fg.vfractoid()
+        extended = base.expand(2)
+        assert len(base.primitives) == 0
+        assert len(extended.primitives) == 2
+
+    def test_expand_validates(self, context, small_random_graph):
+        fg = context.from_graph(small_random_graph)
+        with pytest.raises(ValueError):
+            fg.vfractoid().expand(0)
+
+    def test_explore_multiplies_fragment(self, context, small_random_graph):
+        fg = context.from_graph(small_random_graph)
+        fragment = fg.vfractoid().expand(1).filter(lambda s, c: True)
+        explored = fragment.explore(3)
+        assert len(explored.primitives) == 6
+        kinds = [type(p) for p in explored.primitives]
+        assert kinds == [Expand, Filter] * 3
+
+    def test_explore_clones_uids(self, context, small_random_graph):
+        fg = context.from_graph(small_random_graph)
+        explored = fg.vfractoid().expand(1).explore(2)
+        uids = [p.uid for p in explored.primitives]
+        assert len(set(uids)) == len(uids)
+
+    def test_explore_validates(self, context, small_random_graph):
+        fg = context.from_graph(small_random_graph)
+        with pytest.raises(ValueError):
+            fg.vfractoid().expand(1).explore(0)
+
+    def test_repr_shows_workflow(self, context, small_random_graph):
+        fg = context.from_graph(small_random_graph)
+        frac = fg.vfractoid().expand(1).filter(lambda s, c: True)
+        assert "EF" in repr(frac)
+
+
+class TestOutputs:
+    def test_count_equals_len_subgraphs(self, context, small_random_graph):
+        fg = context.from_graph(small_random_graph)
+        frac = fg.vfractoid().expand(2)
+        assert frac.count() == len(frac.subgraphs())
+
+    def test_subgraphs_are_frozen_and_distinct(self, context, small_random_graph):
+        fg = context.from_graph(small_random_graph)
+        results = fg.vfractoid().expand(2).subgraphs()
+        assert len(set(results)) == len(results)
+        assert all(len(r.vertices) == 2 for r in results)
+
+    def test_count_matches_brute_force(self, context, small_random_graph):
+        fg = context.from_graph(small_random_graph)
+        assert fg.vfractoid().expand(3).count() == brute_connected_induced(
+            small_random_graph, 3
+        )
+
+    def test_aggregation_output(self, context, small_random_graph):
+        fg = context.from_graph(small_random_graph)
+        counts = (
+            fg.vfractoid()
+            .expand(2)
+            .aggregate(
+                "edges",
+                key_fn=lambda s, c: "total",
+                value_fn=lambda s, c: 1,
+                reduce_fn=lambda a, b: a + b,
+            )
+            .aggregation("edges")
+        )
+        assert counts["total"] == small_random_graph.n_edges
+
+    def test_aggregation_unknown_name(self, context, small_random_graph):
+        fg = context.from_graph(small_random_graph)
+        frac = fg.vfractoid().expand(1)
+        with pytest.raises(KeyError):
+            frac.aggregation("missing")
+
+    def test_execute_report(self, context, small_random_graph):
+        fg = context.from_graph(small_random_graph)
+        report = fg.vfractoid().expand(2).execute(collect="count")
+        assert report.result_count == small_random_graph.n_edges
+        assert report.metrics.extension_tests > 0
+        assert report.simulated_seconds > 0
+        assert len(report.steps) == 1
+
+    def test_local_filter(self, context, small_random_graph):
+        fg = context.from_graph(small_random_graph)
+        clique3 = (
+            fg.vfractoid()
+            .expand(1)
+            .filter(lambda s, c: s.edges_added_last() == s.n_vertices - 1)
+            .explore(3)
+        )
+        assert clique3.count() == brute_cliques(small_random_graph, 3)
+
+
+class TestAggregationCaching:
+    def test_cache_reused_across_derived_fractoids(
+        self, context, small_random_graph
+    ):
+        fg = context.from_graph(small_random_graph)
+        base = fg.vfractoid().expand(1).aggregate(
+            "seen",
+            key_fn=lambda s, c: "n",
+            value_fn=lambda s, c: 1,
+            reduce_fn=lambda a, b: a + b,
+        )
+        first = base.aggregation("seen")
+        assert first["n"] == small_random_graph.n_vertices
+        # A derived fractoid's step planning sees the cached aggregation:
+        # only one step runs and the earlier aggregate is not recomputed.
+        derived = base.filter_agg("seen", lambda s, v: True).expand(1)
+        report = derived.execute(collect="count")
+        assert len(report.steps) == 1
+
+    def test_clear_cache_forces_recomputation(self, context, small_random_graph):
+        fg = context.from_graph(small_random_graph)
+        base = fg.vfractoid().expand(1).aggregate(
+            "seen",
+            key_fn=lambda s, c: "n",
+            value_fn=lambda s, c: 1,
+            reduce_fn=lambda a, b: a + b,
+        )
+        base.aggregation("seen")
+        context.clear_cache()
+        assert not context.aggregation_cache
+        assert base.aggregation("seen")["n"] == small_random_graph.n_vertices
+
+    def test_sync_point_creates_two_steps(self, context, small_random_graph):
+        fg = context.from_graph(small_random_graph)
+        workflow = (
+            fg.vfractoid()
+            .expand(1)
+            .aggregate(
+                "deg",
+                key_fn=lambda s, c: s.vertices[0],
+                value_fn=lambda s, c: 1,
+                reduce_fn=lambda a, b: a + b,
+            )
+            .filter_agg("deg", lambda s, v: v.contains(s.vertices[0]))
+            .expand(1)
+        )
+        report = workflow.execute(collect="count")
+        assert len(report.steps) == 2
+
+
+class TestPatternFractoid:
+    def test_pattern_query(self, context, small_random_graph):
+        fg = context.from_graph(small_random_graph)
+        # Use the actual labels present: query single-label-pair edges.
+        pattern = Pattern([0, 0], [(0, 1, 0)])
+        count = fg.pfractoid(pattern).expand(2).count()
+        expected = sum(
+            1
+            for e in small_random_graph.edges()
+            if small_random_graph.vertex_label(small_random_graph.edge(e)[0]) == 0
+            and small_random_graph.vertex_label(small_random_graph.edge(e)[1]) == 0
+        )
+        assert count == expected
+
+
+class TestGraphReductionOperators:
+    def test_vfilter_materializes(self, context, small_random_graph):
+        fg = context.from_graph(small_random_graph)
+        reduced = fg.vfilter(lambda v, g: v < 15)
+        assert reduced.graph.n_vertices == 15
+        assert reduced.context is context
+
+    def test_efilter_materializes(self, context, small_random_graph):
+        fg = context.from_graph(small_random_graph)
+        reduced = fg.efilter(lambda e, g: e % 2 == 0)
+        assert reduced.graph.n_edges == (small_random_graph.n_edges + 1) // 2
+
+
+class TestContext:
+    def test_loaders(self, tmp_path, labeled_graph, context):
+        from repro.graph import save_adjacency_list, save_edge_list
+
+        adj = str(tmp_path / "g.adj")
+        el = str(tmp_path / "g.el")
+        save_adjacency_list(labeled_graph, adj)
+        save_edge_list(labeled_graph, el)
+        assert context.adjacency_list(adj).graph.n_edges == labeled_graph.n_edges
+        assert context.edge_list(el).graph.n_edges == labeled_graph.n_edges
+
+    def test_stop_clears(self, context, small_random_graph):
+        fg = context.from_graph(small_random_graph)
+        fg.vfractoid().expand(1).aggregate(
+            "x",
+            key_fn=lambda s, c: 0,
+            value_fn=lambda s, c: 1,
+            reduce_fn=lambda a, b: a + b,
+        ).aggregation("x")
+        context.stop()
+        assert not context.aggregation_cache

@@ -1,0 +1,166 @@
+"""Tests for synthetic graph generators and dataset stand-ins."""
+
+import pytest
+
+from repro.graph import (
+    assign_keywords,
+    assign_labels,
+    community_graph,
+    complete_graph,
+    cycle_graph,
+    dataset_registry,
+    dataset_stats,
+    erdos_renyi_graph,
+    mico_like,
+    orkut_like,
+    path_graph,
+    patents_like,
+    powerlaw_graph,
+    star_graph,
+    wikidata_like,
+    youtube_like,
+)
+
+
+class TestBasicTopologies:
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.n_vertices == 5
+        assert g.n_edges == 10
+        assert g.density() == pytest.approx(1.0)
+
+    def test_path_graph_with_labels(self):
+        g = path_graph(4, labels=[1, 2, 3, 4])
+        assert g.n_edges == 3
+        assert [g.vertex_label(v) for v in g.vertices()] == [1, 2, 3, 4]
+
+    def test_cycle_graph(self):
+        g = cycle_graph(6)
+        assert g.n_edges == 6
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_rejects_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star_graph(self):
+        g = star_graph(7)
+        assert g.degree(0) == 7
+        assert all(g.degree(v) == 1 for v in range(1, 8))
+
+
+class TestRandomGenerators:
+    def test_erdos_renyi_size_and_determinism(self):
+        g1 = erdos_renyi_graph(50, 120, n_labels=3, seed=7)
+        g2 = erdos_renyi_graph(50, 120, n_labels=3, seed=7)
+        assert g1.n_vertices == 50
+        assert g1.n_edges == 120
+        assert list(g1.iter_edge_tuples()) == list(g2.iter_edge_tuples())
+
+    def test_erdos_renyi_rejects_too_many_edges(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(4, 10)
+
+    def test_powerlaw_connected_and_skewed(self):
+        g = powerlaw_graph(200, attach=3, seed=1)
+        assert g.n_vertices == 200
+        # Preferential attachment: connected by construction.
+        seen = {0}
+        stack = [0]
+        while stack:
+            v = stack.pop()
+            for u in g.neighbors(v):
+                if u not in seen:
+                    seen.add(u)
+                    stack.append(u)
+        assert len(seen) == 200
+        degrees = sorted(g.degree(v) for v in g.vertices())
+        # Heavy tail: the max degree dwarfs the median.
+        assert degrees[-1] >= 4 * degrees[len(degrees) // 2]
+
+    def test_powerlaw_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            powerlaw_graph(3, attach=5)
+        with pytest.raises(ValueError):
+            powerlaw_graph(10, attach=0)
+
+    def test_community_graph_density_contrast(self):
+        g = community_graph(communities=3, size=10, p_in=0.7, p_out=0.01, seed=2)
+        internal = external = 0
+        for e in g.edges():
+            u, v = g.edge(e)
+            if u // 10 == v // 10:
+                internal += 1
+            else:
+                external += 1
+        assert internal > external
+
+    def test_assign_labels(self):
+        g = erdos_renyi_graph(30, 60, seed=3)
+        relabeled = assign_labels(g, n_labels=5, seed=4)
+        assert relabeled.n_edges == g.n_edges
+        assert len(set(relabeled.vertex_labels())) > 1
+
+    def test_assign_keywords(self):
+        g = erdos_renyi_graph(30, 60, seed=3)
+        annotated = assign_keywords(
+            g, vocabulary=["a", "b", "c"], words_per_edge=1, seed=5
+        )
+        assert annotated.has_keywords()
+        assert all(len(annotated.edge_keywords(e)) >= 1 for e in annotated.edges())
+
+    def test_assign_keywords_empty_vocab_rejected(self):
+        g = erdos_renyi_graph(5, 4, seed=1)
+        with pytest.raises(ValueError):
+            assign_keywords(g, vocabulary=[])
+
+
+class TestDatasetStandIns:
+    def test_registry_contains_all(self):
+        registry = dataset_registry()
+        assert set(registry) == {"mico", "patents", "youtube", "wikidata", "orkut"}
+
+    def test_labeled_and_single_label_variants(self):
+        ml = mico_like(labeled=True)
+        sl = mico_like(labeled=False)
+        assert ml.n_labels() > 1
+        assert sl.n_labels() == 1
+        assert ml.name.endswith("-ml")
+        assert sl.name.endswith("-sl")
+
+    def test_scaling(self):
+        small = youtube_like(scale=0.25)
+        large = youtube_like(scale=1.0)
+        assert large.n_vertices > small.n_vertices
+
+    def test_relative_sizes_match_roles(self):
+        mico = mico_like()
+        youtube = youtube_like()
+        wikidata = wikidata_like()
+        # Youtube is the big workload; Mico is small and dense.
+        assert youtube.n_vertices > mico.n_vertices
+        assert mico.density() > wikidata.density()
+
+    def test_wikidata_has_query_keywords(self):
+        g = wikidata_like(scale=0.5)
+        words = g.all_keywords()
+        for word in ("paris", "revolution", "author", "woody", "allen"):
+            assert word in words
+
+    def test_orkut_denser_than_patents(self):
+        assert orkut_like(scale=0.5).density() > patents_like(scale=0.5).density()
+
+    def test_dataset_stats_row(self):
+        stats = dataset_stats(mico_like(scale=0.5))
+        assert stats["vertices"] > 0
+        assert stats["edges"] > 0
+        assert stats["labels"] >= 1
+        assert 0 < stats["density"] <= 1
+
+    def test_determinism(self):
+        g1 = wikidata_like(scale=0.3)
+        g2 = wikidata_like(scale=0.3)
+        assert list(g1.iter_edge_tuples()) == list(g2.iter_edge_tuples())
+        assert all(
+            g1.edge_keywords(e) == g2.edge_keywords(e) for e in g1.edges()
+        )

@@ -1,0 +1,145 @@
+"""Unit tests for the graph data model."""
+
+import pytest
+
+from repro.graph import Graph, GraphBuilder, GraphError
+
+
+class TestGraphBuilder:
+    def test_empty_graph(self):
+        graph = GraphBuilder().build()
+        assert graph.n_vertices == 0
+        assert graph.n_edges == 0
+        assert graph.density() == 0.0
+
+    def test_add_vertices_and_edges(self):
+        builder = GraphBuilder(name="toy")
+        a = builder.add_vertex(label=5)
+        b = builder.add_vertex(label=6)
+        eid = builder.add_edge(a, b, label=9)
+        graph = builder.build()
+        assert graph.name == "toy"
+        assert graph.vertex_label(a) == 5
+        assert graph.vertex_label(b) == 6
+        assert graph.edge_label(eid) == 9
+        assert graph.edge(eid) == (0, 1)
+
+    def test_add_vertices_bulk(self):
+        builder = GraphBuilder()
+        ids = builder.add_vertices(5, label=3)
+        assert list(ids) == [0, 1, 2, 3, 4]
+        graph = builder.build()
+        assert all(graph.vertex_label(v) == 3 for v in graph.vertices())
+
+    def test_self_loop_rejected(self):
+        builder = GraphBuilder()
+        builder.add_vertex()
+        with pytest.raises(GraphError):
+            builder.add_edge(0, 0)
+
+    def test_parallel_edge_rejected(self):
+        builder = GraphBuilder()
+        builder.add_vertices(2)
+        builder.add_edge(0, 1)
+        with pytest.raises(GraphError):
+            builder.add_edge(1, 0)
+
+    def test_missing_endpoint_rejected(self):
+        builder = GraphBuilder()
+        builder.add_vertex()
+        with pytest.raises(GraphError):
+            builder.add_edge(0, 3)
+
+    def test_has_edge_is_direction_agnostic(self):
+        builder = GraphBuilder()
+        builder.add_vertices(2)
+        builder.add_edge(1, 0)
+        assert builder.has_edge(0, 1)
+        assert builder.has_edge(1, 0)
+
+    def test_set_vertex_label_and_keywords(self):
+        builder = GraphBuilder()
+        builder.add_vertex(label=1)
+        builder.set_vertex_label(0, 9)
+        builder.set_vertex_keywords(0, ["w1", "w2"])
+        graph = builder.build()
+        assert graph.vertex_label(0) == 9
+        assert graph.vertex_keywords(0) == frozenset({"w1", "w2"})
+
+
+class TestGraphAccessors:
+    def test_neighbors_sorted(self, labeled_graph):
+        assert labeled_graph.neighbors(0) == [1, 3]
+        assert labeled_graph.neighbors(2) == [1, 3]
+
+    def test_edge_endpoints_normalized(self, labeled_graph):
+        for e in labeled_graph.edges():
+            u, v = labeled_graph.edge(e)
+            assert u < v
+
+    def test_are_adjacent(self, labeled_graph):
+        assert labeled_graph.are_adjacent(0, 1)
+        assert labeled_graph.are_adjacent(1, 0)
+        assert not labeled_graph.are_adjacent(0, 2)
+
+    def test_edge_between(self, labeled_graph):
+        eid = labeled_graph.edge_between(0, 1)
+        assert eid >= 0
+        assert labeled_graph.edge(eid) == (0, 1)
+        assert labeled_graph.edge_between(0, 2) == -1
+
+    def test_other_endpoint(self, labeled_graph):
+        eid = labeled_graph.edge_between(0, 1)
+        assert labeled_graph.other_endpoint(eid, 0) == 1
+        assert labeled_graph.other_endpoint(eid, 1) == 0
+
+    def test_other_endpoint_rejects_non_member(self, labeled_graph):
+        eid = labeled_graph.edge_between(0, 1)
+        with pytest.raises(GraphError):
+            labeled_graph.other_endpoint(eid, 2)
+
+    def test_degree(self, labeled_graph):
+        assert labeled_graph.degree(0) == 2
+        assert labeled_graph.degree(1) == 2
+
+    def test_incident_edges(self, labeled_graph):
+        edges = labeled_graph.incident_edges(1)
+        assert len(edges) == 2
+        for e in edges:
+            assert 1 in labeled_graph.edge(e)
+
+    def test_neighbor_set_maps_to_edges(self, labeled_graph):
+        mapping = labeled_graph.neighbor_set(0)
+        assert set(mapping) == {1, 3}
+        for u, eid in mapping.items():
+            assert labeled_graph.edge_between(0, u) == eid
+
+    def test_density(self, triangle_graph):
+        assert triangle_graph.density() == pytest.approx(1.0)
+
+    def test_n_labels_counts_vertex_and_edge_labels(self, labeled_graph):
+        # vertex labels {1, 2}, edge labels {7, 8}
+        assert labeled_graph.n_labels() == 4
+
+    def test_keywords(self, labeled_graph):
+        assert labeled_graph.vertex_keywords(0) == frozenset({"alpha"})
+        assert labeled_graph.vertex_keywords(2) == frozenset()
+        assert "edgeword" in labeled_graph.edge_keywords(0)
+        assert labeled_graph.all_keywords() == frozenset(
+            {"alpha", "beta", "gamma", "edgeword"}
+        )
+        assert labeled_graph.has_keywords()
+
+    def test_no_keyword_graph(self, triangle_graph):
+        assert not triangle_graph.has_keywords()
+        assert triangle_graph.all_keywords() == frozenset()
+        assert triangle_graph.vertex_keywords(0) == frozenset()
+        assert triangle_graph.edge_keywords(0) == frozenset()
+
+    def test_iter_edge_tuples(self, triangle_graph):
+        tuples = list(triangle_graph.iter_edge_tuples())
+        assert (0, 1, 0) in tuples
+        assert len(tuples) == 3
+
+    def test_repr(self, triangle_graph):
+        assert "n_vertices=3" in repr(triangle_graph)

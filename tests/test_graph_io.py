@@ -1,0 +1,112 @@
+"""Round-trip tests for graph serialization."""
+
+import pytest
+
+from repro.graph import (
+    GraphError,
+    erdos_renyi_graph,
+    load_adjacency_list,
+    load_edge_list,
+    load_keywords,
+    save_adjacency_list,
+    save_edge_list,
+    save_keywords,
+)
+
+
+def _graphs_equal(g1, g2, check_labels=True):
+    if g1.n_vertices != g2.n_vertices or g1.n_edges != g2.n_edges:
+        return False
+    for v in g1.vertices():
+        if g1.neighbors(v) != g2.neighbors(v):
+            return False
+        if check_labels and g1.vertex_label(v) != g2.vertex_label(v):
+            return False
+    return True
+
+
+class TestAdjacencyListFormat:
+    def test_round_trip(self, tmp_path):
+        graph = erdos_renyi_graph(20, 40, n_labels=4, seed=1)
+        path = str(tmp_path / "graph.adj")
+        save_adjacency_list(graph, path)
+        loaded = load_adjacency_list(path)
+        assert _graphs_equal(graph, loaded)
+
+    def test_isolated_vertex(self, tmp_path):
+        path = tmp_path / "iso.adj"
+        path.write_text("0 5\n1 6 2\n2 7 1\n")
+        graph = load_adjacency_list(str(path))
+        assert graph.n_vertices == 3
+        assert graph.n_edges == 1
+        assert graph.degree(0) == 0
+        assert graph.vertex_label(0) == 5
+
+    def test_duplicate_directions_merged(self, tmp_path):
+        path = tmp_path / "dup.adj"
+        path.write_text("0 0 1\n1 0 0\n")
+        graph = load_adjacency_list(str(path))
+        assert graph.n_edges == 1
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "c.adj"
+        path.write_text("# header\n\n0 1 1\n1 1 0\n")
+        graph = load_adjacency_list(str(path))
+        assert graph.n_vertices == 2
+
+    def test_non_sequential_ids_rejected(self, tmp_path):
+        path = tmp_path / "bad.adj"
+        path.write_text("0 0\n2 0\n")
+        with pytest.raises(GraphError):
+            load_adjacency_list(str(path))
+
+    def test_short_line_rejected(self, tmp_path):
+        path = tmp_path / "short.adj"
+        path.write_text("0\n")
+        with pytest.raises(GraphError):
+            load_adjacency_list(str(path))
+
+
+class TestEdgeListFormat:
+    def test_round_trip_with_labels(self, tmp_path, labeled_graph):
+        path = str(tmp_path / "graph.el")
+        save_edge_list(labeled_graph, path)
+        loaded = load_edge_list(path)
+        assert _graphs_equal(labeled_graph, loaded)
+        for e in labeled_graph.edges():
+            u, v = labeled_graph.edge(e)
+            assert loaded.edge_label(loaded.edge_between(u, v)) == \
+                labeled_graph.edge_label(e)
+
+    def test_bare_pairs(self, tmp_path):
+        path = tmp_path / "bare.el"
+        path.write_text("0 1\n1 2\n0 1\n")
+        graph = load_edge_list(str(path))
+        assert graph.n_vertices == 3
+        assert graph.n_edges == 2  # duplicate merged
+
+    def test_non_sequential_vertex_rejected(self, tmp_path):
+        path = tmp_path / "bad.el"
+        path.write_text("v 0 1\nv 2 1\n")
+        with pytest.raises(GraphError):
+            load_edge_list(str(path))
+
+
+class TestKeywordSidecar:
+    def test_round_trip(self, tmp_path, labeled_graph):
+        edge_path = str(tmp_path / "g.el")
+        kw_path = str(tmp_path / "g.keywords")
+        save_edge_list(labeled_graph, edge_path)
+        save_keywords(labeled_graph, kw_path)
+        bare = load_edge_list(edge_path)
+        restored = load_keywords(bare, kw_path)
+        for v in labeled_graph.vertices():
+            assert restored.vertex_keywords(v) == labeled_graph.vertex_keywords(v)
+        for e in labeled_graph.edges():
+            assert restored.edge_keywords(e) == labeled_graph.edge_keywords(e)
+
+    def test_bad_line_rejected(self, tmp_path, labeled_graph):
+        path = tmp_path / "bad.keywords"
+        path.write_text("x 0 word\n")
+        with pytest.raises(GraphError):
+            load_keywords(labeled_graph, str(path))

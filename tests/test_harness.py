@@ -1,0 +1,139 @@
+"""Smoke tests for the benchmark harness (small scales, fast)."""
+
+from repro.apps import QUERY_PATTERNS
+from repro.graph import mico_like, wikidata_like
+from repro.harness import (
+    format_table,
+    fmt_bytes,
+    fmt_ratio,
+    fmt_seconds,
+    paper_cluster,
+    run_fig8_utilization,
+    run_fig17_graph_reduction,
+    run_fig19_scalability,
+    run_sec41_memory_example,
+    run_table1_datasets,
+    scaled_memory_budget,
+    single_machine,
+)
+from repro.harness.comparative import (
+    _connected_subpattern_codes,
+    arabesque_query_fractoid,
+)
+from repro import FractalContext, Pattern
+
+
+class TestFormatting:
+    def test_fmt_seconds(self):
+        assert fmt_seconds(float("inf")) == "OOM"
+        assert fmt_seconds(0.0005) == "0.5ms"
+        assert fmt_seconds(2.5) == "2.50s"
+        assert fmt_seconds(1234.0) == "1,234s"
+
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512.0B"
+        assert fmt_bytes(2048) == "2.0KB"
+        assert fmt_bytes(3 * 1024**3) == "3.0GB"
+
+    def test_fmt_ratio(self):
+        assert fmt_ratio(2.0) == "2.00x"
+        assert fmt_ratio(float("inf")) == "inf"
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbbb"], [(1, 2), (333, 4)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert all(len(line) == len(lines[1]) for line in lines[1:3])
+
+
+class TestConfigs:
+    def test_paper_cluster_shape(self):
+        config = paper_cluster()
+        assert config.total_cores == 280
+        assert config.worker_of(0) == 0
+        assert config.worker_of(279) == 9
+
+    def test_single_machine(self):
+        config = single_machine(8)
+        assert config.workers == 1
+        assert config.total_cores == 8
+
+    def test_scaled_memory_budget_grows_with_graph(self):
+        small = scaled_memory_budget(mico_like(scale=0.3))
+        large = scaled_memory_budget(mico_like(scale=1.0))
+        assert large > small
+
+
+class TestRunners:
+    def test_table1(self):
+        rows = run_table1_datasets([mico_like(scale=0.3)], verbose=False)
+        assert rows[0]["vertices"] > 0
+
+    def test_fig8_small(self):
+        rows = run_fig8_utilization(
+            mico_like(scale=0.4), k=3, cores=4, bins=5, verbose=False
+        )
+        assert len(rows) == 5
+        assert all(0.0 <= r["utilization"] <= 1.0 for r in rows)
+
+    def test_sec41_example(self):
+        rows = run_sec41_memory_example(
+            mico_like(scale=0.3), (2, 3), verbose=False
+        )
+        assert rows[1]["subgraphs"] > rows[0]["subgraphs"]
+
+    def test_fig17_small(self):
+        rows = run_fig17_graph_reduction(
+            wikidata_like(scale=0.15),
+            queries={"Q1": ["paris", "revolution"]},
+            core_counts=(1, 2),
+            heavy_queries=(),
+            verbose=False,
+        )
+        assert len(rows) == 2
+        assert all(r["full_ec"] >= r["reduced_ec"] for r in rows)
+
+    def test_fig19_small(self):
+        from repro.apps import cliques_fractoid
+
+        def runner(config):
+            return cliques_fractoid(
+                FractalContext().from_graph(mico_like(scale=0.5)), 3
+            ).execute(collect=None, engine=config).simulated_seconds
+
+        rows = run_fig19_scalability(
+            {"cliques": runner}, worker_counts=(1, 2), cores_per_worker=4,
+            verbose=False,
+        )
+        assert rows[0]["efficiency"] == 1.0
+        assert rows[1]["seconds"] < rows[0]["seconds"]
+
+
+class TestArabesqueQuery:
+    def test_subpattern_codes_cover_sizes(self):
+        allowed = _connected_subpattern_codes(QUERY_PATTERNS["q3"])
+        assert set(allowed) == {1, 2, 3, 4, 5}
+        assert all(allowed[size] for size in allowed)
+
+    def test_single_edge_subpattern_of_triangle(self):
+        allowed = _connected_subpattern_codes(Pattern.clique(3))
+        single = Pattern([0, 0], [(0, 1, 0)])
+        assert single.canonical_code() in allowed[1]
+
+    def test_query_counts_match_pattern_induced(self):
+        from repro.baselines import arabesque_run
+        from repro.graph import erdos_renyi_graph
+        from repro.apps import query_fractoid
+
+        graph = erdos_renyi_graph(25, 70, seed=5)
+        pattern = QUERY_PATTERNS["q3"]
+        expected = query_fractoid(
+            FractalContext().from_graph(graph), pattern
+        ).count()
+        report = arabesque_run(
+            arabesque_query_fractoid(
+                FractalContext().from_graph(graph), pattern
+            )
+        )
+        assert not report.oom
+        assert report.result_count == expected

@@ -1,0 +1,152 @@
+"""Cross-module integration and property-based invariants.
+
+These tests tie the whole stack together: the sequential engine, the
+simulated cluster (with and without stealing), the BFS baseline and the
+brute-force oracles must all tell the same story on randomized inputs.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ClusterConfig, FractalContext, Pattern
+from repro.apps import (
+    QUERY_PATTERNS,
+    count_cliques,
+    motifs_fractoid,
+    query_fractoid,
+)
+from repro.baselines import arabesque_run, seed_query, singlethread_query
+from repro.graph import erdos_renyi_graph, powerlaw_graph
+
+from conftest import brute_cliques, brute_connected_induced
+
+
+@st.composite
+def random_graph(draw):
+    n = draw(st.integers(min_value=8, max_value=30))
+    max_m = n * (n - 1) // 2
+    m = draw(st.integers(min_value=n // 2, max_value=min(3 * n, max_m)))
+    seed = draw(st.integers(min_value=0, max_value=100_000))
+    labels = draw(st.integers(min_value=1, max_value=3))
+    return erdos_renyi_graph(n, m, n_labels=labels, seed=seed)
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(random_graph(), st.integers(min_value=2, max_value=3))
+    def test_sequential_equals_oracle(self, graph, k):
+        count = FractalContext().from_graph(graph).vfractoid().expand(k).count()
+        assert count == brute_connected_induced(graph, k)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        random_graph(),
+        st.integers(min_value=1, max_value=3),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_cluster_equals_sequential(self, graph, workers, cores):
+        sequential = (
+            FractalContext().from_graph(graph).vfractoid().expand(3).count()
+        )
+        config = ClusterConfig(workers=workers, cores_per_worker=cores)
+        cluster = (
+            FractalContext(engine=config)
+            .from_graph(graph)
+            .vfractoid()
+            .expand(3)
+            .count()
+        )
+        assert cluster == sequential
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_graph())
+    def test_bfs_baseline_equals_fractal(self, graph):
+        fractal = motifs_fractoid(
+            FractalContext().from_graph(graph), 3
+        ).aggregation("motifs")
+        report = arabesque_run(
+            motifs_fractoid(FractalContext().from_graph(graph), 3)
+        )
+        (view,) = report.details["aggregations"].values()
+        assert {k.canonical_code(): v for k, v in fractal.items()} == {
+            k.canonical_code(): v for k, v in view.items()
+        }
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_graph())
+    def test_work_conservation_under_stealing(self, graph):
+        """Stealing redistributes but never loses or duplicates work."""
+        no_ws = ClusterConfig(
+            workers=2, cores_per_worker=3, ws_internal=False, ws_external=False
+        )
+        full_ws = ClusterConfig(workers=2, cores_per_worker=3)
+        base = (
+            FractalContext(engine=no_ws)
+            .from_graph(graph)
+            .vfractoid()
+            .expand(3)
+            .execute(collect="count")
+        )
+        stolen = (
+            FractalContext(engine=full_ws)
+            .from_graph(graph)
+            .vfractoid()
+            .expand(3)
+            .execute(collect="count")
+        )
+        assert base.result_count == stolen.result_count
+        assert (
+            base.metrics.subgraphs_enumerated
+            == stolen.metrics.subgraphs_enumerated
+        )
+
+
+class TestQueryAgreement:
+    @pytest.mark.parametrize("name", ["q1", "q2", "q3", "q6", "q7", "q8"])
+    def test_three_systems_agree(self, name):
+        graph = powerlaw_graph(60, attach=4, seed=13)
+        pattern = QUERY_PATTERNS[name]
+        fractal = query_fractoid(
+            FractalContext().from_graph(graph), pattern
+        ).count()
+        assert seed_query(graph, pattern).result_count == fractal
+        assert singlethread_query(graph, pattern).result_count == fractal
+
+    @settings(max_examples=10, deadline=None)
+    @given(random_graph())
+    def test_triangle_census_three_ways(self, graph):
+        expected = brute_cliques(graph, 3)
+        fg = FractalContext().from_graph(graph)
+        assert count_cliques(fg, 3) == expected
+        # Pattern-induced must agree on single-label graphs only; restrict
+        # the query to each label combination otherwise.
+        if graph.n_labels() == 1:
+            assert (
+                query_fractoid(fg, Pattern.clique(3)).count() == expected
+            )
+
+
+class TestDeterminism:
+    def test_full_stack_repeatability(self):
+        graph = powerlaw_graph(80, attach=4, seed=21)
+        config = ClusterConfig(workers=2, cores_per_worker=4)
+
+        def run():
+            report = (
+                FractalContext(engine=config)
+                .from_graph(graph)
+                .vfractoid()
+                .expand(1)
+                .filter(lambda s, c: s.edges_added_last() == s.n_vertices - 1)
+                .explore(4)
+                .execute(collect="count")
+            )
+            return (
+                report.result_count,
+                report.simulated_seconds,
+                report.metrics.steals_internal,
+                report.metrics.steals_external,
+                report.metrics.extension_tests,
+            )
+
+        assert run() == run()

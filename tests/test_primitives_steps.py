@@ -1,0 +1,102 @@
+"""Tests for primitives and from-scratch step planning (Algorithm 2)."""
+
+import pytest
+
+from repro.core import (
+    Aggregate,
+    AggregationFilter,
+    Expand,
+    Filter,
+    PlanError,
+    plan_steps,
+    resolve_aggregation_sources,
+)
+
+
+def _agg(name="a"):
+    return Aggregate(name, lambda s, c: 0, lambda s, c: 1, lambda x, y: x + y)
+
+
+class TestPrimitives:
+    def test_unique_uids(self):
+        assert Expand().uid != Expand().uid
+
+    def test_reprs(self):
+        assert repr(Expand()) == "E"
+        assert repr(Filter(lambda s, c: True)) == "F"
+        assert "a" in repr(_agg())
+        assert "a" in repr(AggregationFilter("a", lambda s, v: True))
+
+
+class TestResolveSources:
+    def test_binds_nearest_preceding(self):
+        a1 = _agg("support")
+        a2 = _agg("support")
+        f1 = AggregationFilter("support", lambda s, v: True)
+        f2 = AggregationFilter("support", lambda s, v: True)
+        primitives = [Expand(), a1, f1, Expand(), a2, f2]
+        resolve_aggregation_sources(primitives)
+        assert f1.source_uid == a1.uid
+        assert f2.source_uid == a2.uid
+
+    def test_missing_source_rejected(self):
+        primitives = [Expand(), AggregationFilter("nope", lambda s, v: True)]
+        with pytest.raises(PlanError):
+            resolve_aggregation_sources(primitives)
+
+    def test_different_names_independent(self):
+        a1 = _agg("x")
+        a2 = _agg("y")
+        f = AggregationFilter("x", lambda s, v: True)
+        primitives = [Expand(), a1, Expand(), a2, f]
+        resolve_aggregation_sources(primitives)
+        assert f.source_uid == a1.uid
+
+
+class TestPlanSteps:
+    def test_no_sync_single_step(self):
+        primitives = [Expand(), Filter(lambda s, c: True), _agg()]
+        steps = plan_steps(primitives, set())
+        assert len(steps) == 1
+        assert steps[0] == primitives
+
+    def test_fsm_shape(self):
+        a1 = _agg("support")
+        f1 = AggregationFilter("support", lambda s, v: True)
+        a2 = _agg("support")
+        primitives = [Expand(), a1, f1, Expand(), a2]
+        steps = plan_steps(primitives, set())
+        assert len(steps) == 2
+        assert steps[0] == [Expand(), a1][0:0] + primitives[:2]
+        assert steps[1] == primitives
+
+    def test_cached_aggregation_skips_boundary(self):
+        a1 = _agg("support")
+        f1 = AggregationFilter("support", lambda s, v: True)
+        a2 = _agg("support")
+        primitives = [Expand(), a1, f1, Expand(), a2]
+        steps = plan_steps(primitives, {a1.uid})
+        assert len(steps) == 1
+        assert steps[0] == primitives
+
+    def test_multi_round_fsm(self):
+        a1 = _agg("support")
+        f1 = AggregationFilter("support", lambda s, v: True)
+        a2 = _agg("support")
+        f2 = AggregationFilter("support", lambda s, v: True)
+        a3 = _agg("support")
+        primitives = [Expand(), a1, f1, Expand(), a2, f2, Expand(), a3]
+        steps = plan_steps(primitives, set())
+        assert [len(step) for step in steps] == [2, 5, 8]
+        # Each step is a prefix of the next ("steps accumulate").
+        for shorter, longer in zip(steps, steps[1:]):
+            assert longer[: len(shorter)] == shorter
+
+    def test_second_filter_on_computed_aggregation_no_boundary(self):
+        a1 = _agg("support")
+        f1 = AggregationFilter("support", lambda s, v: True)
+        f2 = AggregationFilter("support", lambda s, v: True)
+        primitives = [Expand(), a1, f1, f2, Expand()]
+        steps = plan_steps(primitives, set())
+        # f2 reads the same aggregation that f1's boundary made available.
+        assert [len(step) for step in steps] == [2, 5]

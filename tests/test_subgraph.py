@@ -1,0 +1,124 @@
+"""Tests for the Subgraph stack structure."""
+
+import pytest
+
+from repro.core import Subgraph
+from repro.pattern import PatternInterner
+
+
+@pytest.fixture
+def subgraph(labeled_graph):
+    return Subgraph(labeled_graph, PatternInterner())
+
+
+class TestStackSemantics:
+    def test_push_vertex(self, subgraph, labeled_graph):
+        subgraph.push_vertex(0, [])
+        eid = labeled_graph.edge_between(0, 1)
+        subgraph.push_vertex(1, [eid])
+        assert subgraph.vertices == [0, 1]
+        assert subgraph.edges == [eid]
+        assert subgraph.n_vertices == 2
+        assert subgraph.n_edges == 1
+        assert subgraph.contains_vertex(0)
+        assert not subgraph.contains_vertex(2)
+
+    def test_pop_restores_state(self, subgraph, labeled_graph):
+        subgraph.push_vertex(0, [])
+        eid = labeled_graph.edge_between(0, 1)
+        subgraph.push_vertex(1, [eid])
+        subgraph.pop()
+        assert subgraph.vertices == [0]
+        assert subgraph.edges == []
+        assert not subgraph.contains_vertex(1)
+        subgraph.pop()
+        assert subgraph.n_vertices == 0
+
+    def test_push_edge_adds_endpoints(self, subgraph):
+        subgraph.push_edge(0)  # edge (0, 1)
+        assert subgraph.vertices == [0, 1]
+        assert subgraph.edges == [0]
+        subgraph.push_edge(1)  # edge (1, 2): only vertex 2 is new
+        assert subgraph.vertices == [0, 1, 2]
+        subgraph.pop()
+        assert subgraph.vertices == [0, 1]
+        assert 1 not in subgraph.edge_set
+
+    def test_clear(self, subgraph):
+        subgraph.push_edge(0)
+        subgraph.clear()
+        assert subgraph.n_vertices == 0
+        assert subgraph.n_edges == 0
+        assert not subgraph.vertex_set
+        assert not subgraph.edge_set
+
+    def test_depth_and_last_accessors(self, subgraph, labeled_graph):
+        subgraph.push_vertex(0, [])
+        eid = labeled_graph.edge_between(0, 1)
+        subgraph.push_vertex(1, [eid])
+        assert subgraph.depth == 2
+        assert subgraph.last_vertex() == 1
+        assert subgraph.last_edge() == eid
+        assert subgraph.edges_added_last() == 1
+
+    def test_edges_added_last_empty(self, subgraph):
+        assert subgraph.edges_added_last() == 0
+
+
+class TestDerivedViews:
+    def test_vertex_labels(self, subgraph):
+        subgraph.push_vertex(0, [])
+        subgraph.push_vertex(3, [])
+        assert subgraph.vertex_labels() == (1, 2)
+
+    def test_keywords_union(self, subgraph, labeled_graph):
+        subgraph.push_edge(0)  # edge (0,1) carries "edgeword"
+        words = subgraph.keywords()
+        assert {"alpha", "beta", "edgeword"} <= words
+
+    def test_quotient(self, subgraph, labeled_graph):
+        eid01 = labeled_graph.edge_between(0, 1)
+        eid12 = labeled_graph.edge_between(1, 2)
+        subgraph.push_vertex(1, [])
+        subgraph.push_vertex(0, [eid01])
+        subgraph.push_vertex(2, [eid12])
+        labels, qedges = subgraph.quotient()
+        assert labels == (2, 1, 1)
+        assert qedges == ((0, 1, 7), (0, 2, 8))
+
+    def test_pattern_identity_across_orders(self, labeled_graph):
+        s1 = Subgraph(labeled_graph, PatternInterner())
+        eid01 = labeled_graph.edge_between(0, 1)
+        s1.push_vertex(0, [])
+        s1.push_vertex(1, [eid01])
+        s2 = Subgraph(labeled_graph, s1.interner)
+        s2.push_vertex(1, [])
+        s2.push_vertex(0, [eid01])
+        assert s1.pattern() is s2.pattern()
+
+    def test_pattern_with_positions(self, labeled_graph):
+        s = Subgraph(labeled_graph, PatternInterner())
+        eid01 = labeled_graph.edge_between(0, 1)
+        s.push_vertex(0, [])
+        s.push_vertex(1, [eid01])
+        pattern, positions = s.pattern_with_positions()
+        assert pattern.n_vertices == 2
+        assert sorted(positions) == [0, 1]
+
+    def test_freeze(self, subgraph):
+        subgraph.push_edge(0)
+        frozen = subgraph.freeze()
+        subgraph.pop()
+        assert frozen.vertices == (0, 1)
+        assert frozen.edges == (0,)
+        assert frozen.pattern is not None
+
+    def test_frozen_equality_and_hash(self, subgraph):
+        subgraph.push_edge(0)
+        f1 = subgraph.freeze()
+        f2 = subgraph.freeze()
+        assert f1 == f2
+        assert hash(f1) == hash(f2)
+        subgraph.push_edge(1)
+        f3 = subgraph.freeze()
+        assert f1 != f3

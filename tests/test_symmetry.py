@@ -1,0 +1,100 @@
+"""Tests for Grochow-Kellis symmetry-breaking conditions."""
+
+import random
+from itertools import permutations
+
+from repro import Pattern
+from repro.pattern import (
+    automorphisms,
+    conditions_by_position,
+    satisfies_conditions,
+    symmetry_breaking_conditions,
+)
+
+
+def _assignments_of_class(pattern, vertex_set):
+    """All bijections vertex positions -> concrete ids for one instance."""
+    n = pattern.n_vertices
+    for perm in permutations(sorted(vertex_set)):
+        yield tuple(perm[: n])
+
+
+class TestConditions:
+    def test_trivial_group_no_conditions(self):
+        p = Pattern([0, 1, 2], [(0, 1, 0), (1, 2, 0)])
+        assert symmetry_breaking_conditions(p) == []
+
+    def test_clique_total_order(self):
+        conditions = symmetry_breaking_conditions(Pattern.clique(3))
+        # K3 needs a full order over its three vertices.
+        assert len(conditions) == 3
+
+    def test_exactly_one_representative_per_automorphism_class(self):
+        # For every pattern, over all permutations of a candidate vertex
+        # set, the number of assignments satisfying the conditions times
+        # |Aut| must equal the number of all assignments.
+        patterns = [
+            Pattern.clique(3),
+            Pattern.clique(4),
+            Pattern.from_edge_list([(0, 1), (1, 2)]),
+            Pattern.from_edge_list([(0, 1), (0, 2), (0, 3)]),
+            Pattern.from_edge_list([(0, 1), (1, 2), (2, 3), (3, 0)]),
+            Pattern.from_edge_list([(0, 1), (1, 2), (2, 0), (2, 3)]),
+        ]
+        for pattern in patterns:
+            n = pattern.n_vertices
+            auts = automorphisms(pattern)
+            conditions = symmetry_breaking_conditions(pattern)
+            vertex_ids = list(range(10, 10 + n))
+            satisfying = 0
+            total = 0
+            for assignment in permutations(vertex_ids):
+                total += 1
+                if satisfies_conditions(assignment, conditions):
+                    satisfying += 1
+            assert satisfying * len(auts) == total, pattern
+
+    def test_conditions_consistent_with_automorphisms(self):
+        # A condition (a, b) must only relate vertices within one orbit
+        # chain: applying it never eliminates all members of a class.
+        p = Pattern.from_edge_list([(0, 1), (1, 2), (2, 3), (3, 0)])
+        conditions = symmetry_breaking_conditions(p)
+        ids = [4, 9, 2, 7]
+        survivors = [
+            assignment
+            for assignment in permutations(ids)
+            if satisfies_conditions(assignment, conditions)
+        ]
+        assert survivors  # at least one representative exists
+
+
+class TestConditionsByPosition:
+    def test_reindexing(self):
+        conditions = [(0, 1), (0, 2)]
+        order = [2, 0, 1]
+        checks = conditions_by_position(conditions, order)
+        # Position of vertex 0 is 1; vertex 1 is at 2; vertex 2 at 0.
+        # (0, 1): 0 earlier than 1 -> at position 2, must be greater than
+        # match at position 1.
+        assert (1, True) in checks[2]
+        # (0, 2): 2 is at position 0, earlier than 0 at position 1 -> at
+        # position 1, vertex 0's match must be smaller than position 0's.
+        assert (0, False) in checks[1]
+
+    def test_incremental_equals_final(self):
+        rng = random.Random(3)
+        p = Pattern.from_edge_list([(0, 1), (0, 2), (0, 3)])
+        conditions = symmetry_breaking_conditions(p)
+        order = [0, 1, 2, 3]
+        checks = conditions_by_position(conditions, order)
+        for _ in range(50):
+            assignment = rng.sample(range(100), 4)
+            final = satisfies_conditions(assignment, conditions)
+            incremental = True
+            for pos in range(4):
+                for earlier, greater in checks[pos]:
+                    if greater and assignment[pos] <= assignment[earlier]:
+                        incremental = False
+                    if not greater and assignment[pos] >= assignment[earlier]:
+                        incremental = False
+            assert incremental == final

@@ -1,0 +1,89 @@
+"""Tests for graph reduction views (paper §4.3)."""
+
+from repro.graph import (
+    erdos_renyi_graph,
+    keyword_reduction,
+    reduce_graph,
+    wikidata_like,
+)
+
+
+class TestReduceGraph:
+    def test_identity_reduction(self, labeled_graph):
+        reduced = reduce_graph(labeled_graph)
+        assert reduced.graph.n_vertices == labeled_graph.n_vertices
+        assert reduced.graph.n_edges == labeled_graph.n_edges
+        assert reduced.vertex_reduction() == 0.0
+        assert reduced.edge_reduction() == 0.0
+
+    def test_vertex_filter_drops_incident_edges(self, labeled_graph):
+        reduced = reduce_graph(labeled_graph, vfilter=lambda v, g: v != 1)
+        assert reduced.graph.n_vertices == 3
+        # Edges (0,1) and (1,2) die with vertex 1.
+        assert reduced.graph.n_edges == 2
+
+    def test_edge_filter(self, labeled_graph):
+        reduced = reduce_graph(
+            labeled_graph, efilter=lambda e, g: g.edge_label(e) == 7
+        )
+        assert reduced.graph.n_edges == 2
+        assert all(
+            reduced.graph.edge_label(e) == 7 for e in reduced.graph.edges()
+        )
+
+    def test_origin_mappings(self, labeled_graph):
+        reduced = reduce_graph(labeled_graph, vfilter=lambda v, g: v >= 1)
+        for new_v in reduced.graph.vertices():
+            old_v = reduced.vertex_origin[new_v]
+            assert reduced.graph.vertex_label(new_v) == \
+                labeled_graph.vertex_label(old_v)
+        for new_e in reduced.graph.edges():
+            old_e = reduced.edge_origin[new_e]
+            assert reduced.graph.edge_label(new_e) == \
+                labeled_graph.edge_label(old_e)
+        assert reduced.original_vertices([0]) == [reduced.vertex_origin[0]]
+        assert reduced.original_edges([0]) == [reduced.edge_origin[0]]
+
+    def test_reduction_fractions(self):
+        graph = erdos_renyi_graph(40, 100, seed=2)
+        reduced = reduce_graph(graph, vfilter=lambda v, g: v < 20)
+        assert reduced.vertex_reduction() == 0.5
+        assert 0.0 < reduced.edge_reduction() <= 1.0
+
+    def test_keywords_survive(self, labeled_graph):
+        reduced = reduce_graph(labeled_graph)
+        assert reduced.graph.vertex_keywords(0) == \
+            labeled_graph.vertex_keywords(0)
+
+
+class TestKeywordReduction:
+    def test_keeps_only_query_related_elements(self):
+        graph = wikidata_like(scale=0.3)
+        query = ["paris", "revolution"]
+        reduced = keyword_reduction(graph, query)
+        assert reduced.graph.n_vertices < graph.n_vertices
+        assert reduced.graph.n_edges < graph.n_edges
+        query_set = frozenset(query)
+        for e in reduced.graph.edges():
+            u, v = reduced.graph.edge(e)
+            covered = (
+                reduced.graph.edge_keywords(e)
+                | reduced.graph.vertex_keywords(u)
+                | reduced.graph.vertex_keywords(v)
+            )
+            assert covered & query_set
+
+    def test_preserves_covering_edges(self):
+        graph = wikidata_like(scale=0.3)
+        query = frozenset(["paris"])
+        reduced = keyword_reduction(graph, query)
+        kept_original_edges = set(reduced.edge_origin)
+        for e in graph.edges():
+            u, v = graph.edge(e)
+            covered = (
+                graph.edge_keywords(e)
+                | graph.vertex_keywords(u)
+                | graph.vertex_keywords(v)
+            )
+            if covered & query:
+                assert e in kept_original_edges
