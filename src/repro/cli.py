@@ -103,6 +103,28 @@ def _cmd_datasets(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    if getattr(args, "profile", False):
+        return _profiled_run(args)
+    return _run_app(args)
+
+
+def _profiled_run(args) -> int:
+    """Run the application under cProfile; print top 20 by cumulative time."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        status = _run_app(args)
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(20)
+    return status
+
+
+def _run_app(args) -> int:
     graph = _load_dataset(args.dataset, args.scale)
     context = FractalContext(engine=_engine(args))
     fg = context.from_graph(graph)
@@ -245,6 +267,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--reduce", action="store_true")
     p_run.add_argument("--workers", type=int, default=1)
     p_run.add_argument("--cores", type=int, default=1)
+    p_run.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top 20 functions "
+        "by cumulative time",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_exp = sub.add_parser("experiment", help="regenerate a table or figure")

@@ -90,6 +90,17 @@ class ExtensionStrategy:
         return None
 
 
+def _suffix_max(words: Sequence[int]) -> List[int]:
+    """``suffmax[i] = max(words[i:])`` with sentinel ``-1`` past the end."""
+    k = len(words)
+    suffmax = [0] * (k + 1)
+    suffmax[k] = -1
+    for i in range(k - 1, -1, -1):
+        word = words[i]
+        suffmax[i] = word if word > suffmax[i + 1] else suffmax[i + 1]
+    return suffmax
+
+
 class VertexInducedStrategy(ExtensionStrategy):
     """Vertex-by-vertex extension with canonicality checking.
 
@@ -97,38 +108,86 @@ class VertexInducedStrategy(ExtensionStrategy):
     ``u`` is greater than the first subgraph vertex and greater than every
     vertex added after ``u``'s first neighbor in the subgraph (otherwise
     the same subgraph would also be generated through an earlier addition
-    of ``u``).  Implemented with one pass over the adjacency lists plus a
-    suffix-maximum array, O(1) per candidate.
+    of ``u``).
+
+    The candidate map (vertex -> first adjacent prefix position,
+    ``first_pos`` in the from-scratch kernel) is maintained
+    *incrementally* across :meth:`push`/:meth:`pop` instead of being
+    rebuilt from the whole prefix on every :meth:`extensions` call.
+    Map updates are folded in lazily, one level at a time, the first time
+    :meth:`extensions` runs at a depth — so branches killed by a filter
+    and leaf-level pushes (which never ask for extensions) pay nothing.
+    :meth:`pop` unwinds one fold via its undo record.
+
+    EC metering is unchanged: ``metrics.extension_tests`` still counts
+    the *logical* tests of the from-scratch kernel (the summed degree of
+    the whole prefix per call), not the reduced number of physical
+    probes — the paper's EC metric is a property of the enumeration
+    problem, not of this shortcut.
+
+    If the subgraph was rebuilt or mutated behind the strategy's back
+    (stolen prefixes arrive via :meth:`rebuild`; tests may drive
+    ``Subgraph`` directly), the state resyncs in O(prefix) and the next
+    :meth:`extensions` call re-folds from scratch.
     """
 
     mode = "vertex"
+
+    def __init__(self, graph: Graph, metrics: Metrics, interner: PatternInterner):
+        super().__init__(graph, metrics, interner)
+        self.reset_state()
+
+    def reset_state(self) -> None:
+        self._sub: Optional[Subgraph] = None
+        self._ver: int = -1  # subgraph.version the state reflects
+        self._degsum: List[int] = []  # cumulative prefix degree per folded level
+        self._first: dict = {}  # candidate -> first adjacent prefix position
+        self._undo: List[tuple] = []  # one (added, displaced) per folded level
+        self._folded_set: set = set()  # words of folded levels
+
+    def _resync(self, subgraph: Subgraph) -> None:
+        """Re-anchor on ``subgraph``; the next fold rebuilds the map."""
+        self._sub = subgraph
+        self._ver = subgraph.version
+        self._degsum = []
+        self._first = {}
+        self._undo = []
+        self._folded_set = set()
 
     def extensions(self, subgraph: Subgraph) -> List[int]:
         words = subgraph.vertices
         graph = self.graph
         if not words:
             return list(graph.vertices())
-        k = len(words)
-        # suffmax[i] = max(words[i:]); sentinel -1 past the end.
-        suffmax = [0] * (k + 1)
-        suffmax[k] = -1
-        for i in range(k - 1, -1, -1):
-            word = words[i]
-            suffmax[i] = word if word > suffmax[i + 1] else suffmax[i + 1]
-        first = words[0]
-        in_subgraph = subgraph.vertex_set
-        first_pos = {}
-        tests = 0
-        for i, w in enumerate(words):
-            for u, _ in graph.neighborhood(w):
-                tests += 1
-                if u not in in_subgraph and u not in first_pos:
-                    first_pos[u] = i
-        self.metrics.extension_tests += tests
+        if self._sub is not subgraph or self._ver != subgraph.version:
+            self._resync(subgraph)
+        # Fold levels not yet reflected in the candidate map (replaying
+        # exactly the history the from-scratch kernel would scan).  All
+        # per-level bookkeeping — including the cumulative degree sums the
+        # EC meter reads — happens here, so push/pop stay cheap.
+        first = self._first
+        undo = self._undo
+        folded_set = self._folded_set
+        degsum = self._degsum
+        for i in range(len(undo), len(words)):
+            w = words[i]
+            displaced = first.pop(w, None)
+            folded_set.add(w)
+            added: List[int] = []
+            pairs = graph.neighborhood(w)
+            for u, _ in pairs:
+                if u not in folded_set and u not in first:
+                    first[u] = i
+                    added.append(u)
+            undo.append((added, displaced))
+            degsum.append(degsum[-1] + len(pairs) if degsum else len(pairs))
+        self.metrics.extension_tests += degsum[-1]
+        suffmax = _suffix_max(words)
+        first_word = words[0]
         result = [
             u
-            for u, pos in first_pos.items()
-            if u > first and u > suffmax[pos + 1]
+            for u, pos in first.items()
+            if u > first_word and u > suffmax[pos + 1]
         ]
         result.sort()
         self.metrics.extensions_generated += len(result)
@@ -136,50 +195,142 @@ class VertexInducedStrategy(ExtensionStrategy):
 
     def push(self, subgraph: Subgraph, word: int) -> None:
         graph = self.graph
+        if self._sub is not subgraph or self._ver != subgraph.version:
+            self._resync(subgraph)
         in_subgraph = subgraph.vertex_set
-        incident = [
-            eid for u, eid in graph.neighborhood(word) if u in in_subgraph
-        ]
-        self.metrics.adjacency_scans += graph.degree(word)
+        pairs = graph.neighborhood(word)
+        incident = [eid for u, eid in pairs if u in in_subgraph]
+        self.metrics.adjacency_scans += len(pairs)
         subgraph.push_vertex(word, incident)
+        self._ver = subgraph.version
+
+    def pop(self, subgraph: Subgraph) -> None:
+        if self._sub is subgraph and self._ver == subgraph.version:
+            if self._undo and len(self._undo) == len(subgraph.vertices):
+                # The popped level was folded into the map; unwind it.
+                added, displaced = self._undo.pop()
+                first = self._first
+                for u in added:
+                    del first[u]
+                word = subgraph.vertices[-1]
+                self._folded_set.discard(word)
+                if displaced is not None:
+                    first[word] = displaced
+                self._degsum.pop()
+            subgraph.pop()
+            self._ver = subgraph.version
+        else:
+            self._sub = None
+            subgraph.pop()
 
 
 class EdgeInducedStrategy(ExtensionStrategy):
-    """Edge-by-edge extension with canonicality checking over edge ids."""
+    """Edge-by-edge extension with canonicality checking over edge ids.
+
+    Maintains the candidate map (edge -> first incident prefix position)
+    incrementally with the same lazy-fold scheme as
+    :class:`VertexInducedStrategy`.  Folding a level scans only the
+    neighborhoods of the pushed edge's *newly added* endpoints: an
+    endpoint shared with an earlier prefix edge was already scanned when
+    it first appeared, and an edge's first position is the minimum over
+    its endpoints' first appearances — exactly what the from-scratch
+    kernel's (endpoint-deduplicated) scan computes.  EC metering keeps
+    the from-scratch semantics: every :meth:`extensions` call counts
+    ``sum(deg(u) + deg(v))`` over all prefix edges, the logical test
+    count of the reference kernel.
+    """
 
     mode = "edge"
+
+    def __init__(self, graph: Graph, metrics: Metrics, interner: PatternInterner):
+        super().__init__(graph, metrics, interner)
+        self.reset_state()
+
+    def reset_state(self) -> None:
+        self._sub: Optional[Subgraph] = None
+        self._ver: int = -1  # subgraph.version the state reflects
+        self._testsum: List[int] = []  # cumulative endpoint degrees per folded level
+        self._first: dict = {}  # candidate edge -> first incident position
+        self._undo: List[tuple] = []  # (added, displaced, new_endpoints)
+        self._folded_eset: set = set()  # edges of folded levels
+        self._folded_vset: set = set()  # endpoints of folded levels
+
+    def _resync(self, subgraph: Subgraph) -> None:
+        """Re-anchor on ``subgraph``; the next fold rebuilds the map."""
+        self._sub = subgraph
+        self._ver = subgraph.version
+        self._testsum = []
+        self._first = {}
+        self._undo = []
+        self._folded_eset = set()
+        self._folded_vset = set()
 
     def extensions(self, subgraph: Subgraph) -> List[int]:
         words = subgraph.edges
         graph = self.graph
         if not words:
             return list(graph.edges())
-        k = len(words)
-        suffmax = [0] * (k + 1)
-        suffmax[k] = -1
-        for i in range(k - 1, -1, -1):
-            word = words[i]
-            suffmax[i] = word if word > suffmax[i + 1] else suffmax[i + 1]
-        first = words[0]
-        in_subgraph = subgraph.edge_set
-        first_pos = {}
-        tests = 0
-        for i, e in enumerate(words):
-            for endpoint in graph.edge(e):
-                for _, eid in graph.neighborhood(endpoint):
-                    tests += 1
-                    if eid not in in_subgraph and eid not in first_pos:
-                        first_pos[eid] = i
-        self.metrics.extension_tests += tests
+        if self._sub is not subgraph or self._ver != subgraph.version:
+            self._resync(subgraph)
+        first = self._first
+        undo = self._undo
+        folded_eset = self._folded_eset
+        folded_vset = self._folded_vset
+        testsum = self._testsum
+        for i in range(len(undo), len(words)):
+            e = words[i]
+            u, v = graph.edge(e)
+            displaced = first.pop(e, None)
+            new_endpoints = [x for x in (u, v) if x not in folded_vset]
+            folded_eset.add(e)
+            folded_vset.add(u)
+            folded_vset.add(v)
+            added: List[int] = []
+            for x in new_endpoints:
+                for _, eid in graph.neighborhood(x):
+                    if eid not in folded_eset and eid not in first:
+                        first[eid] = i
+                        added.append(eid)
+            undo.append((added, displaced, new_endpoints))
+            delta = graph.degree(u) + graph.degree(v)
+            testsum.append(testsum[-1] + delta if testsum else delta)
+        self.metrics.extension_tests += testsum[-1]
+        suffmax = _suffix_max(words)
+        first_word = words[0]
         result = [
-            e for e, pos in first_pos.items() if e > first and e > suffmax[pos + 1]
+            e
+            for e, pos in first.items()
+            if e > first_word and e > suffmax[pos + 1]
         ]
         result.sort()
         self.metrics.extensions_generated += len(result)
         return result
 
     def push(self, subgraph: Subgraph, word: int) -> None:
+        if self._sub is not subgraph or self._ver != subgraph.version:
+            self._resync(subgraph)
         subgraph.push_edge(word)
+        self._ver = subgraph.version
+
+    def pop(self, subgraph: Subgraph) -> None:
+        if self._sub is subgraph and self._ver == subgraph.version:
+            if self._undo and len(self._undo) == len(subgraph.edges):
+                added, displaced, new_endpoints = self._undo.pop()
+                first = self._first
+                for eid in added:
+                    del first[eid]
+                word = subgraph.edges[-1]
+                self._folded_eset.discard(word)
+                for x in new_endpoints:
+                    self._folded_vset.discard(x)
+                if displaced is not None:
+                    first[word] = displaced
+                self._testsum.pop()
+            subgraph.pop()
+            self._ver = subgraph.version
+        else:
+            self._sub = None
+            subgraph.pop()
 
 
 def matching_order(pattern: Pattern) -> List[int]:

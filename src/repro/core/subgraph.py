@@ -36,6 +36,7 @@ class Subgraph:
         "edges",
         "vertex_set",
         "edge_set",
+        "version",
         "_edges_per_level",
         "_vertices_per_level",
     )
@@ -47,6 +48,9 @@ class Subgraph:
         self.edges: List[int] = []
         self.vertex_set: set = set()
         self.edge_set: set = set()
+        # Bumped on every mutation; extension strategies compare it to
+        # detect out-of-band changes without scanning the word lists.
+        self.version: int = 0
         # Per push bookkeeping so pops restore the exact previous state.
         self._edges_per_level: List[int] = []
         self._vertices_per_level: List[int] = []
@@ -60,6 +64,7 @@ class Subgraph:
         self.vertex_set.add(v)
         self.edges.extend(incident_edges)
         self.edge_set.update(incident_edges)
+        self.version += 1
         self._edges_per_level.append(len(incident_edges))
         self._vertices_per_level.append(1)
 
@@ -77,6 +82,7 @@ class Subgraph:
             added += 1
         self.edges.append(eid)
         self.edge_set.add(eid)
+        self.version += 1
         self._edges_per_level.append(1)
         self._vertices_per_level.append(added)
 
@@ -88,6 +94,7 @@ class Subgraph:
             self.edge_set.discard(self.edges.pop())
         for _ in range(n_vertices):
             self.vertex_set.discard(self.vertices.pop())
+        self.version += 1
 
     def clear(self) -> None:
         """Reset to the empty subgraph."""
@@ -95,6 +102,7 @@ class Subgraph:
         self.edges.clear()
         self.vertex_set.clear()
         self.edge_set.clear()
+        self.version += 1
         self._edges_per_level.clear()
         self._vertices_per_level.clear()
 
@@ -138,8 +146,8 @@ class Subgraph:
 
     def vertex_labels(self) -> Tuple[int, ...]:
         """Labels of subgraph vertices in addition order."""
-        label = self.graph.vertex_label
-        return tuple(label(v) for v in self.vertices)
+        labels = self.graph.vertex_labels()
+        return tuple(labels[v] for v in self.vertices)
 
     def keywords(self) -> FrozenSet[str]:
         """Union of keywords over subgraph vertices and edges (L(S))."""
@@ -155,21 +163,24 @@ class Subgraph:
     # ------------------------------------------------------------------
     def quotient(self) -> Tuple[Tuple[int, ...], Tuple[Tuple[int, int, int], ...]]:
         """Structure with vertices renamed to subgraph positions ``0..k-1``."""
-        graph = self.graph
         # list.index beats building a dict for the small k of GPM
-        # subgraphs; this method is on the motif-counting hot path.
-        index = self.vertices.index
-        edge = graph.edge
-        edge_label = graph.edge_label
+        # subgraphs; this method is on the motif-counting hot path, so
+        # read the graph's edge columns directly instead of going through
+        # per-edge accessor calls.
+        graph = self.graph
+        src, dst, elabels = graph.edge_arrays()
+        vertices = self.vertices
+        index = vertices.index
         qedges = []
         for eid in self.edges:
-            u, v = edge(eid)
-            pu, pv = index(u), index(v)
+            pu = index(src[eid])
+            pv = index(dst[eid])
             if pu > pv:
                 pu, pv = pv, pu
-            qedges.append((pu, pv, edge_label(eid)))
+            qedges.append((pu, pv, elabels[eid]))
         qedges.sort()
-        return self.vertex_labels(), tuple(qedges)
+        labels = graph.vertex_labels()
+        return tuple([labels[v] for v in vertices]), tuple(qedges)
 
     def pattern(self) -> Pattern:
         """Canonical pattern ρ(S) of this subgraph (interned)."""

@@ -11,12 +11,23 @@ subgraph enumeration:
 * edge lookup between two vertices (``edge_between``),
 * stable integer ids for vertices (``0..n-1``) and edges (``0..m-1``).
 
+Storage is compressed sparse row (CSR): three flat ``array('q')`` buffers —
+``offsets`` (length ``n+1``), neighbor ids and incident-edge ids (length
+``2m`` each, one entry per edge direction, neighbor-sorted within each
+vertex's slice).  The flat layout keeps the whole adjacency in three
+contiguous allocations instead of ``n`` list objects of tuples, and every
+per-vertex view handed to the enumeration hot path (``neighbors``,
+``incident_edges``, ``neighborhood``, ``neighbor_set``) is materialized
+once per vertex and cached — the graph is immutable, so the views never
+change.
+
 Graphs are constructed through :class:`GraphBuilder`, which validates input
-(no self-loops, no parallel edges) and freezes the adjacency structure.
+(no self-loops, no parallel edges) and emits the CSR directly.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 __all__ = ["Graph", "GraphBuilder", "GraphError"]
@@ -45,8 +56,13 @@ class Graph:
         "_edge_src",
         "_edge_dst",
         "_edge_labels",
-        "_adj",
-        "_adj_index",
+        "_offsets",
+        "_nbr",
+        "_nbr_eid",
+        "_neighbors_view",
+        "_incident_view",
+        "_pairs_view",
+        "_index_view",
         "_vertex_keywords",
         "_edge_keywords",
         "name",
@@ -55,21 +71,36 @@ class Graph:
     def __init__(
         self,
         vertex_labels: List[int],
-        edge_src: List[int],
-        edge_dst: List[int],
+        edge_src: Sequence[int],
+        edge_dst: Sequence[int],
         edge_labels: List[int],
-        adj: List[List[Tuple[int, int]]],
+        adj: Optional[List[List[Tuple[int, int]]]] = None,
         vertex_keywords: Optional[List[FrozenSet[str]]] = None,
         edge_keywords: Optional[List[FrozenSet[str]]] = None,
         name: str = "graph",
+        csr: Optional[Tuple[array, array, array]] = None,
     ):
         self._vertex_labels = vertex_labels
         self._edge_src = edge_src
         self._edge_dst = edge_dst
         self._edge_labels = edge_labels
-        self._adj = adj
-        # _adj_index[v] maps neighbor -> edge id for O(1) adjacency tests.
-        self._adj_index: List[Dict[int, int]] = [dict(pairs) for pairs in adj]
+        if csr is not None:
+            self._offsets, self._nbr, self._nbr_eid = csr
+        else:
+            # Legacy construction path: flatten list-of-pairs adjacency
+            # (assumed neighbor-sorted, as GraphBuilder produced it).
+            if adj is None:
+                adj = _adjacency_from_edges(
+                    len(vertex_labels), edge_src, edge_dst
+                )
+            self._offsets, self._nbr, self._nbr_eid = _flatten_adjacency(adj)
+        n = len(vertex_labels)
+        # Per-vertex views, materialized lazily and cached forever: the
+        # graph is immutable, so rebuilding them per call is pure waste.
+        self._neighbors_view: List[Optional[List[int]]] = [None] * n
+        self._incident_view: List[Optional[List[int]]] = [None] * n
+        self._pairs_view: List[Optional[List[Tuple[int, int]]]] = [None] * n
+        self._index_view: List[Optional[Dict[int, int]]] = [None] * n
         self._vertex_keywords = vertex_keywords
         self._edge_keywords = edge_keywords
         self.name = name
@@ -111,19 +142,34 @@ class Graph:
 
     def degree(self, v: int) -> int:
         """Number of neighbors of ``v``."""
-        return len(self._adj[v])
+        return self._offsets[v + 1] - self._offsets[v]
 
     def neighbors(self, v: int) -> List[int]:
-        """Neighbors of ``v`` in increasing vertex order."""
-        return [u for u, _ in self._adj[v]]
+        """Neighbors of ``v`` in increasing vertex order (do not mutate)."""
+        view = self._neighbors_view[v]
+        if view is None:
+            view = self._nbr[self._offsets[v] : self._offsets[v + 1]].tolist()
+            self._neighbors_view[v] = view
+        return view
 
     def neighborhood(self, v: int) -> List[Tuple[int, int]]:
-        """``(neighbor, edge_id)`` pairs of ``v`` in increasing neighbor order."""
-        return self._adj[v]
+        """``(neighbor, edge_id)`` pairs of ``v`` in increasing neighbor
+        order (do not mutate)."""
+        view = self._pairs_view[v]
+        if view is None:
+            lo, hi = self._offsets[v], self._offsets[v + 1]
+            view = list(zip(self._nbr[lo:hi], self._nbr_eid[lo:hi]))
+            self._pairs_view[v] = view
+        return view
 
     def neighbor_set(self, v: int) -> Dict[int, int]:
         """Mapping ``neighbor -> edge_id`` for ``v`` (do not mutate)."""
-        return self._adj_index[v]
+        view = self._index_view[v]
+        if view is None:
+            lo, hi = self._offsets[v], self._offsets[v + 1]
+            view = dict(zip(self._nbr[lo:hi], self._nbr_eid[lo:hi]))
+            self._index_view[v] = view
+        return view
 
     def vertex_keywords(self, v: int) -> FrozenSet[str]:
         """Keywords attached to vertex ``v`` (empty frozenset if none)."""
@@ -142,6 +188,24 @@ class Graph:
         """Endpoints ``(u, v)`` of edge ``e`` with ``u < v``."""
         return self._edge_src[e], self._edge_dst[e]
 
+    def edge_arrays(self) -> Tuple[Sequence[int], Sequence[int], Sequence[int]]:
+        """``(src, dst, label)`` flat arrays indexed by edge id.
+
+        The raw columns behind :meth:`edge`/:meth:`edge_label`; hot loops
+        (e.g. ``Subgraph.quotient``) index them directly to skip per-edge
+        method calls and tuple allocation.  Do not mutate.
+        """
+        return self._edge_src, self._edge_dst, self._edge_labels
+
+    def csr(self) -> Tuple[array, array, array]:
+        """The raw CSR buffers ``(offsets, neighbors, edge_ids)``.
+
+        ``neighbors[offsets[v]:offsets[v+1]]`` are ``v``'s neighbors in
+        increasing order and ``edge_ids[...]`` the parallel incident edge
+        ids.  Do not mutate.
+        """
+        return self._offsets, self._nbr, self._nbr_eid
+
     def edge_label(self, e: int) -> int:
         """Label of edge ``e``."""
         return self._edge_labels[e]
@@ -154,15 +218,19 @@ class Graph:
 
     def are_adjacent(self, u: int, v: int) -> bool:
         """Whether an edge connects ``u`` and ``v``."""
-        return v in self._adj_index[u]
+        return v in self.neighbor_set(u)
 
     def edge_between(self, u: int, v: int) -> int:
         """Edge id connecting ``u`` and ``v``, or ``-1`` if absent."""
-        return self._adj_index[u].get(v, -1)
+        return self.neighbor_set(u).get(v, -1)
 
     def incident_edges(self, v: int) -> List[int]:
-        """Edge ids incident to ``v``."""
-        return [e for _, e in self._adj[v]]
+        """Edge ids incident to ``v`` (do not mutate)."""
+        view = self._incident_view[v]
+        if view is None:
+            view = self._nbr_eid[self._offsets[v] : self._offsets[v + 1]].tolist()
+            self._incident_view[v] = view
+        return view
 
     def other_endpoint(self, e: int, v: int) -> int:
         """The endpoint of edge ``e`` that is not ``v``."""
@@ -207,6 +275,40 @@ class Graph:
             f"Graph(name={self.name!r}, n_vertices={self.n_vertices}, "
             f"n_edges={self.n_edges}, n_labels={self.n_labels()})"
         )
+
+
+def _adjacency_from_edges(
+    n: int, edge_src: Sequence[int], edge_dst: Sequence[int]
+) -> List[List[Tuple[int, int]]]:
+    """Neighbor-sorted list-of-pairs adjacency from edge endpoint columns."""
+    adj: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
+    for eid in range(len(edge_src)):
+        u, v = edge_src[eid], edge_dst[eid]
+        adj[u].append((v, eid))
+        adj[v].append((u, eid))
+    for pairs in adj:
+        pairs.sort()
+    return adj
+
+
+def _flatten_adjacency(
+    adj: List[List[Tuple[int, int]]]
+) -> Tuple[array, array, array]:
+    """Flatten list-of-pairs adjacency into CSR ``array('q')`` buffers."""
+    offsets = array("q", [0] * (len(adj) + 1))
+    total = 0
+    for v, pairs in enumerate(adj):
+        total += len(pairs)
+        offsets[v + 1] = total
+    nbr = array("q", [0] * total)
+    eid = array("q", [0] * total)
+    cursor = 0
+    for pairs in adj:
+        for u, e in pairs:
+            nbr[cursor] = u
+            eid[cursor] = e
+            cursor += 1
+    return offsets, nbr, eid
 
 
 class GraphBuilder:
@@ -301,24 +403,52 @@ class GraphBuilder:
         return len(self._edge_src)
 
     def build(self) -> Graph:
-        """Freeze into an immutable :class:`Graph` with sorted adjacency."""
+        """Freeze into an immutable :class:`Graph`, emitting CSR directly.
+
+        Two counting-sort passes over the edge list produce the flat
+        buffers; each vertex's slice is then sorted by neighbor id (the
+        neighbor order canonicality checks rely on).
+        """
         n = len(self._vertex_labels)
-        adj: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
-        for eid in range(len(self._edge_src)):
+        m = len(self._edge_src)
+        offsets = array("q", [0] * (n + 1))
+        for eid in range(m):
+            offsets[self._edge_src[eid] + 1] += 1
+            offsets[self._edge_dst[eid] + 1] += 1
+        for v in range(n):
+            offsets[v + 1] += offsets[v]
+        nbr = array("q", [0] * (2 * m))
+        eids = array("q", [0] * (2 * m))
+        cursor = list(offsets[:n])
+        for eid in range(m):
             u, v = self._edge_src[eid], self._edge_dst[eid]
-            adj[u].append((v, eid))
-            adj[v].append((u, eid))
-        for pairs in adj:
-            pairs.sort()
+            cu = cursor[u]
+            nbr[cu] = v
+            eids[cu] = eid
+            cursor[u] = cu + 1
+            cv = cursor[v]
+            nbr[cv] = u
+            eids[cv] = eid
+            cursor[v] = cv + 1
+        # Neighbor-sort each slice (slices arrive in edge-id order).  A
+        # simple graph has unique neighbors per vertex, so sorting pairs
+        # by neighbor id is a total order.
+        for v in range(n):
+            lo, hi = offsets[v], offsets[v + 1]
+            if hi - lo > 1:
+                pairs = sorted(zip(nbr[lo:hi], eids[lo:hi]))
+                for i, (u, e) in enumerate(pairs, start=lo):
+                    nbr[i] = u
+                    eids[i] = e
         keywords_v = list(self._vertex_keywords) if self._any_keywords else None
         keywords_e = list(self._edge_keywords) if self._any_keywords else None
         return Graph(
             vertex_labels=list(self._vertex_labels),
-            edge_src=list(self._edge_src),
-            edge_dst=list(self._edge_dst),
+            edge_src=array("q", self._edge_src),
+            edge_dst=array("q", self._edge_dst),
             edge_labels=list(self._edge_labels),
-            adj=adj,
             vertex_keywords=keywords_v,
             edge_keywords=keywords_e,
             name=self._name,
+            csr=(offsets, nbr, eids),
         )

@@ -19,11 +19,21 @@ case is never hot.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["minimum_dfs_code", "code_to_edges"]
+__all__ = ["minimum_dfs_code", "code_to_edges", "clear_code_cache"]
 
 Code = Tuple[Tuple[int, int, int, int, int], ...]
+
+# Memo of rank-compressed structure -> (template code, mapping); see
+# minimum_dfs_code.  Structures are small (GPM patterns, <= ~8 vertices)
+# so the cache stays tiny relative to the searches it saves.
+_CODE_CACHE: Dict[Tuple, Tuple[Code, Tuple[int, ...]]] = {}
+
+
+def clear_code_cache() -> None:
+    """Drop the memoized rank-structure -> code table (tests/benchmarks)."""
+    _CODE_CACHE.clear()
 
 
 def minimum_dfs_code(
@@ -44,6 +54,19 @@ def minimum_dfs_code(
     Raises:
         ValueError: if the graph is empty or not connected (Fractal
             enumerates connected subgraphs only).
+
+    The branch-and-bound search is memoized under *order-preserving rank
+    compression* of the labels: every label comparison the search makes
+    is within one domain (vertex labels against vertex labels in the
+    adjacency sort keys and at fixed tuple positions of the lexicographic
+    code comparison; likewise edge labels), so replacing labels by their
+    ranks ``0..d-1`` within each domain preserves every comparison
+    outcome — the search tree, the pruning decisions, the winning
+    traversal and therefore the discovery mapping are identical.  Distinct
+    label values collapse onto few rank structures (e.g. all 29-label
+    triangles share one of a handful of templates), turning almost every
+    call into a dict lookup plus substituting the original labels back
+    into the cached template.
     """
     n = len(vertex_labels)
     if n == 0:
@@ -51,6 +74,36 @@ def minimum_dfs_code(
     if n == 1:
         return ((0, 0, vertex_labels[0], -1, -1),), (0,)
 
+    vdistinct = sorted(set(vertex_labels))
+    vrank = {label: r for r, label in enumerate(vdistinct)}
+    edistinct = sorted({elabel for _, _, elabel in edges})
+    erank = {label: r for r, label in enumerate(edistinct)}
+    key = (
+        tuple([vrank[label] for label in vertex_labels]),
+        tuple([(a, b, erank[elabel]) for a, b, elabel in edges]),
+    )
+    hit = _CODE_CACHE.get(key)
+    if hit is None:
+        hit = _minimum_dfs_code_search(key[0], key[1])
+        _CODE_CACHE[key] = hit
+    template, mapping = hit
+    code = tuple(
+        [
+            (i, j, vdistinct[li], edistinct[le], vdistinct[lj])
+            for i, j, li, le, lj in template
+        ]
+    )
+    return code, mapping
+
+
+def _minimum_dfs_code_search(
+    vertex_labels: Sequence[int],
+    edges: Sequence[Tuple[int, int, int]],
+) -> Tuple[Code, Tuple[int, ...]]:
+    """The raw branch-and-bound minimum-DFS-code search (unmemoized)."""
+    n = len(vertex_labels)
+    if n == 1:
+        return ((0, 0, vertex_labels[0], -1, -1),), (0,)
     adj: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
     for a, b, elabel in edges:
         adj[a].append((b, elabel))

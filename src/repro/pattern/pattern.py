@@ -42,6 +42,7 @@ class Pattern:
         "_canonical_map",
         "_adj",
         "_orbits",
+        "_hash",
     )
 
     def __init__(
@@ -68,13 +69,46 @@ class Pattern:
         self._code: Optional[Tuple] = None
         self._canonical_map: Optional[Tuple[int, ...]] = None
         self._orbits: Optional[Tuple[int, ...]] = None
-        adj: List[List[Tuple[int, int]]] = [[] for _ in range(n)]
-        for a, b, elabel in self.edges:
-            adj[a].append((b, elabel))
-            adj[b].append((a, elabel))
-        for row in adj:
-            row.sort()
-        self._adj = adj
+        self._hash: Optional[int] = None
+        self._adj: Optional[List[List[Tuple[int, int]]]] = None
+
+    @classmethod
+    def _from_normalized(
+        cls,
+        vertex_labels: Tuple[int, ...],
+        edges: Tuple[Tuple[int, int, int], ...],
+        code: Tuple,
+        canonical_map: Tuple[int, ...],
+    ) -> "Pattern":
+        """Internal fast constructor for pre-validated, pre-canonicalized
+        structures (``a < b``, sorted, no duplicates — e.g. subgraph
+        quotients).  Used by :class:`PatternInterner` so the per-class
+        representative skips re-validation and a redundant code search.
+        """
+        pattern = cls.__new__(cls)
+        pattern.vertex_labels = vertex_labels
+        pattern.edges = edges
+        pattern._code = code
+        pattern._canonical_map = canonical_map
+        pattern._orbits = None
+        pattern._hash = None
+        pattern._adj = None
+        return pattern
+
+    @property
+    def adjacency(self) -> List[List[Tuple[int, int]]]:
+        """Sorted ``(neighbor, edge_label)`` rows per vertex (lazy)."""
+        if self._adj is None:
+            adj: List[List[Tuple[int, int]]] = [
+                [] for _ in range(len(self.vertex_labels))
+            ]
+            for a, b, elabel in self.edges:
+                adj[a].append((b, elabel))
+                adj[b].append((a, elabel))
+            for row in adj:
+                row.sort()
+            self._adj = adj
+        return self._adj
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -141,19 +175,19 @@ class Pattern:
 
     def neighborhood(self, v: int) -> List[Tuple[int, int]]:
         """``(neighbor, edge_label)`` pairs of pattern vertex ``v``."""
-        return self._adj[v]
+        return self.adjacency[v]
 
     def degree(self, v: int) -> int:
         """Degree of pattern vertex ``v``."""
-        return len(self._adj[v])
+        return len(self.adjacency[v])
 
     def are_adjacent(self, a: int, b: int) -> bool:
         """Whether pattern vertices ``a`` and ``b`` are connected."""
-        return any(u == b for u, _ in self._adj[a])
+        return any(u == b for u, _ in self.adjacency[a])
 
     def edge_label_between(self, a: int, b: int) -> Optional[int]:
         """Edge label between ``a`` and ``b`` or None if not adjacent."""
-        for u, elabel in self._adj[a]:
+        for u, elabel in self.adjacency[a]:
             if u == b:
                 return elabel
         return None
@@ -165,9 +199,10 @@ class Pattern:
             return True
         seen = {0}
         stack = [0]
+        adj = self.adjacency
         while stack:
             v = stack.pop()
-            for u, _ in self._adj[v]:
+            for u, _ in adj[v]:
                 if u not in seen:
                     seen.add(u)
                     stack.append(u)
@@ -249,7 +284,9 @@ class Pattern:
         return self.canonical_code() == other.canonical_code()
 
     def __hash__(self) -> int:
-        return hash(self.canonical_code())
+        if self._hash is None:
+            self._hash = hash(self.canonical_code())
+        return self._hash
 
     def __lt__(self, other: "Pattern") -> bool:
         return self.canonical_code() < other.canonical_code()
@@ -283,19 +320,27 @@ class PatternInterner:
         vertex_labels: Tuple[int, ...],
         edges: Tuple[Tuple[int, int, int], ...],
     ) -> Tuple[Pattern, Tuple[int, ...]]:
-        """Canonicalize a quotient structure, reusing cached results."""
+        """Canonicalize a quotient structure, reusing cached results.
+
+        ``edges`` must already be normalized quotient edges: ``a < b``
+        within each triple, sorted, without duplicates (what
+        ``Subgraph.quotient`` emits); they are not re-validated here.
+        """
         key = (vertex_labels, edges)
         hit = self._cache.get(key)
         if hit is not None:
             self.hits += 1
             return hit
         self.misses += 1
-        pattern = Pattern(vertex_labels, edges)
-        code = pattern.canonical_code()
-        mapping = pattern.canonical_vertex_map()
+        code, mapping = dfscode.minimum_dfs_code(vertex_labels, edges)
         # Share one Pattern instance per isomorphism class so downstream
-        # aggregation hashing compares precomputed codes of few objects.
-        shared = self._by_code.setdefault(code, pattern)
+        # aggregation hashing compares precomputed codes of few objects;
+        # only that one representative pays Pattern construction.  Quotient
+        # structures are pre-normalized, so the fast path is safe.
+        shared = self._by_code.get(code)
+        if shared is None:
+            shared = Pattern._from_normalized(vertex_labels, edges, code, mapping)
+            self._by_code[code] = shared
         result = (shared, mapping)
         self._cache[key] = result
         return result

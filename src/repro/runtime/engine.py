@@ -77,6 +77,9 @@ def run_step_sequential(
     metrics = computation.metrics
     views = computation.aggregation_views
     n = len(primitives)
+    strategy_extensions = strategy.extensions
+    strategy_push = strategy.push
+    strategy_pop = strategy.pop
 
     def process(idx: int) -> None:
         while idx < n:
@@ -86,13 +89,41 @@ def run_step_sequential(
                 if subgraph.depth == 0 and root_words is not None:
                     extensions = root_words
                 else:
-                    extensions = strategy.extensions(subgraph)
+                    extensions = strategy_extensions(subgraph)
                 next_idx = idx + 1
+                # Every extension is pushed exactly once; batching the
+                # counter outside the loop leaves the final value intact.
+                metrics.subgraphs_enumerated += len(extensions)
+                if next_idx == n - 1 and sink is None:
+                    # Leaf expand feeding a single trailing Aggregate
+                    # (the motif/FSM shape): run the aggregate inline
+                    # instead of recursing once per leaf.  Identical
+                    # behavior — the recursive path would perform exactly
+                    # this sequence and then return.
+                    tail = primitives[next_idx]
+                    if type(tail) is Aggregate:
+                        storage = storages.get(tail.uid)
+                        if storage is None:
+                            for word in extensions:
+                                strategy_push(subgraph, word)
+                                strategy_pop(subgraph)
+                            return
+                        key_fn = tail.key_fn
+                        value_fn = tail.value_fn
+                        add = storage.add
+                        for word in extensions:
+                            strategy_push(subgraph, word)
+                            add(
+                                key_fn(subgraph, computation),
+                                value_fn(subgraph, computation),
+                            )
+                            strategy_pop(subgraph)
+                        metrics.aggregate_updates += len(extensions)
+                        return
                 for word in extensions:
-                    strategy.push(subgraph, word)
-                    metrics.subgraphs_enumerated += 1
+                    strategy_push(subgraph, word)
                     process(next_idx)
-                    strategy.pop(subgraph)
+                    strategy_pop(subgraph)
                 return
             if kind is Filter:
                 metrics.filter_calls += 1

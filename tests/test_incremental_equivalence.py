@@ -1,0 +1,320 @@
+"""Property tests: incremental extension maintenance ≡ from-scratch kernels.
+
+The optimized :class:`VertexInducedStrategy` / :class:`EdgeInducedStrategy`
+maintain their candidate maps incrementally across push/pop (with lazy
+folding).  These tests drive them in lockstep with line-faithful
+reconstructions of the from-scratch reference kernels over random graphs
+and random DFS shapes — including branches where ``extensions`` is never
+called before backtracking (the filter-killed shape the lazy fold
+optimizes for) and prefixes installed via ``rebuild`` (stolen work) — and
+require, at every node where both sides are queried:
+
+* identical extension lists, and
+* identical ``metrics.extension_tests`` deltas (the EC meter must keep
+  the *logical* from-scratch semantics, paper §5's EC metric).
+
+A separate test checks the memoized rank-compressed minimum-DFS-code
+front-end against the raw branch-and-bound search.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.core.enumerator import (
+    EdgeInducedStrategy,
+    ExtensionStrategy,
+    PatternInducedStrategy,
+    VertexInducedStrategy,
+)
+from repro.graph.graph import GraphBuilder
+from repro.pattern import dfscode
+from repro.pattern.pattern import Pattern, PatternInterner
+from repro.runtime.metrics import Metrics
+
+
+# ----------------------------------------------------------------------
+# Reference from-scratch kernels (the seed implementations)
+# ----------------------------------------------------------------------
+class ReferenceVertexStrategy(ExtensionStrategy):
+    mode = "vertex"
+
+    def extensions(self, subgraph):
+        words = subgraph.vertices
+        graph = self.graph
+        if not words:
+            return list(graph.vertices())
+        k = len(words)
+        suffmax = [0] * (k + 1)
+        suffmax[k] = -1
+        for i in range(k - 1, -1, -1):
+            word = words[i]
+            suffmax[i] = word if word > suffmax[i + 1] else suffmax[i + 1]
+        first = words[0]
+        in_subgraph = subgraph.vertex_set
+        first_pos = {}
+        tests = 0
+        for i, w in enumerate(words):
+            for u, _ in graph.neighborhood(w):
+                tests += 1
+                if u not in in_subgraph and u not in first_pos:
+                    first_pos[u] = i
+        self.metrics.extension_tests += tests
+        result = [
+            u for u, pos in first_pos.items() if u > first and u > suffmax[pos + 1]
+        ]
+        result.sort()
+        self.metrics.extensions_generated += len(result)
+        return result
+
+    def push(self, subgraph, word):
+        graph = self.graph
+        in_subgraph = subgraph.vertex_set
+        incident = [eid for u, eid in graph.neighborhood(word) if u in in_subgraph]
+        self.metrics.adjacency_scans += graph.degree(word)
+        subgraph.push_vertex(word, incident)
+
+
+class ReferenceEdgeStrategy(ExtensionStrategy):
+    mode = "edge"
+
+    def extensions(self, subgraph):
+        words = subgraph.edges
+        graph = self.graph
+        if not words:
+            return list(graph.edges())
+        k = len(words)
+        suffmax = [0] * (k + 1)
+        suffmax[k] = -1
+        for i in range(k - 1, -1, -1):
+            word = words[i]
+            suffmax[i] = word if word > suffmax[i + 1] else suffmax[i + 1]
+        first = words[0]
+        in_subgraph = subgraph.edge_set
+        first_pos = {}
+        tests = 0
+        for i, e in enumerate(words):
+            for endpoint in graph.edge(e):
+                for _, eid in graph.neighborhood(endpoint):
+                    tests += 1
+                    if eid not in in_subgraph and eid not in first_pos:
+                        first_pos[eid] = i
+        self.metrics.extension_tests += tests
+        result = [
+            e for e, pos in first_pos.items() if e > first and e > suffmax[pos + 1]
+        ]
+        result.sort()
+        self.metrics.extensions_generated += len(result)
+        return result
+
+    def push(self, subgraph, word):
+        subgraph.push_edge(word)
+
+
+# ----------------------------------------------------------------------
+# Random inputs
+# ----------------------------------------------------------------------
+@st.composite
+def random_graphs(draw):
+    """Small random labeled graph plus a PRNG seed for the DFS shape."""
+    n = draw(st.integers(min_value=2, max_value=9))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    density = draw(st.floats(min_value=0.2, max_value=0.9))
+    rng_seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    rng = random.Random(rng_seed)
+    chosen = [e for e in possible if rng.random() < density]
+    builder = GraphBuilder(name="prop")
+    n_labels = draw(st.integers(min_value=1, max_value=3))
+    for _ in range(n):
+        builder.add_vertex(label=rng.randrange(n_labels))
+    for u, v in chosen:
+        builder.add_edge(u, v, label=rng.randrange(2))
+    return builder.build(), rng_seed
+
+
+def _lockstep(graph, incremental, reference, rng, depth_limit):
+    """Random DFS on both strategies; compare extensions and EC deltas.
+
+    With probability ~0.3 a node is treated as filter-killed: its subtree
+    is abandoned without ever calling ``extensions`` — exercising the
+    pops-without-fold path of the lazy scheme.
+    """
+    sub_inc = incremental.make_subgraph()
+    sub_ref = reference.make_subgraph()
+    incremental.reset_state()
+    reference.reset_state()
+
+    def expand(depth):
+        before_inc = incremental.metrics.extension_tests
+        before_ref = reference.metrics.extension_tests
+        ext_inc = incremental.extensions(sub_inc)
+        ext_ref = reference.extensions(sub_ref)
+        assert ext_inc == ext_ref, (
+            f"extension mismatch at prefix {sub_inc.vertices}/{sub_inc.edges}"
+        )
+        delta_inc = incremental.metrics.extension_tests - before_inc
+        delta_ref = reference.metrics.extension_tests - before_ref
+        assert delta_inc == delta_ref, (
+            f"EC meter mismatch at prefix {sub_inc.vertices}/{sub_inc.edges}: "
+            f"{delta_inc} != {delta_ref}"
+        )
+        if depth >= depth_limit:
+            return
+        for word in ext_inc:
+            if rng.random() < 0.4:
+                continue  # skip this child entirely
+            incremental.push(sub_inc, word)
+            reference.push(sub_ref, word)
+            if rng.random() < 0.3:
+                # "Filter-killed": backtrack without asking for extensions.
+                pass
+            else:
+                expand(depth + 1)
+            incremental.pop(sub_inc)
+            reference.pop(sub_ref)
+
+    expand(0)
+    assert sub_inc.vertices == [] and sub_inc.edges == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs())
+def test_vertex_incremental_matches_reference(data):
+    graph, rng_seed = data
+    interner = PatternInterner()
+    incremental = VertexInducedStrategy(graph, Metrics(), interner)
+    reference = ReferenceVertexStrategy(graph, Metrics(), interner)
+    _lockstep(graph, incremental, reference, random.Random(rng_seed), depth_limit=4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_edge_incremental_matches_reference(data):
+    graph, rng_seed = data
+    interner = PatternInterner()
+    incremental = EdgeInducedStrategy(graph, Metrics(), interner)
+    reference = ReferenceEdgeStrategy(graph, Metrics(), interner)
+    _lockstep(graph, incremental, reference, random.Random(rng_seed), depth_limit=3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_rebuild_stolen_prefix_matches_reference(data):
+    """After rebuild() of a random valid prefix (stolen work), the
+    incremental strategy must agree with a fresh from-scratch kernel —
+    and continue to agree through a follow-up push/pop."""
+    graph, rng_seed = data
+    rng = random.Random(rng_seed)
+    for cls, ref_cls in (
+        (VertexInducedStrategy, ReferenceVertexStrategy),
+        (EdgeInducedStrategy, ReferenceEdgeStrategy),
+    ):
+        interner = PatternInterner()
+        incremental = cls(graph, Metrics(), interner)
+        reference = ref_cls(graph, Metrics(), interner)
+        sub_ref = reference.make_subgraph()
+
+        # Grow a random canonical prefix with the reference kernel.
+        prefix = []
+        for _ in range(rng.randrange(1, 4)):
+            candidates = reference.extensions(sub_ref)
+            if not candidates:
+                break
+            word = rng.choice(candidates)
+            reference.push(sub_ref, word)
+            prefix.append(word)
+        if not prefix:
+            continue
+
+        # Deliver it to the incremental strategy the way the cluster
+        # engine delivers stolen work.
+        sub_inc = incremental.make_subgraph()
+        incremental.rebuild(sub_inc, prefix)
+        assert (
+            sub_inc.vertices == sub_ref.vertices and sub_inc.edges == sub_ref.edges
+        )
+        ext_inc = incremental.extensions(sub_inc)
+        ext_ref = reference.extensions(sub_ref)
+        assert ext_inc == ext_ref
+        for word in ext_inc[:2]:
+            incremental.push(sub_inc, word)
+            reference.push(sub_ref, word)
+            assert incremental.extensions(sub_inc) == reference.extensions(sub_ref)
+            incremental.pop(sub_inc)
+            reference.pop(sub_ref)
+        # And agreement survives the pops.
+        assert incremental.extensions(sub_inc) == reference.extensions(sub_ref)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs())
+def test_pattern_strategy_consistent_after_rebuild(data):
+    """The pattern-induced strategy (stateless maps, but rebuilt prefixes
+    flow through the same rebuild path) yields the same candidates from a
+    rebuilt subgraph as from a natively grown one."""
+    graph, rng_seed = data
+    rng = random.Random(rng_seed)
+    triangle = Pattern.clique(3)
+    if graph.n_edges == 0:
+        return
+    interner = PatternInterner()
+    native = PatternInducedStrategy(graph, Metrics(), interner, triangle)
+    rebuilt = PatternInducedStrategy(graph, Metrics(), interner, triangle)
+    sub_native = native.make_subgraph()
+
+    prefix = []
+    for _ in range(2):
+        candidates = native.extensions(sub_native)
+        if not candidates:
+            break
+        word = rng.choice(candidates)
+        native.push(sub_native, word)
+        prefix.append(word)
+    if not prefix:
+        return
+    sub_rebuilt = rebuilt.make_subgraph()
+    rebuilt.rebuild(sub_rebuilt, prefix)
+    assert sub_rebuilt.vertices == sub_native.vertices
+    assert rebuilt.extensions(sub_rebuilt) == native.extensions(sub_native)
+
+
+@st.composite
+def random_connected_patterns(draw):
+    """Small connected labeled pattern as (vertex_labels, edge triples)."""
+    n = draw(st.integers(min_value=1, max_value=6))
+    rng = random.Random(draw(st.integers(min_value=0, max_value=2**32 - 1)))
+    labels = [rng.randrange(100) for _ in range(n)]
+    # Random spanning tree guarantees connectivity; extra edges on top.
+    edges = []
+    seen = set()
+    for v in range(1, n):
+        u = rng.randrange(v)
+        seen.add((u, v))
+        edges.append((u, v, rng.randrange(5)))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if (u, v) not in seen and rng.random() < 0.3:
+                edges.append((u, v, rng.randrange(5)))
+    return tuple(labels), tuple(sorted(edges))
+
+
+@settings(max_examples=150, deadline=None)
+@given(random_connected_patterns())
+def test_memoized_dfs_code_matches_raw_search(data):
+    vertex_labels, edges = data
+    dfscode.clear_code_cache()
+    code, mapping = dfscode.minimum_dfs_code(vertex_labels, edges)
+    if len(vertex_labels) == 1:
+        raw_code, raw_mapping = code, mapping
+    else:
+        raw_code, raw_mapping = dfscode._minimum_dfs_code_search(vertex_labels, edges)
+    assert code == raw_code
+    assert mapping == raw_mapping
+    # Second call must hit the cache and return the identical answer.
+    again = dfscode.minimum_dfs_code(vertex_labels, edges)
+    assert again == (code, mapping)
