@@ -35,6 +35,14 @@ from .graph.graph import Graph, GraphBuilder
 from .pattern.pattern import Pattern
 from .runtime.cluster import ClusterConfig
 from .runtime.costmodel import CostModel
+from .runtime.faults import (
+    CoreFailure,
+    FailureDetector,
+    FaultPlan,
+    MessageFaults,
+    StragglerWindow,
+    WorkerFailure,
+)
 from .runtime.metrics import Metrics
 
 __version__ = "1.0.0"
@@ -52,5 +60,11 @@ __all__ = [
     "ClusterConfig",
     "CostModel",
     "Metrics",
+    "FaultPlan",
+    "CoreFailure",
+    "WorkerFailure",
+    "StragglerWindow",
+    "MessageFaults",
+    "FailureDetector",
     "__version__",
 ]

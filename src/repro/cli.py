@@ -22,7 +22,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import ClusterConfig, FractalContext
+from . import ClusterConfig, FaultPlan, FractalContext
 from .apps import (
     QUERY_PATTERNS,
     count_cliques,
@@ -64,10 +64,37 @@ from .harness.configs import (
 __all__ = ["main"]
 
 
+def _fault_plan(args) -> object:
+    """Build the FaultPlan requested by --inject-failures / --fault-plan."""
+    path = getattr(args, "fault_plan", None)
+    if path is not None:
+        try:
+            return FaultPlan.load(path)
+        except (OSError, ValueError, TypeError, KeyError) as exc:
+            raise SystemExit(f"cannot load fault plan {path!r}: {exc}")
+    seed = getattr(args, "inject_failures", None)
+    if seed is not None:
+        return FaultPlan.from_seed(seed, args.workers, args.cores)
+    return None
+
+
 def _engine(args) -> object:
+    plan = _fault_plan(args)
     if args.workers * args.cores <= 1:
+        if plan is not None:
+            raise SystemExit(
+                "failure injection needs the simulated cluster: pass "
+                "--workers/--cores so that workers x cores > 1"
+            )
         return "sequential"
-    return ClusterConfig(workers=args.workers, cores_per_worker=args.cores)
+    try:
+        return ClusterConfig(
+            workers=args.workers,
+            cores_per_worker=args.cores,
+            fault_plan=plan,
+        )
+    except ValueError as exc:
+        raise SystemExit(f"invalid fault plan: {exc}")
 
 
 def _load_dataset(name: str, scale: float):
@@ -124,9 +151,37 @@ def _profiled_run(args) -> int:
     return status
 
 
+def _print_recovery(report) -> None:
+    """Recovery observability block printed after fault-injected runs."""
+    if report is None:
+        return
+    summary = report.recovery_summary()
+    print(
+        "fault injection: "
+        f"{summary['failures_injected']:.0f} failures injected, "
+        f"{summary['failures_detected']:.0f} detected "
+        f"(mean latency {summary['mean_detection_latency_units']:.1f} units)"
+    )
+    print(
+        "recovery: "
+        f"{summary['reenumerated_frames']:.0f} enumerators re-enumerated "
+        f"({summary['reenumerated_extensions']:.0f} extensions), "
+        f"wasted work {summary['wasted_work_units']:.1f} units "
+        f"(EC {summary['wasted_extension_tests']:.0f})"
+    )
+    print(
+        "steal protocol: "
+        f"{summary['steal_retries']:.0f} retries, "
+        f"{summary['steal_messages_dropped']:.0f} dropped / "
+        f"{summary['steal_messages_duplicated']:.0f} duplicated / "
+        f"{summary['steal_messages_delayed']:.0f} delayed messages"
+    )
+
+
 def _run_app(args) -> int:
     graph = _load_dataset(args.dataset, args.scale)
-    context = FractalContext(engine=_engine(args))
+    engine = _engine(args)
+    context = FractalContext(engine=engine)
     fg = context.from_graph(graph)
     if args.app == "motifs":
         census = motifs(fg, args.k)
@@ -174,6 +229,8 @@ def _run_app(args) -> int:
             f"{len(result.subgraphs)} minimal covers, "
             f"EC={result.extension_cost}"
         )
+    if isinstance(engine, ClusterConfig) and engine.fault_plan is not None:
+        _print_recovery(context.last_report)
     return 0
 
 
@@ -272,6 +329,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run under cProfile and print the top 20 functions "
         "by cumulative time",
+    )
+    faults = p_run.add_mutually_exclusive_group()
+    faults.add_argument(
+        "--inject-failures",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="inject a seeded random fault schedule (worker/core kills, "
+        "stragglers, steal-message faults) into the simulated cluster "
+        "and print recovery metrics",
+    )
+    faults.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help="JSON fault plan to inject (written by "
+        "repro.runtime.faults.FaultPlan.save)",
     )
     p_run.set_defaults(func=_cmd_run)
 

@@ -49,6 +49,10 @@ class FractalContext:
         self.cost_model = cost_model
         self.interner = PatternInterner()
         self.aggregation_cache: Dict[int, AggregationView] = {}
+        # The most recent ExecutionReport of any fractoid run under this
+        # context; lets callers that use value-returning app helpers
+        # (motifs(), fsm(), ...) still inspect metrics and recovery data.
+        self.last_report = None
 
     # ------------------------------------------------------------------
     # Graph acquisition (paper operator I1)

@@ -146,7 +146,7 @@ class Fractoid:
         per-step simulated timings and (in cluster mode) per-core data.
         """
         context = self.fractal_graph.context
-        return execute_plan(
+        report = execute_plan(
             graph=self.fractal_graph.graph,
             strategy_factory=self._strategy_factory,
             interner=context.interner,
@@ -156,6 +156,8 @@ class Fractoid:
             collect=collect,
             cost_model=context.cost_model,
         )
+        context.last_report = report
+        return report
 
     # ------------------------------------------------------------------
     def _last_aggregate_uid(self, name: str) -> int:

@@ -24,6 +24,12 @@ __all__ = [
     "StepReport",
     "execute_plan",
     "run_step_sequential",
+    "FaultPlan",
+    "CoreFailure",
+    "WorkerFailure",
+    "StragglerWindow",
+    "MessageFaults",
+    "FailureDetector",
 ]
 
 _LAZY = {
@@ -35,6 +41,12 @@ _LAZY = {
     "StepReport": "driver",
     "execute_plan": "driver",
     "run_step_sequential": "engine",
+    "FaultPlan": "faults",
+    "CoreFailure": "faults",
+    "WorkerFailure": "faults",
+    "StragglerWindow": "faults",
+    "MessageFaults": "faults",
+    "FailureDetector": "faults",
 }
 
 

@@ -23,6 +23,18 @@ operates on (§4.2):
 
 Both stealing levels can be disabled independently, reproducing the four
 configurations of Figure 16.
+
+Faults (see :mod:`~repro.runtime.faults`): a ``fault_plan`` (or the
+legacy ``fail_at`` map) kills cores and workers on the simulated clock,
+slows stragglers, and injects message faults into the external-steal
+protocol (loss → retry with exponential backoff, duplication →
+idempotent discard, delay → added latency).  A dead core's enumerators
+become visible to survivors only once the heartbeat detector declares it
+dead; they are then recovered by stealing, and whatever stealing cannot
+reach — e.g. when one or both WS levels are disabled — is resubmitted by
+a driver-level fallback and **re-enumerated from scratch** (the paper's
+§4.1 recovery story).  Results and aggregations are byte-identical under
+every fault schedule; only clocks and recovery metrics change.
 """
 
 from __future__ import annotations
@@ -45,6 +57,7 @@ from ..graph.graph import Graph
 from ..pattern.pattern import PatternInterner
 from .costmodel import DEFAULT_COST_MODEL, CostModel
 from .engine import new_storages
+from .faults import FailureDetector, FaultPlan, MessageChannel, _check_clock
 from .metrics import Metrics
 
 __all__ = ["ClusterConfig", "ClusterEngine", "ClusterStepResult", "CoreReport"]
@@ -54,15 +67,18 @@ _WAIT_EPSILON = 1.0  # units an idle core waits before re-checking for work
 
 @dataclass(frozen=True)
 class ClusterConfig:
-    """Simulated cluster shape and work-stealing policy.
+    """Simulated cluster shape, work-stealing policy and fault schedule.
 
-    ``fail_at`` injects core failures: ``{core_id: clock_units}`` kills a
-    core once its clock passes the given simulated time.  Its remaining
-    enumerators stay available for stealing — survivors recover the
-    orphaned work through the regular hierarchy (an idealization of the
-    paper's resilience-through-lineage claim, at quantum granularity) —
-    so results are identical with and without failures.  Requires both
-    stealing levels to be enabled.
+    ``fail_at`` injects simple core failures: ``{core_id: clock_units}``
+    kills a core once its clock passes the given simulated time.
+    ``fault_plan`` is the general mechanism (worker failures, stragglers,
+    message faults, detector tuning); both may be combined, the earliest
+    deadline per core wins.  A dead core's remaining enumerators are
+    recovered by survivors — through stealing once the failure detector
+    fires, or by driver-level resubmission and from-scratch
+    re-enumeration when stealing cannot reach them (any work-stealing
+    configuration is allowed) — so results are identical with and
+    without failures.  At least one core must be free of kill deadlines.
     """
 
     workers: int = 1
@@ -73,6 +89,7 @@ class ClusterConfig:
     include_setup_overhead: bool = True
     record_timeline: bool = False
     fail_at: Optional[Dict[int, float]] = None
+    fault_plan: Optional[FaultPlan] = None
     # Quanta a scheduled core executes before control returns to the
     # global scheduler.  1 (the default) reproduces exact per-quantum
     # interleaving — every published metric is computed at that setting.
@@ -82,13 +99,34 @@ class ClusterConfig:
     batch_quantum: int = 1
 
     def __post_init__(self):
-        if self.fail_at and not (self.ws_internal and self.ws_external):
-            raise ValueError(
-                "failure injection requires both work-stealing levels: "
-                "orphaned enumerators are recovered by stealing"
-            )
         if self.batch_quantum < 1:
             raise ValueError("batch_quantum must be >= 1")
+        total = self.workers * self.cores_per_worker
+        if self.fail_at:
+            for core_id, deadline in self.fail_at.items():
+                if (
+                    not isinstance(core_id, int)
+                    or isinstance(core_id, bool)
+                    or not 0 <= core_id < total
+                ):
+                    raise ValueError(
+                        f"fail_at names core {core_id!r}, but the cluster "
+                        f"has cores 0..{total - 1} ({self.workers} workers "
+                        f"x {self.cores_per_worker} cores)"
+                    )
+                _check_clock(deadline, f"fail_at clock for core {core_id}")
+        if self.fault_plan is not None:
+            self.fault_plan.validate(self.workers, self.cores_per_worker)
+        doomed = set(self.fail_at or ())
+        if self.fault_plan is not None:
+            doomed.update(
+                self.fault_plan.deadlines(self.workers, self.cores_per_worker)
+            )
+        if doomed and len(doomed) >= total:
+            raise ValueError(
+                "failure injection kills every core; at least one core "
+                "must survive to recover the orphaned work"
+            )
 
     @property
     def total_cores(self) -> int:
@@ -120,7 +158,17 @@ class CoreReport:
 
 @dataclass
 class ClusterStepResult:
-    """Outcome of one fractal step on the simulated cluster."""
+    """Outcome of one fractal step on the simulated cluster.
+
+    The recovery fields stay zero in failure-free runs.  ``failures`` is
+    the number of cores that died this step; ``detection_latency_units``
+    sums the heartbeat detector's lag per failure; ``recovered_frames`` /
+    ``recovered_extensions`` count the orphaned enumerators (and their
+    lost extensions) brought back by stealing or driver resubmission;
+    ``recovery_units`` is the extra simulated work those recoveries cost
+    (prefix re-derivation, resubmission messages, steal retry timeouts) —
+    the makespan overhead attributable to faults.
+    """
 
     storages: Dict[int, AggregationStorage]
     metrics: Metrics
@@ -128,6 +176,12 @@ class ClusterStepResult:
     makespan_seconds: float
     cores: List[CoreReport]
     steal_messages: int
+    failures: int = 0
+    detection_latency_units: float = 0.0
+    recovered_frames: int = 0
+    recovered_extensions: int = 0
+    recovery_units: float = 0.0
+    steal_retries: int = 0
 
     def finish_seconds(self, cost_model: CostModel) -> List[float]:
         """Per-core finish times in seconds (task runtimes of Figure 16)."""
@@ -156,6 +210,9 @@ class _Core:
         "record_timeline",
         "mem_tick",
         "failed",
+        "death_clock",
+        "detect_at",
+        "slowdown",
     )
 
     def __init__(
@@ -184,6 +241,9 @@ class _Core:
         self.record_timeline = record_timeline
         self.mem_tick = 0
         self.failed = False
+        self.death_clock = 0.0
+        self.detect_at = 0.0
+        self.slowdown = None  # straggler factor fn, set when a plan has windows
 
     def has_work(self) -> bool:
         """Whether any frame still has unconsumed extensions."""
@@ -197,9 +257,11 @@ class _Core:
         return None
 
     def charge(self, units: float) -> None:
-        """Advance the clock by busy work."""
+        """Advance the clock by busy work (stragglers pay a slowdown factor)."""
         if units <= 0.0:
             return
+        if self.slowdown is not None:
+            units *= self.slowdown(self.core_id, self.clock)
         if self.record_timeline:
             start = self.clock
             end = start + units
@@ -222,6 +284,85 @@ class _Core:
             self.peak_stack_bytes = footprint
             if footprint > self.metrics.peak_enumerator_bytes:
                 self.metrics.peak_enumerator_bytes = footprint
+
+
+class _FaultRuntime:
+    """Per-run fault state: kill deadlines, detector, channel, metrics.
+
+    One instance serves one ``run_step``; the fault metrics collected
+    here are engine-level (detection latency, recovery work) and merged
+    into the step's totals at collection time.
+    """
+
+    __slots__ = ("deadlines", "detector", "channel", "metrics", "cost", "slowdown")
+
+    def __init__(self, config: ClusterConfig, cost: CostModel):
+        plan = config.fault_plan
+        deadlines: Dict[int, float] = {}
+        if plan is not None:
+            deadlines.update(
+                plan.deadlines(config.workers, config.cores_per_worker)
+            )
+        for core_id, at in (config.fail_at or {}).items():
+            previous = deadlines.get(core_id)
+            if previous is None or at < previous:
+                deadlines[core_id] = at
+        self.deadlines = deadlines
+        self.detector = plan.detector if plan is not None else FailureDetector()
+        self.channel: Optional[MessageChannel] = None
+        if (
+            plan is not None
+            and plan.message_faults is not None
+            and plan.message_faults.active
+        ):
+            self.channel = MessageChannel(plan.message_faults, plan.seed)
+        self.metrics = Metrics()
+        self.cost = cost
+        self.slowdown = (
+            plan.slowdown if plan is not None and plan.has_stragglers else None
+        )
+
+    def on_death(self, core: _Core) -> None:
+        """Kill a core: orphan its frames, schedule the detection point."""
+        core.failed = True
+        core.done = True
+        core.death_clock = core.clock
+        core.detect_at = self.detector.detect_at(core.clock)
+        # The core's enumerators survive it (lineage recovery); any frame
+        # it had claimed from a thief becomes public again.  They stay
+        # invisible to thieves until the detector fires at ``detect_at``.
+        for frame in core.stack:
+            frame.stealable = True
+        metrics = self.metrics
+        metrics.failures_injected += 1
+        metrics.failures_detected += 1  # the detector always converges
+        metrics.detection_latency_units += core.detect_at - core.clock
+
+    def note_recovery(
+        self, core: _Core, ec_before: int, scans_before: int, extensions: int
+    ) -> None:
+        """Account one recovered orphan: wasted EC and re-derivation work.
+
+        Called after the recovering core rebuilt the lost prefix; the
+        counter deltas since ``*_before`` are the from-scratch
+        re-enumeration cost, charged to the core's clock and booked as
+        wasted work (it duplicates work the dead core already did).
+        """
+        cost = self.cost
+        ec_delta = core.metrics.extension_tests - ec_before
+        scan_delta = core.metrics.adjacency_scans - scans_before
+        rebuild_units = (
+            ec_delta * cost.extension_test_units
+            + scan_delta * cost.adjacency_scan_units
+        )
+        if rebuild_units > 0.0:
+            core.charge(rebuild_units)
+            core.steal_units += rebuild_units
+        metrics = self.metrics
+        metrics.reenumerated_frames += 1
+        metrics.reenumerated_extensions += extensions
+        metrics.wasted_extension_tests += ec_delta
+        metrics.wasted_work_units += rebuild_units
 
 
 class ClusterEngine:
@@ -263,13 +404,68 @@ class ClusterEngine:
         ]
         self._distribute_roots(cores, primitives, root_words)
 
-        steal_messages = 0
-        batch_quantum = config.batch_quantum
+        runtime = _FaultRuntime(config, cost)
+        if runtime.slowdown is not None:
+            for core in cores:
+                core.slowdown = runtime.slowdown
+
         heap: List[Tuple[float, int]] = [(core.clock, core.core_id) for core in cores]
         heapq.heapify(heap)
-        active = len(cores)
+        steal_messages = self._drain(
+            heap, cores, storages_per_core, primitives, sink, cost, runtime
+        )
 
-        fail_at = config.fail_at or {}
+        # Driver-level re-execution fallback (graceful degradation): any
+        # orphaned enumerator work stealing could not reach — one or both
+        # WS levels disabled, or the orphan's worker unreachable under the
+        # current policy — is resubmitted to a survivor and re-enumerated
+        # from scratch from its prefix words (the paper's §4.1 recovery
+        # strategy).  Loops because a survivor may itself die mid-recovery.
+        while True:
+            orphans = [
+                (victim, frame)
+                for victim in cores
+                if victim.failed
+                for frame in victim.stack
+                if frame.has_next()
+            ]
+            if not orphans:
+                break
+            survivors = sorted(
+                (core for core in cores if not core.failed),
+                key=lambda core: (core.clock, core.core_id),
+            )
+            # One orphan per survivor per round: a core can only rebuild
+            # one prefix at a time (its subgraph holds that prefix).
+            for target, (victim, frame) in zip(survivors, orphans):
+                self._resubmit(target, victim, frame, cost, runtime)
+            heap = []
+            for core in cores:
+                if not core.failed:
+                    core.done = False
+                    heap.append((core.clock, core.core_id))
+            heapq.heapify(heap)
+            steal_messages += self._drain(
+                heap, cores, storages_per_core, primitives, sink, cost, runtime
+            )
+
+        return self._collect(cores, storages_per_core, steal_messages, cost, runtime)
+
+    def _drain(
+        self,
+        heap: List[Tuple[float, int]],
+        cores: List[_Core],
+        storages_per_core: List[Dict[int, AggregationStorage]],
+        primitives: Sequence[Primitive],
+        sink,
+        cost: CostModel,
+        runtime: _FaultRuntime,
+    ) -> int:
+        """Run the event loop until no schedulable core has work left."""
+        config = self.config
+        batch_quantum = config.batch_quantum
+        deadlines = runtime.deadlines
+        steal_messages = 0
         while heap:
             clock, core_id = heapq.heappop(heap)
             core = cores[core_id]
@@ -279,15 +475,11 @@ class ClusterEngine:
                 # Stale heap entry; re-queue at the true clock.
                 heapq.heappush(heap, (core.clock, core_id))
                 continue
-            deadline = fail_at.get(core_id)
+            deadline = deadlines.get(core_id)
             if deadline is not None and core.clock >= deadline and not core.failed:
-                # The core dies between quanta.  Its enumerators remain
-                # visible to thieves (lineage recovery); any frame it had
-                # claimed becomes public again.
-                core.failed = True
-                core.done = True
-                for frame in core.stack:
-                    frame.stealable = True
+                # The core dies between quanta; the detector will notice
+                # at ``detect_at`` and survivors recover its enumerators.
+                runtime.on_death(core)
                 continue
             if core.stack:
                 # Run up to batch_quantum quanta before rescheduling.  At
@@ -305,21 +497,21 @@ class ClusterEngine:
                 heapq.heappush(heap, (core.clock, core_id))
                 continue
             # Idle: the stack is empty. Try to steal.
-            stolen, messages = self._try_steal(core, cores, cost)
+            stolen, messages = self._try_steal(core, cores, cost, runtime)
             steal_messages += messages
             if stolen:
                 heapq.heappush(heap, (core.clock, core_id))
                 continue
-            # Nothing stealable. If someone is still busy, work may appear.
-            busiest = self._earliest_busy_clock(cores, core_id)
-            if busiest is None:
+            # Nothing stealable now.  Work may appear when a busy core
+            # spawns frames, or when the detector declares a dead core
+            # and publishes its orphans to a reachable thief.
+            wake = self._next_work_clock(cores, core, config)
+            if wake is None:
                 core.done = True
-                active -= 1
                 continue
-            core.clock = max(core.clock, busiest) + _WAIT_EPSILON
+            core.clock = max(core.clock, wake) + _WAIT_EPSILON
             heapq.heappush(heap, (core.clock, core_id))
-
-        return self._collect(cores, storages_per_core, steal_messages, cost)
+        return steal_messages
 
     # ------------------------------------------------------------------
     # Setup
@@ -472,45 +664,117 @@ class ClusterEngine:
     # Work stealing
     # ------------------------------------------------------------------
     def _try_steal(
-        self, thief: _Core, cores: List[_Core], cost: CostModel
+        self,
+        thief: _Core,
+        cores: List[_Core],
+        cost: CostModel,
+        runtime: _FaultRuntime,
     ) -> Tuple[bool, int]:
         """Attempt WS_int, then WS_ext. Returns (success, messages sent)."""
         config = self.config
         if config.ws_internal:
-            frame = self._pick_victim(thief, cores, same_worker=True)
+            frame, victim = self._pick_victim(thief, cores, same_worker=True)
             if frame is not None:
-                self._transfer(thief, frame, cost.steal_internal_cost())
+                self._transfer(
+                    thief, frame, cost.steal_internal_cost(), runtime, victim.failed
+                )
                 thief.steals_internal += 1
                 thief.metrics.steals_internal += 1
                 return True, 0
         if config.ws_external:
-            frame = self._pick_victim(thief, cores, same_worker=False)
+            frame, victim = self._pick_victim(thief, cores, same_worker=False)
             if frame is not None:
+                if runtime.channel is None:
+                    delivered, penalty, delay, messages = True, 0.0, 0.0, 2
+                else:
+                    delivered, penalty, delay, messages = self._roundtrip(
+                        cost, runtime
+                    )
+                thief.metrics.steal_messages += messages
+                if not delivered:
+                    # Retries exhausted: the thief wasted the timeouts and
+                    # backoffs and returns to the scheduler; the frame
+                    # stays where it is.
+                    thief.charge(penalty)
+                    thief.steal_units += penalty
+                    thief.metrics.steal_work_units += penalty
+                    runtime.metrics.wasted_work_units += penalty
+                    return False, messages
                 units = cost.steal_external_cost(len(frame.prefix_words))
-                self._transfer(thief, frame, units)
+                units += penalty + delay
+                runtime.metrics.wasted_work_units += penalty
+                self._transfer(thief, frame, units, runtime, victim.failed)
                 thief.steals_external += 1
                 thief.metrics.steals_external += 1
-                thief.metrics.steal_messages += 2  # request + response
-                return True, 2
+                return True, messages
         return False, 0
+
+    def _roundtrip(
+        self, cost: CostModel, runtime: _FaultRuntime
+    ) -> Tuple[bool, float, float, int]:
+        """One external-steal request/response exchange under message faults.
+
+        Retries lost messages with exponential backoff up to
+        ``cost.steal_max_attempts`` sends.  Returns ``(delivered,
+        penalty_units, delay_units, messages_on_wire)`` — the penalty is
+        wasted time (timeouts + backoffs), the delay is added latency of
+        delivered-but-slow messages.
+        """
+        channel = runtime.channel
+        fault_metrics = runtime.metrics
+        penalty = 0.0
+        delay_total = 0.0
+        messages = 0
+        for attempt in range(1, cost.steal_max_attempts + 1):
+            exchange_ok = True
+            for _leg in (0, 1):  # request, then response
+                delivered, duplicated, delay, wire = channel.transmit()
+                messages += wire
+                if duplicated:
+                    # The receiver discards the duplicate (transfers carry
+                    # sequence numbers); it only costs wire traffic.
+                    fault_metrics.steal_messages_duplicated += 1
+                if not delivered:
+                    fault_metrics.steal_messages_dropped += 1
+                    exchange_ok = False
+                    break
+                if delay > 0.0:
+                    fault_metrics.steal_messages_delayed += 1
+                    delay_total += delay
+            if exchange_ok:
+                return True, penalty, delay_total, messages
+            penalty += cost.steal_retry_penalty(attempt)
+            fault_metrics.steal_retries += 1
+        return False, penalty, delay_total, messages
 
     def _pick_victim(
         self, thief: _Core, cores: List[_Core], same_worker: bool
-    ) -> Optional[SubgraphEnumerator]:
-        """Round-robin victim scan; returns the shallowest stealable frame."""
+    ) -> Tuple[Optional[SubgraphEnumerator], Optional[_Core]]:
+        """Round-robin victim scan; returns the shallowest stealable frame.
+
+        A dead victim's frames are only visible once the thief's clock
+        passes the failure detector's detection point for that core.
+        """
         n = len(cores)
         for offset in range(1, n):
             candidate = cores[(thief.core_id + offset) % n]
             is_local = candidate.worker_id == thief.worker_id
             if is_local != same_worker:
                 continue
+            if candidate.failed and thief.clock < candidate.detect_at:
+                continue
             frame = candidate.stealable_frame()
             if frame is not None:
-                return frame
-        return None
+                return frame, candidate
+        return None, None
 
     def _transfer(
-        self, thief: _Core, frame: SubgraphEnumerator, steal_units: float
+        self,
+        thief: _Core,
+        frame: SubgraphEnumerator,
+        steal_units: float,
+        runtime: _FaultRuntime,
+        orphaned: bool,
     ) -> None:
         """Move one extension of ``frame`` onto the thief as new root work."""
         word = frame.steal_one()
@@ -518,22 +782,88 @@ class ClusterEngine:
         thief.charge(steal_units)
         thief.steal_units += steal_units
         thief.metrics.steal_work_units += steal_units
+        ec_before = thief.metrics.extension_tests
+        scans_before = thief.metrics.adjacency_scans
         thief.strategy.rebuild(thief.subgraph, frame.prefix_words)
+        if orphaned:
+            # Recovering a dead core's enumerator: the prefix re-derivation
+            # is wasted (redundant) work the failure caused.
+            runtime.note_recovery(thief, ec_before, scans_before, extensions=1)
         thief.stack.append(
             SubgraphEnumerator(
                 frame.prefix_words, [word], frame.primitive_index, stealable=False
             )
         )
 
-    @staticmethod
-    def _earliest_busy_clock(cores: List[_Core], excluding: int) -> Optional[float]:
-        """Earliest clock among cores that still hold frames."""
-        clocks = [
-            core.clock
-            for core in cores
-            if core.core_id != excluding and core.stack and not core.done
-        ]
-        return min(clocks) if clocks else None
+    def _resubmit(
+        self,
+        target: _Core,
+        victim: _Core,
+        frame: SubgraphEnumerator,
+        cost: CostModel,
+        runtime: _FaultRuntime,
+    ) -> None:
+        """Driver-level recovery: re-execute an orphaned enumerator.
+
+        Used when work stealing cannot reach the orphan (stealing
+        disabled or the victim's worker unreachable).  The survivor waits
+        for the detection point, pays the resubmission cost, re-derives
+        the lost prefix from scratch and consumes the remaining
+        extensions as regular work.
+        """
+        assert not target.stack, "recovery target must be idle"
+        words = frame.extensions[frame.cursor :]
+        del frame.extensions[frame.cursor :]  # the orphan is now consumed
+        if target.clock < victim.detect_at:
+            # Waiting for detection is idle time, not busy work.
+            target.clock = victim.detect_at
+        units = cost.recovery_cost(len(frame.prefix_words))
+        ec_before = target.metrics.extension_tests
+        scans_before = target.metrics.adjacency_scans
+        target.strategy.rebuild(target.subgraph, frame.prefix_words)
+        target.stack.append(
+            SubgraphEnumerator(
+                frame.prefix_words,
+                words,
+                frame.primitive_index,
+                stealable=len(words) > 1,
+            )
+        )
+        target.charge(units)
+        target.steal_units += units
+        target.metrics.steal_work_units += units
+        runtime.metrics.wasted_work_units += units
+        runtime.note_recovery(target, ec_before, scans_before, len(words))
+
+    def _next_work_clock(
+        self, cores: List[_Core], thief: _Core, config: ClusterConfig
+    ) -> Optional[float]:
+        """Earliest clock at which stealable work may appear for ``thief``.
+
+        Busy cores may spawn frames at their current clock; a dead core's
+        orphans become visible at its detection point — but only count if
+        the stealing policy lets this thief reach them.
+        """
+        best: Optional[float] = None
+        for core in cores:
+            if core.core_id == thief.core_id:
+                continue
+            if core.failed:
+                local = core.worker_id == thief.worker_id
+                if local and not config.ws_internal:
+                    continue
+                if not local and not config.ws_external:
+                    continue
+                if core.stealable_frame() is None:
+                    continue
+                candidate = core.detect_at
+            else:
+                if core.done or not core.stack:
+                    continue
+                candidate = core.clock
+            if best is None or candidate < best:
+                best = candidate
+        return best
 
     # ------------------------------------------------------------------
     # Collection
@@ -544,6 +874,7 @@ class ClusterEngine:
         storages_per_core: List[Dict[int, AggregationStorage]],
         steal_messages: int,
         cost: CostModel,
+        runtime: _FaultRuntime,
     ) -> ClusterStepResult:
         merged: Dict[int, AggregationStorage] = {}
         for storages in storages_per_core:
@@ -553,6 +884,7 @@ class ClusterEngine:
                 else:
                     merged[uid].merge(storage)
         total_metrics = Metrics()
+        total_metrics.merge(runtime.metrics)
         reports: List[CoreReport] = []
         makespan = 0.0
         for core in cores:
@@ -572,6 +904,7 @@ class ClusterEngine:
                 )
             )
             makespan = max(makespan, core.clock)
+        fault_metrics = runtime.metrics
         return ClusterStepResult(
             storages=merged,
             metrics=total_metrics,
@@ -579,4 +912,10 @@ class ClusterEngine:
             makespan_seconds=cost.seconds(makespan),
             cores=reports,
             steal_messages=steal_messages,
+            failures=fault_metrics.failures_injected,
+            detection_latency_units=fault_metrics.detection_latency_units,
+            recovered_frames=fault_metrics.reenumerated_frames,
+            recovered_extensions=fault_metrics.reenumerated_extensions,
+            recovery_units=fault_metrics.wasted_work_units,
+            steal_retries=fault_metrics.steal_retries,
         )

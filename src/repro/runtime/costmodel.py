@@ -47,6 +47,15 @@ class CostModel:
     steal_request_units: float = 400.0  # WS_ext request/response messages
     steal_ship_units_per_word: float = 60.0  # prefix serialization
 
+    # Failure handling (fault-injection subsystem, paper §4.1 resilience).
+    # A lost steal message is noticed after a timeout; retries back off
+    # exponentially; orphaned enumerators unreachable through stealing
+    # are resubmitted by the driver and re-derived from scratch.
+    steal_timeout_units: float = 600.0  # waiting out a lost message
+    steal_backoff_units: float = 150.0  # base of the exponential backoff
+    steal_max_attempts: int = 4  # send attempts before a thief gives up
+    recovery_resubmit_units: float = 400.0  # driver resubmission message
+
     # Framework-level overheads.
     setup_overhead_s: float = 1.5  # actor system init (§6: ~1-2 s)
     framework_factor: float = 2.8  # generic engine vs specialized code (COST)
@@ -95,6 +104,28 @@ class CostModel:
         """Units charged for an external steal of a given prefix length."""
         return (
             self.steal_request_units
+            + self.steal_ship_units_per_word * max(1, prefix_length)
+        )
+
+    def steal_retry_penalty(self, attempt: int) -> float:
+        """Units a thief burns on one failed steal round-trip.
+
+        ``attempt`` is 1-based; the thief waits out the message timeout
+        and then backs off exponentially before resending.
+        """
+        return self.steal_timeout_units + self.steal_backoff_units * (
+            2 ** (attempt - 1)
+        )
+
+    def recovery_cost(self, prefix_length: int) -> float:
+        """Units to resubmit one orphaned enumerator to a survivor.
+
+        Covers the driver's resubmission message plus shipping the lost
+        prefix; the survivor additionally pays the real (metered) EC of
+        re-deriving the prefix from scratch.
+        """
+        return (
+            self.recovery_resubmit_units
             + self.steal_ship_units_per_word * max(1, prefix_length)
         )
 

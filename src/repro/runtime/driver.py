@@ -61,6 +61,33 @@ class ExecutionReport:
         """Simulated runtime including framework setup overhead."""
         return self.simulated_seconds + self.setup_seconds
 
+    def recovery_summary(self) -> Dict[str, float]:
+        """Fault-handling observability rolled up over all steps.
+
+        All values are zero for failure-free executions.  ``wasted_*``
+        quantify redundant work caused by from-scratch recovery;
+        ``detection_latency_units`` sums the heartbeat detector's lag per
+        failure (``mean_detection_latency_units`` divides by failures).
+        """
+        m = self.metrics
+        failures = m.failures_injected
+        return {
+            "failures_injected": failures,
+            "failures_detected": m.failures_detected,
+            "detection_latency_units": m.detection_latency_units,
+            "mean_detection_latency_units": (
+                m.detection_latency_units / failures if failures else 0.0
+            ),
+            "reenumerated_frames": m.reenumerated_frames,
+            "reenumerated_extensions": m.reenumerated_extensions,
+            "wasted_work_units": m.wasted_work_units,
+            "wasted_extension_tests": m.wasted_extension_tests,
+            "steal_retries": m.steal_retries,
+            "steal_messages_dropped": m.steal_messages_dropped,
+            "steal_messages_duplicated": m.steal_messages_duplicated,
+            "steal_messages_delayed": m.steal_messages_delayed,
+        }
+
 
 def execute_plan(
     graph: Graph,

@@ -1,0 +1,449 @@
+"""Declarative fault injection for the simulated cluster.
+
+Fractal's resilience argument (paper §4.1–4.2) is that the from-scratch
+processing strategy makes recovery cheap: any enumeration prefix can be
+re-derived from its word sequence, so a lost work unit is recovered by
+*re-enumeration* instead of checkpoint/restore.  This module turns that
+claim into a testable property.  A :class:`FaultPlan` declares *what goes
+wrong and when* on the simulated clock:
+
+* **whole-worker failures** — every core of a worker dies at once (a
+  machine crash);
+* **per-core kills** — one logical core dies (an executor thread lost);
+* **straggler windows** — a core runs ``factor``× slower for a clock
+  interval (CPU contention, GC pauses);
+* **message faults** — external-steal request/response messages are
+  dropped, duplicated or delayed with seeded probabilities (the Akka
+  layer misbehaving).
+
+Everything is deterministic: failures and stragglers fire on the
+simulated clock, message faults come from one seeded stream consumed in
+scheduler order, and the scheduler itself is a deterministic min-heap —
+so any fault schedule replays bit-for-bit.
+
+Failure *detection* is modeled by :class:`FailureDetector`: cores
+heartbeat every ``heartbeat_interval_units``; a core is declared dead
+once ``miss_threshold`` consecutive heartbeats are missing.  Orphaned
+enumerators become visible to the rest of the cluster only after the
+detection point — survivors then recover them through work stealing
+(with retry-and-backoff against message faults), and whatever stealing
+cannot reach is resubmitted by the driver-level fallback in
+:mod:`~repro.runtime.cluster` and re-enumerated from scratch.
+
+The core invariant, enforced by ``tests/test_fault_recovery.py`` and the
+chaos harness ``benchmarks/bench_fault_recovery.py``: **results and
+aggregations are byte-identical under every fault schedule**; only
+clocks, makespan and recovery metrics change.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "CoreFailure",
+    "WorkerFailure",
+    "StragglerWindow",
+    "MessageFaults",
+    "FailureDetector",
+    "FaultPlan",
+    "MessageChannel",
+]
+
+
+def _check_clock(value: float, what: str) -> None:
+    """Reject clock values the simulator cannot schedule."""
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise ValueError(f"{what} must be a number, got {value!r}")
+    if math.isnan(value):
+        raise ValueError(f"{what} must not be NaN")
+    if math.isinf(value):
+        raise ValueError(f"{what} must be finite, got {value!r}")
+    if value < 0:
+        raise ValueError(f"{what} must be non-negative, got {value!r}")
+
+
+@dataclass(frozen=True)
+class CoreFailure:
+    """Kill one logical core once its clock passes ``at`` units."""
+
+    core_id: int
+    at: float
+
+
+@dataclass(frozen=True)
+class WorkerFailure:
+    """Kill every core of one worker once their clocks pass ``at`` units."""
+
+    worker_id: int
+    at: float
+
+
+@dataclass(frozen=True)
+class StragglerWindow:
+    """Slow one core down: work in ``[start, end)`` costs ``factor``× units."""
+
+    core_id: int
+    start: float
+    end: float
+    factor: float = 4.0
+
+
+@dataclass(frozen=True)
+class MessageFaults:
+    """Seeded fault probabilities for external-steal messages.
+
+    Each message (request or response) independently draws: drop first,
+    then duplication, then delay.  A dropped message forces the thief
+    through the retry-and-backoff path; a duplicated message is counted
+    on the wire but discarded idempotently by the receiver (steal
+    transfers carry a sequence number in the real protocol); a delayed
+    message adds ``delay_units`` to the round-trip.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    delay_units: float = 300.0
+
+    def validate(self) -> None:
+        if not 0.0 <= self.drop < 1.0:
+            raise ValueError(
+                "message drop probability must be in [0, 1): a drop "
+                f"probability of {self.drop!r} would starve the retry loop"
+            )
+        for name in ("duplicate", "delay"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(
+                    f"message {name} probability must be in [0, 1], got {p!r}"
+                )
+        _check_clock(self.delay_units, "message delay_units")
+
+    @property
+    def active(self) -> bool:
+        return self.drop > 0 or self.duplicate > 0 or self.delay > 0
+
+
+@dataclass(frozen=True)
+class FailureDetector:
+    """Heartbeat/timeout failure detector.
+
+    Cores heartbeat at multiples of ``heartbeat_interval_units`` (the
+    beats piggyback on steal traffic and are not separately charged).  A
+    monitor declares a core dead after ``miss_threshold`` consecutive
+    missing heartbeats, so a core dying at clock ``t`` is *detected* at::
+
+        floor(t / interval) * interval + miss_threshold * interval
+
+    — its last heartbeat plus the full miss window.  Detection latency is
+    therefore bounded by ``(miss_threshold + 1) * interval`` and the
+    detector always converges: every injected failure is detected at a
+    finite simulated time.
+    """
+
+    heartbeat_interval_units: float = 100.0
+    miss_threshold: int = 3
+
+    def validate(self) -> None:
+        _check_clock(self.heartbeat_interval_units, "heartbeat interval")
+        if self.heartbeat_interval_units <= 0:
+            raise ValueError("heartbeat interval must be positive")
+        if self.miss_threshold < 1:
+            raise ValueError("heartbeat miss threshold must be >= 1")
+
+    def detect_at(self, death_clock: float) -> float:
+        """Simulated time at which a death at ``death_clock`` is detected."""
+        interval = self.heartbeat_interval_units
+        last_beat = math.floor(death_clock / interval) * interval
+        return last_beat + self.miss_threshold * interval
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, deterministic fault schedule for one execution.
+
+    Attach to :class:`~repro.runtime.cluster.ClusterConfig` via its
+    ``fault_plan`` field; the config validates the plan against the
+    cluster shape at construction time.
+    """
+
+    core_failures: Tuple[CoreFailure, ...] = ()
+    worker_failures: Tuple[WorkerFailure, ...] = ()
+    stragglers: Tuple[StragglerWindow, ...] = ()
+    message_faults: Optional[MessageFaults] = None
+    detector: FailureDetector = field(default_factory=FailureDetector)
+    seed: int = 0
+
+    def __post_init__(self):
+        # Accept lists for convenience; store tuples so plans are hashable.
+        for name in ("core_failures", "worker_failures", "stragglers"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, workers: int, cores_per_worker: int) -> None:
+        """Check the plan against a cluster shape; raise ``ValueError``."""
+        total = workers * cores_per_worker
+        for failure in self.core_failures:
+            if not 0 <= failure.core_id < total:
+                raise ValueError(
+                    f"fault plan kills core {failure.core_id}, but the "
+                    f"cluster has cores 0..{total - 1} "
+                    f"({workers} workers x {cores_per_worker} cores)"
+                )
+            _check_clock(failure.at, f"failure clock for core {failure.core_id}")
+        for failure in self.worker_failures:
+            if not 0 <= failure.worker_id < workers:
+                raise ValueError(
+                    f"fault plan kills worker {failure.worker_id}, but the "
+                    f"cluster has workers 0..{workers - 1}"
+                )
+            _check_clock(
+                failure.at, f"failure clock for worker {failure.worker_id}"
+            )
+        for window in self.stragglers:
+            if not 0 <= window.core_id < total:
+                raise ValueError(
+                    f"straggler window names core {window.core_id}, but the "
+                    f"cluster has cores 0..{total - 1}"
+                )
+            _check_clock(window.start, "straggler window start")
+            _check_clock(window.end, "straggler window end")
+            if window.end <= window.start:
+                raise ValueError(
+                    f"straggler window for core {window.core_id} is empty: "
+                    f"start={window.start!r}, end={window.end!r}"
+                )
+            if window.factor < 1.0 or math.isnan(window.factor):
+                raise ValueError(
+                    f"straggler factor must be >= 1, got {window.factor!r}"
+                )
+        if self.message_faults is not None:
+            self.message_faults.validate()
+        self.detector.validate()
+        if len(self.deadlines(workers, cores_per_worker)) >= total:
+            raise ValueError(
+                "fault plan kills every core; at least one core must "
+                "survive to recover the orphaned work"
+            )
+
+    # ------------------------------------------------------------------
+    # Queries used by the engine
+    # ------------------------------------------------------------------
+    def deadlines(self, workers: int, cores_per_worker: int) -> Dict[int, float]:
+        """Merged ``core_id -> earliest kill clock`` over all failures."""
+        merged: Dict[int, float] = {}
+        for failure in self.core_failures:
+            previous = merged.get(failure.core_id)
+            if previous is None or failure.at < previous:
+                merged[failure.core_id] = failure.at
+        for failure in self.worker_failures:
+            base = failure.worker_id * cores_per_worker
+            for core_id in range(base, base + cores_per_worker):
+                previous = merged.get(core_id)
+                if previous is None or failure.at < previous:
+                    merged[core_id] = failure.at
+        return merged
+
+    def slowdown(self, core_id: int, clock: float) -> float:
+        """Straggler factor for a core at a simulated instant (>= 1.0)."""
+        factor = 1.0
+        for window in self.stragglers:
+            if (
+                window.core_id == core_id
+                and window.start <= clock < window.end
+                and window.factor > factor
+            ):
+                factor = window.factor
+        return factor
+
+    @property
+    def has_stragglers(self) -> bool:
+        return bool(self.stragglers)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_seed(
+        cls,
+        seed: int,
+        workers: int,
+        cores_per_worker: int,
+        horizon_units: float = 2000.0,
+    ) -> "FaultPlan":
+        """Generate a random-but-deterministic chaos schedule.
+
+        ``horizon_units`` bounds when events fire; pick it near the
+        expected makespan so failures actually land mid-execution.  One
+        randomly chosen core (and its worker) is always spared so the
+        plan is recoverable.
+        """
+        if workers < 1 or cores_per_worker < 1:
+            raise ValueError("cluster shape must be at least 1x1")
+        _check_clock(horizon_units, "fault plan horizon")
+        # One sub-stream per schedule section: consecutive small seeds fed
+        # to a single Mersenne stream correlate at equal draw depths,
+        # which would starve whole fault categories across a seed sweep.
+        def sub(label: str) -> random.Random:
+            return random.Random(f"fault-plan:{label}:{seed}")
+
+        total = workers * cores_per_worker
+        rng = sub("survivor")
+        survivor = rng.randrange(total)
+        survivor_worker = survivor // cores_per_worker
+
+        rng = sub("core-kills")
+        candidates = [c for c in range(total) if c != survivor]
+        n_kills = rng.randint(0, max(0, len(candidates) // 2))
+        core_failures = tuple(
+            CoreFailure(core_id, round(rng.uniform(0.0, horizon_units), 3))
+            for core_id in sorted(rng.sample(candidates, n_kills))
+        )
+        worker_failures: Tuple[WorkerFailure, ...] = ()
+        rng = sub("worker-kill")
+        doomed = [w for w in range(workers) if w != survivor_worker]
+        if doomed and rng.random() < 0.4:
+            worker_failures = (
+                WorkerFailure(
+                    rng.choice(doomed), round(rng.uniform(0.0, horizon_units), 3)
+                ),
+            )
+        rng = sub("stragglers")
+        stragglers: List[StragglerWindow] = []
+        for _ in range(rng.randint(0, 2)):
+            start = round(rng.uniform(0.0, horizon_units), 3)
+            stragglers.append(
+                StragglerWindow(
+                    core_id=rng.randrange(total),
+                    start=start,
+                    end=round(start + rng.uniform(50.0, horizon_units / 2), 3),
+                    factor=round(rng.uniform(2.0, 8.0), 2),
+                )
+            )
+        rng = sub("messages")
+        message_faults = None
+        if rng.random() < 0.7:
+            message_faults = MessageFaults(
+                drop=round(rng.uniform(0.0, 0.4), 3),
+                duplicate=round(rng.uniform(0.0, 0.3), 3),
+                delay=round(rng.uniform(0.0, 0.4), 3),
+                delay_units=round(rng.uniform(50.0, 500.0), 1),
+            )
+        return cls(
+            core_failures=core_failures,
+            worker_failures=worker_failures,
+            stragglers=tuple(stragglers),
+            message_faults=message_faults,
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Serialization (CLI ``--fault-plan FILE``)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (round-trips through ``from_dict``)."""
+        out: dict = {"seed": self.seed}
+        if self.core_failures:
+            out["core_failures"] = [
+                {"core_id": f.core_id, "at": f.at} for f in self.core_failures
+            ]
+        if self.worker_failures:
+            out["worker_failures"] = [
+                {"worker_id": f.worker_id, "at": f.at}
+                for f in self.worker_failures
+            ]
+        if self.stragglers:
+            out["stragglers"] = [
+                {
+                    "core_id": w.core_id,
+                    "start": w.start,
+                    "end": w.end,
+                    "factor": w.factor,
+                }
+                for w in self.stragglers
+            ]
+        if self.message_faults is not None:
+            m = self.message_faults
+            out["message_faults"] = {
+                "drop": m.drop,
+                "duplicate": m.duplicate,
+                "delay": m.delay,
+                "delay_units": m.delay_units,
+            }
+        out["detector"] = {
+            "heartbeat_interval_units": self.detector.heartbeat_interval_units,
+            "miss_threshold": self.detector.miss_threshold,
+        }
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        """Inverse of :meth:`to_dict` (tolerates missing sections)."""
+        if not isinstance(data, dict):
+            raise ValueError(f"fault plan must be a JSON object, got {data!r}")
+        message_faults = None
+        if data.get("message_faults") is not None:
+            message_faults = MessageFaults(**data["message_faults"])
+        detector = FailureDetector(**data.get("detector", {}))
+        return cls(
+            core_failures=tuple(
+                CoreFailure(**entry) for entry in data.get("core_failures", ())
+            ),
+            worker_failures=tuple(
+                WorkerFailure(**entry)
+                for entry in data.get("worker_failures", ())
+            ),
+            stragglers=tuple(
+                StragglerWindow(**entry) for entry in data.get("stragglers", ())
+            ),
+            message_faults=message_faults,
+            detector=detector,
+            seed=data.get("seed", 0),
+        )
+
+    def save(self, path: str) -> None:
+        """Write the plan as JSON."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        """Read a plan written by :meth:`save` (or by hand)."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+class MessageChannel:
+    """Seeded fault decisions for the external-steal message stream.
+
+    One channel serves one ``run_step``: every message consumed draws
+    from a single ``random.Random(seed)`` stream.  Because the event
+    loop schedules deterministically, the i-th message of a run is
+    always the same message — fault decisions replay bit-for-bit.
+    """
+
+    __slots__ = ("faults", "_rng")
+
+    def __init__(self, faults: MessageFaults, seed: int):
+        self.faults = faults
+        self._rng = random.Random(f"repro-message-faults:{seed}")
+
+    def transmit(self) -> Tuple[bool, bool, float, int]:
+        """Fate of one message: (delivered, duplicated, delay_units, wire_count)."""
+        faults = self.faults
+        draw = self._rng.random
+        if draw() < faults.drop:
+            return False, False, 0.0, 1
+        duplicated = draw() < faults.duplicate
+        delay = faults.delay_units if draw() < faults.delay else 0.0
+        return True, duplicated, delay, 2 if duplicated else 1

@@ -7,7 +7,12 @@ The paper's evaluation is expressed in a handful of measurable quantities:
   GPM task and the currency of our simulated-time cost model;
 * subgraphs enumerated, filter evaluations, aggregation updates;
 * work-stealing activity (internal/external steals, steal messages);
-* memory footprints (enumerator state, aggregation storage).
+* memory footprints (enumerator state, aggregation storage);
+* fault handling — injected/detected failures, detection latency,
+  re-enumerated (recovered) work, wasted work units and wasted EC,
+  steal retries and message-fault counts.  These stay zero in
+  failure-free runs; under a fault plan they quantify the cost of the
+  paper's from-scratch recovery story while results stay identical.
 
 A single :class:`Metrics` instance accompanies every execution; engines and
 extension strategies increment its counters inline.
@@ -39,6 +44,17 @@ class Metrics:
         "steal_work_units",
         "peak_enumerator_bytes",
         "peak_aggregation_entries",
+        "failures_injected",
+        "failures_detected",
+        "detection_latency_units",
+        "reenumerated_frames",
+        "reenumerated_extensions",
+        "wasted_work_units",
+        "wasted_extension_tests",
+        "steal_retries",
+        "steal_messages_dropped",
+        "steal_messages_duplicated",
+        "steal_messages_delayed",
     )
 
     def __init__(self):
@@ -57,6 +73,17 @@ class Metrics:
         self.steal_work_units = 0.0
         self.peak_enumerator_bytes = 0
         self.peak_aggregation_entries = 0
+        self.failures_injected = 0
+        self.failures_detected = 0
+        self.detection_latency_units = 0.0
+        self.reenumerated_frames = 0
+        self.reenumerated_extensions = 0
+        self.wasted_work_units = 0.0
+        self.wasted_extension_tests = 0
+        self.steal_retries = 0
+        self.steal_messages_dropped = 0
+        self.steal_messages_duplicated = 0
+        self.steal_messages_delayed = 0
 
     def merge(self, other: "Metrics") -> None:
         """Accumulate counters from another instance (peaks take max)."""
@@ -73,6 +100,17 @@ class Metrics:
         self.steals_external += other.steals_external
         self.steal_messages += other.steal_messages
         self.steal_work_units += other.steal_work_units
+        self.failures_injected += other.failures_injected
+        self.failures_detected += other.failures_detected
+        self.detection_latency_units += other.detection_latency_units
+        self.reenumerated_frames += other.reenumerated_frames
+        self.reenumerated_extensions += other.reenumerated_extensions
+        self.wasted_work_units += other.wasted_work_units
+        self.wasted_extension_tests += other.wasted_extension_tests
+        self.steal_retries += other.steal_retries
+        self.steal_messages_dropped += other.steal_messages_dropped
+        self.steal_messages_duplicated += other.steal_messages_duplicated
+        self.steal_messages_delayed += other.steal_messages_delayed
         self.peak_enumerator_bytes = max(
             self.peak_enumerator_bytes, other.peak_enumerator_bytes
         )

@@ -92,3 +92,62 @@ class TestCommands:
             ]
         ) == 0
         assert "3-cliques" in capsys.readouterr().out
+
+
+class TestFaultInjection:
+    def test_inject_failures_prints_recovery(self, capsys):
+        assert main(
+            [
+                "run", "cliques", "--dataset", "mico", "--scale", "0.3",
+                "--k", "3", "--workers", "2", "--cores", "4",
+                "--inject-failures", "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3-cliques" in out
+        assert "fault injection:" in out
+        assert "recovery:" in out
+        assert "steal protocol:" in out
+
+    def test_fault_plan_file(self, capsys, tmp_path):
+        from repro import FaultPlan
+
+        path = tmp_path / "plan.json"
+        FaultPlan.from_seed(4, 2, 4).save(str(path))
+        assert main(
+            [
+                "run", "cliques", "--dataset", "mico", "--scale", "0.3",
+                "--k", "3", "--workers", "2", "--cores", "4",
+                "--fault-plan", str(path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3-cliques" in out
+        assert "fault injection:" in out
+
+    def test_fault_plan_file_missing(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot load fault plan"):
+            main(
+                [
+                    "run", "cliques", "--workers", "2", "--cores", "2",
+                    "--fault-plan", str(tmp_path / "nope.json"),
+                ]
+            )
+
+    def test_inject_failures_requires_cluster(self):
+        with pytest.raises(SystemExit, match="simulated cluster"):
+            main(
+                [
+                    "run", "cliques", "--dataset", "mico", "--scale", "0.3",
+                    "--inject-failures", "1",
+                ]
+            )
+
+    def test_flags_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                [
+                    "run", "cliques", "--inject-failures", "1",
+                    "--fault-plan", "plan.json",
+                ]
+            )

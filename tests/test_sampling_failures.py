@@ -144,9 +144,28 @@ class TestFailureInjection:
         )
         assert total_steals > 0
 
-    def test_requires_stealing(self):
-        with pytest.raises(ValueError):
-            ClusterConfig(ws_internal=False, fail_at={0: 1.0})
+    def test_recovery_without_stealing(self):
+        """With stealing off, orphans are recovered by driver resubmission."""
+        graph = powerlaw_graph(100, attach=5, seed=8)
+        config = ClusterConfig(
+            workers=2, cores_per_worker=4, ws_internal=False, ws_external=False
+        )
+        healthy = self._clique_count(graph, config)
+        injected = self._clique_count(
+            graph,
+            ClusterConfig(
+                workers=2,
+                cores_per_worker=4,
+                ws_internal=False,
+                ws_external=False,
+                fail_at={0: 10.0},
+            ),
+        )
+        assert injected.result_count == healthy.result_count
+        cluster = injected.steps[-1].cluster
+        assert cluster.failures == 1
+        assert cluster.recovered_frames > 0  # the driver-level fallback ran
+        assert injected.metrics.reenumerated_extensions > 0
 
     def test_failure_of_every_core_but_one(self):
         graph = powerlaw_graph(60, attach=4, seed=9)
