@@ -36,11 +36,23 @@ class FSMResult:
     frequent: Dict[Pattern, DomainSupport]
     rounds: int
     reports: List[ExecutionReport] = field(default_factory=list)
+    _patterns: Optional[List[Pattern]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def patterns(self) -> List[Pattern]:
-        """Frequent patterns sorted by (edge count, canonical code)."""
-        return sorted(self.frequent, key=lambda p: (p.n_edges, p.canonical_code()))
+        """Frequent patterns sorted by (edge count, canonical code).
+
+        Computed lazily on first access and cached — ``frequent`` is
+        immutable once the result is built, and callers index into this
+        list repeatedly (report tables, figure harnesses).
+        """
+        if self._patterns is None:
+            self._patterns = sorted(
+                self.frequent, key=lambda p: (p.n_edges, p.canonical_code())
+            )
+        return self._patterns
 
     def support_of(self, pattern: Pattern) -> int:
         """MNI support of a frequent pattern."""
@@ -70,12 +82,32 @@ def _support_aggregate(fractoid: Fractoid, min_support: int, exact: bool) -> Fra
         )
         return support
 
+    def update_fn(support, subgraph, computation):
+        # Map-side combining: fold the embedding into the existing
+        # DomainSupport directly instead of allocating a one-embedding
+        # support and reducing it away.  Equivalent to
+        # ``reduce_fn(support, value_fn(...))`` — aggregate() unions the
+        # fresh support's domains, which is exactly add_embedding.
+        pattern, positions = subgraph.pattern_with_positions()
+        orbit_of = pattern.canonical_position_orbits()
+        support.add_embedding(
+            subgraph.vertices, [orbit_of[p] for p in positions]
+        )
+        return support
+
     return fractoid.aggregate(
         "support",
         key_fn=key_fn,
         value_fn=value_fn,
         reduce_fn=lambda a, b: a.aggregate(b),
         agg_filter=lambda pattern, support: support.has_enough_support(),
+        update_fn=update_fn,
+        # MNI support is anti-monotone in the pattern but monotone in the
+        # contributions: once a key's reduction is complete, more of the
+        # same run cannot arrive, and has_enough_support() only ever flips
+        # False -> True as domains grow — safe to apply during the
+        # driver's streaming merge.
+        agg_filter_monotone=True,
     )
 
 

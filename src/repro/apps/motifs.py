@@ -30,6 +30,7 @@ def motifs_fractoid(fractal_graph: FractalGraph, k: int) -> Fractoid:
             key_fn=lambda subgraph, computation: subgraph.pattern(),
             value_fn=lambda subgraph, computation: 1,
             reduce_fn=lambda a, b: a + b,
+            update_fn=lambda count, subgraph, computation: count + 1,
         )
     )
 

@@ -178,6 +178,30 @@ def _print_recovery(report) -> None:
     )
 
 
+def _print_agg_shuffle(report) -> None:
+    """Aggregation-shuffle stats printed after cluster runs that aggregate."""
+    if report is None:
+        return
+    summary = report.aggregation_shuffle_summary()
+    if summary["combine_entries_in"] == 0:
+        return
+    print(
+        "aggregation shuffle: "
+        f"{summary['entries_shipped']:.0f} entries shipped "
+        f"({summary['words_shipped']:.0f} words, "
+        f"{summary['messages']:.0f} messages), "
+        f"combine ratio {summary['combine_ratio']:.3f} "
+        f"({summary['combine_entries_in']:.0f} -> "
+        f"{summary['combine_entries_out']:.0f} entries, "
+        f"{summary['spilled_entries']:.0f} spilled)"
+    )
+    print(
+        "aggregation cost: "
+        f"ship {summary['ship_units']:.1f} units, "
+        f"combine {summary['combine_units']:.1f} units"
+    )
+
+
 def _run_app(args) -> int:
     graph = _load_dataset(args.dataset, args.scale)
     engine = _engine(args)
@@ -229,8 +253,10 @@ def _run_app(args) -> int:
             f"{len(result.subgraphs)} minimal covers, "
             f"EC={result.extension_cost}"
         )
-    if isinstance(engine, ClusterConfig) and engine.fault_plan is not None:
-        _print_recovery(context.last_report)
+    if isinstance(engine, ClusterConfig):
+        _print_agg_shuffle(context.last_report)
+        if engine.fault_plan is not None:
+            _print_recovery(context.last_report)
     return 0
 
 

@@ -1,9 +1,20 @@
-"""Aggregation storage and the minimum image-based support (MNI).
+"""Aggregation storage, map-side combining and the MNI support.
 
 The aggregation primitive reduces ``(key, value)`` pairs extracted from
 subgraphs.  :class:`AggregationStorage` is the mutable reducer used while a
-step runs; :class:`AggregationView` is the read-only finalized mapping that
+step runs — it doubles as the *map-side combiner* of the two-level
+aggregation pipeline (local per-core combine, then a metered shuffle to
+the driver; see ``docs/internals.md`` §9).  :class:`BoundedCombinerStorage`
+is the optional bounded variant that spills its coldest entries when a
+configured entry budget is exceeded, trading combine ratio for memory.
+:class:`AggregationView` is the read-only finalized mapping that
 aggregation filters and output operators consume.
+
+:func:`merge_storages_streaming` is the driver-side reduce: a streaming
+merge over the worker-combined storages that completes each key's
+reduction before moving on, which lets a provably per-key-monotone
+``agg_filter`` (FSM's MNI threshold) prune entries during the merge
+instead of materializing the full unfiltered mapping first.
 
 :class:`DomainSupport` implements the *minimum image-based support*
 [Bringmann & Nijssen 2008] adopted by the paper for FSM: for each canonical
@@ -14,26 +25,58 @@ which is what lets FSM prune with an aggregation filter.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+import zlib
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
-__all__ = ["AggregationStorage", "AggregationView", "DomainSupport"]
+__all__ = [
+    "AggregationStorage",
+    "BoundedCombinerStorage",
+    "AggregationView",
+    "DomainSupport",
+    "merge_storages_streaming",
+    "ship_words",
+    "stable_partition",
+]
 
 
 class AggregationStorage:
-    """Mutable key/value reducer for one :class:`Aggregate` primitive."""
+    """Mutable key/value reducer for one :class:`Aggregate` primitive.
 
-    __slots__ = ("name", "reduce_fn", "agg_filter", "_data")
+    ``filter_monotone`` declares that ``agg_filter``'s verdict for a key,
+    once its value is fully reduced, is what matters — and that the filter
+    is *per-key-monotone*: adding further contributions can only keep a
+    passing key passing (FSM's MNI support threshold is the canonical
+    example).  The driver's streaming merge uses it to prune entries as
+    soon as their reduction completes.
+    """
+
+    __slots__ = ("name", "reduce_fn", "agg_filter", "filter_monotone", "_data", "_prefiltered")
 
     def __init__(
         self,
         name: str,
         reduce_fn: Callable[[Any, Any], Any],
         agg_filter: Optional[Callable[[Any, Any], bool]] = None,
+        filter_monotone: bool = False,
     ):
         self.name = name
         self.reduce_fn = reduce_fn
         self.agg_filter = agg_filter
+        self.filter_monotone = filter_monotone
         self._data: Dict[Any, Any] = {}
+        # Set by merge_storages_streaming when agg_filter was already
+        # applied during the merge; finalize() then skips the second pass.
+        self._prefiltered = False
 
     def add(self, key: Any, value: Any) -> None:
         """Reduce ``value`` into the entry for ``key``."""
@@ -43,17 +86,56 @@ class AggregationStorage:
         else:
             self._data[key] = self.reduce_fn(existing, value)
 
+    def add_inplace(
+        self,
+        key: Any,
+        subgraph: Any,
+        computation: Any,
+        value_fn: Callable,
+        update_fn: Callable,
+    ) -> None:
+        """Map-side combining without materializing a per-record value.
+
+        On first sight of ``key`` the value is built with ``value_fn``;
+        afterwards ``update_fn(existing, subgraph, computation)`` folds the
+        record directly into the stored value (DIMSpan-style pre-shuffle
+        combining).  Must be equivalent to
+        ``add(key, value_fn(subgraph, computation))`` — the hypothesis
+        equivalence suite asserts it for the shipped applications.
+        """
+        data = self._data
+        existing = data.get(key)
+        if existing is None:
+            data[key] = value_fn(subgraph, computation)
+        else:
+            replacement = update_fn(existing, subgraph, computation)
+            if replacement is not existing:
+                data[key] = replacement
+
     def merge(self, other: "AggregationStorage") -> None:
         """Reduce another storage into this one (worker-level combine)."""
         for key, value in other._data.items():
             self.add(key, value)
+
+    def merge_pairs(self, pairs: Iterable[Tuple[Any, Any]]) -> None:
+        """Reduce a stream of ``(key, value)`` pairs (spilled entries)."""
+        for key, value in pairs:
+            self.add(key, value)
+
+    def entries(self) -> Iterator[Tuple[Any, Any]]:
+        """Iterate the live ``(key, value)`` entries in insertion order."""
+        return iter(self._data.items())
+
+    def spill_pairs(self) -> Sequence[Tuple[Any, Any]]:
+        """Entries evicted by a bounded combiner (empty for the base)."""
+        return ()
 
     def __len__(self) -> int:
         return len(self._data)
 
     def finalize(self) -> "AggregationView":
         """Apply the post-reduction filter and freeze."""
-        if self.agg_filter is None:
+        if self.agg_filter is None or self._prefiltered:
             return AggregationView(dict(self._data))
         kept = {
             key: value
@@ -61,6 +143,172 @@ class AggregationStorage:
             if self.agg_filter(key, value)
         }
         return AggregationView(kept)
+
+
+class BoundedCombinerStorage(AggregationStorage):
+    """Map-side combiner with an entry budget.
+
+    When the live map exceeds ``entry_budget`` the coldest quarter of the
+    entries (least recently updated, deterministic tie-free order via a
+    monotonically increasing touch tick) is evicted to an append-only
+    spill list.  Spilled entries ship to the driver *uncombined* — the
+    shuffle meters them individually, so a tight budget shows up as a
+    worse combine ratio and more shipped entries — and are re-reduced
+    during the worker-level combine, which keeps finalized views equal to
+    the unbounded combiner for commutative/associative reduce functions.
+    """
+
+    __slots__ = ("entry_budget", "_touch", "_tick", "_spilled")
+
+    def __init__(
+        self,
+        name: str,
+        reduce_fn: Callable[[Any, Any], Any],
+        agg_filter: Optional[Callable[[Any, Any], bool]] = None,
+        filter_monotone: bool = False,
+        entry_budget: int = 1024,
+    ):
+        if entry_budget < 1:
+            raise ValueError("entry_budget must be >= 1")
+        super().__init__(name, reduce_fn, agg_filter, filter_monotone)
+        self.entry_budget = entry_budget
+        self._touch: Dict[Any, int] = {}
+        self._tick = 0
+        self._spilled: List[Tuple[Any, Any]] = []
+
+    def add(self, key: Any, value: Any) -> None:
+        super().add(key, value)
+        self._tick += 1
+        self._touch[key] = self._tick
+        if len(self._data) > self.entry_budget:
+            self._spill_coldest()
+
+    def add_inplace(self, key, subgraph, computation, value_fn, update_fn) -> None:
+        super().add_inplace(key, subgraph, computation, value_fn, update_fn)
+        self._tick += 1
+        self._touch[key] = self._tick
+        if len(self._data) > self.entry_budget:
+            self._spill_coldest()
+
+    def _spill_coldest(self) -> None:
+        """Evict the coldest ~25% of entries (at least one) to the spill."""
+        data = self._data
+        touch = self._touch
+        n_evict = max(1, self.entry_budget // 4)
+        coldest = sorted(data, key=touch.__getitem__)[:n_evict]
+        for key in coldest:
+            self._spilled.append((key, data.pop(key)))
+            del touch[key]
+
+    def spill_pairs(self) -> Sequence[Tuple[Any, Any]]:
+        return self._spilled
+
+
+def merge_storages_streaming(
+    storages: Sequence[AggregationStorage],
+) -> AggregationStorage:
+    """Streaming k-way merge of (worker-combined) storages at the driver.
+
+    Walks keys in first-appearance order across ``storages`` — the same
+    order the seed's sequential ``merge()`` loop produced, so finalized
+    views stay byte-identical — but completes each key's reduction across
+    all sources before moving on.  When the template storage declares its
+    ``agg_filter`` per-key-monotone, the filter is applied right there:
+    failing keys are dropped during the merge instead of surviving into an
+    unfiltered intermediate mapping that ``finalize`` would copy and prune
+    (FSM prunes the vast infrequent tail this way).
+
+    The reduce order per key is a fold in source order, which equals the
+    seed's flat loop for associative reduce functions; sources must not be
+    mutated afterwards.
+    """
+    if not storages:
+        raise ValueError("merge_storages_streaming needs at least one storage")
+    template = storages[0]
+    reduce_fn = template.reduce_fn
+    agg_filter = template.agg_filter
+    early = agg_filter is not None and template.filter_monotone
+    maps = [storage._data for storage in storages]
+    n = len(maps)
+    out: Dict[Any, Any] = {}
+    if n == 1:
+        if early:
+            for key, value in maps[0].items():
+                if agg_filter(key, value):
+                    out[key] = value
+        else:
+            out = dict(maps[0])
+    else:
+        done: set = set()
+        for i, source in enumerate(maps):
+            rest = maps[i + 1 :]
+            for key, value in source.items():
+                if key in done:
+                    continue
+                done.add(key)
+                acc = value
+                for other in rest:
+                    contribution = other.get(key)
+                    if contribution is not None:
+                        acc = reduce_fn(acc, contribution)
+                if not early or agg_filter(key, acc):
+                    out[key] = acc
+    merged = AggregationStorage(
+        template.name, reduce_fn, agg_filter, template.filter_monotone
+    )
+    merged._data = out
+    merged._prefiltered = early
+    return merged
+
+
+def ship_words(obj: Any) -> int:
+    """Serialized size of an aggregation key or value, in words.
+
+    Drives the metered aggregation shuffle: objects may provide their own
+    ``ship_words()`` (``Pattern`` and ``DomainSupport`` do); common
+    containers are sized by length; scalars count as one word.
+    """
+    sizer = getattr(obj, "ship_words", None)
+    if sizer is not None:
+        return sizer()
+    if isinstance(obj, (tuple, list, set, frozenset, str, bytes, dict)):
+        return max(1, len(obj))
+    return 1
+
+
+def _stable_hash(obj: Any) -> int:
+    """Deterministic (cross-process) hash for shuffle partitioning.
+
+    ``hash()`` is randomized for str/bytes-bearing keys, which would make
+    partition message counts differ run to run; this folds common key
+    shapes into a stable 64-bit value instead.
+    """
+    if isinstance(obj, bool):
+        return int(obj)
+    if isinstance(obj, int):
+        return obj
+    if isinstance(obj, str):
+        return zlib.crc32(obj.encode("utf-8"))
+    if isinstance(obj, bytes):
+        return zlib.crc32(obj)
+    if isinstance(obj, (tuple, list)):
+        h = 0x345678
+        for item in obj:
+            h = ((h * 1000003) ^ _stable_hash(item)) & 0xFFFFFFFFFFFFFFFF
+        return h
+    if isinstance(obj, (set, frozenset)):
+        return sum(_stable_hash(item) for item in obj) & 0xFFFFFFFFFFFFFFFF
+    code = getattr(obj, "canonical_code", None)
+    if code is not None:
+        return _stable_hash(code())
+    return zlib.crc32(repr(obj).encode("utf-8"))
+
+
+def stable_partition(key: Any, n_partitions: int) -> int:
+    """Hash partition of an aggregation key, deterministic across runs."""
+    if n_partitions <= 1:
+        return 0
+    return _stable_hash(key) % n_partitions
 
 
 class AggregationView:
@@ -171,6 +419,16 @@ class DomainSupport:
     def domain_sizes(self) -> Tuple[int, ...]:
         """Per-position domain sizes."""
         return tuple(len(domain) for domain in self._domains)
+
+    def ship_words(self) -> int:
+        """Serialized size in words when shipped as an aggregation value.
+
+        One word per domain vertex plus one header word — the quantity the
+        metered aggregation shuffle charges ``agg_ship_units_per_word``
+        for.  Capped domains (``exact=False``) ship fewer words, the
+        memory/communication win GRAMI-style saturation buys.
+        """
+        return 1 + sum(len(domain) for domain in self._domains)
 
     def __repr__(self) -> str:
         return (

@@ -98,9 +98,14 @@ class FractalGraph:
         factory = custom_strategy if custom_strategy is not None else VertexInducedStrategy
         return Fractoid(self, factory, (), mode="vertex")
 
-    def efractoid(self) -> Fractoid:
-        """B2: edge-induced fractoid."""
-        return Fractoid(self, EdgeInducedStrategy, (), mode="edge")
+    def efractoid(self, custom_strategy: Optional[Callable] = None) -> Fractoid:
+        """B2: edge-induced fractoid.
+
+        ``custom_strategy`` is the Appendix B extension hook, as on
+        :meth:`vfractoid`.
+        """
+        factory = custom_strategy if custom_strategy is not None else EdgeInducedStrategy
+        return Fractoid(self, factory, (), mode="edge")
 
     def pfractoid(self, pattern: Pattern) -> Fractoid:
         """B3: pattern-induced fractoid guided by ``pattern``."""

@@ -86,10 +86,26 @@ class Fractoid:
         value_fn: Callable,
         reduce_fn: Callable[[Any, Any], Any],
         agg_filter: Optional[Callable[[Any, Any], bool]] = None,
+        update_fn: Optional[Callable] = None,
+        agg_filter_monotone: bool = False,
     ) -> "Fractoid":
-        """W2: named aggregation of subgraphs into key/value pairs."""
+        """W2: named aggregation of subgraphs into key/value pairs.
+
+        ``update_fn`` and ``agg_filter_monotone`` are optional combiner
+        hints — see :class:`~repro.core.primitives.Aggregate`.
+        """
         return self._derive(
-            (Aggregate(name, key_fn, value_fn, reduce_fn, agg_filter),)
+            (
+                Aggregate(
+                    name,
+                    key_fn,
+                    value_fn,
+                    reduce_fn,
+                    agg_filter,
+                    update_fn,
+                    agg_filter_monotone,
+                ),
+            )
         )
 
     def explore(self, n: int) -> "Fractoid":
@@ -184,6 +200,8 @@ def _clone(primitive: Primitive) -> Primitive:
             primitive.value_fn,
             primitive.reduce_fn,
             primitive.agg_filter,
+            primitive.update_fn,
+            primitive.agg_filter_monotone,
         )
     if isinstance(primitive, AggregationFilter):
         return AggregationFilter(primitive.name, primitive.fn)

@@ -66,9 +66,25 @@ class Aggregate(Primitive):
         reduce_fn: associative/commutative ``(value, value) -> value``.
         agg_filter: optional ``(key, value) -> bool`` applied after the
             final reduction (the paper's ``aggFilter`` parameter).
+        update_fn: optional ``(value, subgraph, computation) -> value``
+            folding a record into an existing entry in place, so the
+            map-side combiner can skip materializing ``value_fn``'s result
+            for every record.  Must be equivalent to
+            ``reduce_fn(value, value_fn(subgraph, computation))``.
+        agg_filter_monotone: declare ``agg_filter`` per-key-monotone so
+            the driver's streaming merge may apply it early (see
+            :class:`~repro.core.aggregation.AggregationStorage`).
     """
 
-    __slots__ = ("name", "key_fn", "value_fn", "reduce_fn", "agg_filter")
+    __slots__ = (
+        "name",
+        "key_fn",
+        "value_fn",
+        "reduce_fn",
+        "agg_filter",
+        "update_fn",
+        "agg_filter_monotone",
+    )
 
     def __init__(
         self,
@@ -77,6 +93,8 @@ class Aggregate(Primitive):
         value_fn: Callable,
         reduce_fn: Callable[[Any, Any], Any],
         agg_filter: Optional[Callable[[Any, Any], bool]] = None,
+        update_fn: Optional[Callable] = None,
+        agg_filter_monotone: bool = False,
     ):
         super().__init__()
         self.name = name
@@ -84,6 +102,8 @@ class Aggregate(Primitive):
         self.value_fn = value_fn
         self.reduce_fn = reduce_fn
         self.agg_filter = agg_filter
+        self.update_fn = update_fn
+        self.agg_filter_monotone = agg_filter_monotone
 
     def __repr__(self) -> str:
         return f"A({self.name!r})"

@@ -39,6 +39,8 @@ class Subgraph:
         "version",
         "_edges_per_level",
         "_vertices_per_level",
+        "_pat_version",
+        "_pat_cache",
     )
 
     def __init__(self, graph: Graph, interner: Optional[PatternInterner] = None):
@@ -54,6 +56,13 @@ class Subgraph:
         # Per push bookkeeping so pops restore the exact previous state.
         self._edges_per_level: List[int] = []
         self._vertices_per_level: List[int] = []
+        # Canonical-key memo: pattern()/pattern_with_positions() results
+        # are stable for a given version, and aggregation key/value/update
+        # callbacks routinely canonicalize the same subgraph two or three
+        # times per record (FSM does), so one interner round-trip per
+        # version is enough.
+        self._pat_version: int = -1
+        self._pat_cache: Optional[Tuple[Pattern, Tuple[int, ...]]] = None
 
     # ------------------------------------------------------------------
     # Stack-like mutation (used by extension strategies)
@@ -184,19 +193,25 @@ class Subgraph:
 
     def pattern(self) -> Pattern:
         """Canonical pattern ρ(S) of this subgraph (interned)."""
-        labels, qedges = self.quotient()
-        pattern, _ = self.interner.intern(labels, qedges)
-        return pattern
+        return self.pattern_with_positions()[0]
 
     def pattern_with_positions(self) -> Tuple[Pattern, Tuple[int, ...]]:
         """Canonical pattern plus each subgraph vertex's canonical position.
 
         Returns ``(pattern, positions)`` where ``positions[i]`` is the
         canonical pattern position of ``self.vertices[i]`` — the mapping
-        minimum-image (MNI) support counting requires.
+        minimum-image (MNI) support counting requires.  Memoized per
+        :attr:`version`, so repeated calls at the same enumeration state
+        (key_fn, value_fn and update_fn of one aggregation record) pay a
+        single quotient + intern.
         """
+        if self._pat_version == self.version:
+            return self._pat_cache
         labels, qedges = self.quotient()
-        return self.interner.intern(labels, qedges)
+        result = self.interner.intern(labels, qedges)
+        self._pat_cache = result
+        self._pat_version = self.version
+        return result
 
     def freeze(self) -> "SubgraphResult":
         """Immutable snapshot for output operators."""

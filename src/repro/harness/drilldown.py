@@ -363,6 +363,21 @@ def run_sec6_overheads(
         for c in step.cluster.cores
     )
     steal_units = full_report.metrics.steal_work_units
+
+    # Aggregation-shuffle overhead needs an aggregating workload (cliques
+    # ship nothing): meter a motifs census on the same graph and cluster.
+    agg_report = motifs_fractoid(
+        FractalContext(engine=config).from_graph(graph), 3
+    ).execute(collect=None)
+    agg_busy = sum(
+        c.busy_units
+        for step in agg_report.steps
+        if step.cluster is not None
+        for c in step.cluster.cores
+    )
+    agg_units = (
+        agg_report.metrics.agg_ship_units + agg_report.metrics.agg_combine_units
+    )
     summary = {
         "vertex_reduction": reduced.vertex_reduction(),
         "edge_reduction": reduced.edge_reduction(),
@@ -371,6 +386,9 @@ def run_sec6_overheads(
         "runtime_full_s": full_report.simulated_seconds,
         "runtime_reduced_s": reduced_report.simulated_seconds,
         "steal_overhead_fraction": steal_units / total_busy if total_busy else 0.0,
+        "agg_ship_units": agg_report.metrics.agg_ship_units,
+        "agg_entries_shipped": agg_report.metrics.agg_entries_shipped,
+        "agg_overhead_fraction": agg_units / agg_busy if agg_busy else 0.0,
     }
     if verbose:
         print_table(
@@ -386,7 +404,15 @@ def run_sec6_overheads(
                     "steal overhead",
                     f"{summary['steal_overhead_fraction']:.2%}",
                 ),
+                (
+                    "agg entries shipped (motifs k=3)",
+                    f"{summary['agg_entries_shipped']:.0f}",
+                ),
+                (
+                    "agg shuffle overhead (motifs k=3)",
+                    f"{summary['agg_overhead_fraction']:.2%}",
+                ),
             ],
-            title="§6 — Overheads: cliques graph reduction + steal cost",
+            title="§6 — Overheads: cliques graph reduction + steal/agg cost",
         )
     return summary

@@ -42,6 +42,7 @@ class Pattern:
         "_canonical_map",
         "_adj",
         "_orbits",
+        "_pos_orbits",
         "_hash",
     )
 
@@ -69,6 +70,7 @@ class Pattern:
         self._code: Optional[Tuple] = None
         self._canonical_map: Optional[Tuple[int, ...]] = None
         self._orbits: Optional[Tuple[int, ...]] = None
+        self._pos_orbits: Optional[Tuple[int, ...]] = None
         self._hash: Optional[int] = None
         self._adj: Optional[List[List[Tuple[int, int]]]] = None
 
@@ -91,6 +93,7 @@ class Pattern:
         pattern._code = code
         pattern._canonical_map = canonical_map
         pattern._orbits = None
+        pattern._pos_orbits = None
         pattern._hash = None
         pattern._adj = None
         return pattern
@@ -270,13 +273,27 @@ class Pattern:
         return self._orbits
 
     def canonical_position_orbits(self) -> Tuple[int, ...]:
-        """Orbit id per *canonical position* (see :meth:`vertex_orbits`)."""
-        orbits = self.vertex_orbits()
-        mapping = self.canonical_vertex_map()
-        by_position = [0] * self.n_vertices
-        for vertex, position in enumerate(mapping):
-            by_position[position] = orbits[vertex]
-        return tuple(by_position)
+        """Orbit id per *canonical position* (see :meth:`vertex_orbits`).
+
+        Cached: FSM support counting reads this once per enumerated
+        subgraph through the shared interned representative.
+        """
+        if self._pos_orbits is None:
+            orbits = self.vertex_orbits()
+            mapping = self.canonical_vertex_map()
+            by_position = [0] * self.n_vertices
+            for vertex, position in enumerate(mapping):
+                by_position[position] = orbits[vertex]
+            self._pos_orbits = tuple(by_position)
+        return self._pos_orbits
+
+    def ship_words(self) -> int:
+        """Serialized size in words when shipped as an aggregation key.
+
+        A pattern wire format is one word per vertex label plus an
+        ``(a, b, elabel)`` triple per edge.
+        """
+        return len(self.vertex_labels) + 3 * len(self.edges)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Pattern):

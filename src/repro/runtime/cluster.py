@@ -43,7 +43,12 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..core.aggregation import AggregationStorage
+from ..core.aggregation import (
+    AggregationStorage,
+    merge_storages_streaming,
+    ship_words,
+    stable_partition,
+)
 from ..core.computation import Computation
 from ..core.enumerator import ExtensionStrategy, SubgraphEnumerator
 from ..core.primitives import (
@@ -97,10 +102,22 @@ class ClusterConfig:
     # simulations; results and totals (counts, EC) are unchanged, but
     # steal interleavings, per-core clocks and makespan may differ.
     batch_quantum: int = 1
+    # Two-level aggregation shuffle (DESIGN §5, docs/internals.md §9).
+    # ``agg_entry_budget`` bounds each core's map-side combiner: above
+    # the budget the coldest entries spill and are re-reduced during the
+    # worker-level combine (None = unbounded, the default).
+    # ``meter_agg_shuffle`` charges the worker combine and the
+    # driver-ward entry shipping to the simulated clock; finalized views
+    # are identical either way, only makespan and the agg_* unit metrics
+    # change.
+    agg_entry_budget: Optional[int] = None
+    meter_agg_shuffle: bool = True
 
     def __post_init__(self):
         if self.batch_quantum < 1:
             raise ValueError("batch_quantum must be >= 1")
+        if self.agg_entry_budget is not None and self.agg_entry_budget < 1:
+            raise ValueError("agg_entry_budget must be >= 1 (or None)")
         total = self.workers * self.cores_per_worker
         if self.fail_at:
             for core_id, deadline in self.fail_at.items():
@@ -150,6 +167,11 @@ class CoreReport:
     steals_internal: int
     steals_external: int
     peak_stack_bytes: int
+    # Aggregation-shuffle share of this core: the worker-level combine
+    # and entry shipping are charged to the first surviving core of each
+    # worker, so these are zero everywhere else.
+    agg_ship_units: float = 0.0
+    agg_entries_shipped: int = 0
     failed: bool = False
     # Merged (start, end) busy intervals in units, when timeline recording
     # is enabled (Figure 8).
@@ -197,6 +219,8 @@ class _Core:
         "clock",
         "busy_units",
         "steal_units",
+        "agg_units",
+        "agg_entries_shipped",
         "steals_internal",
         "steals_external",
         "stack",
@@ -228,6 +252,8 @@ class _Core:
         self.clock = 0.0
         self.busy_units = 0.0
         self.steal_units = 0.0
+        self.agg_units = 0.0
+        self.agg_entries_shipped = 0
         self.steals_internal = 0
         self.steals_external = 0
         self.stack: List[SubgraphEnumerator] = []
@@ -400,7 +426,8 @@ class ClusterEngine:
         cost = config.cost_model
         cores = self._build_cores(graph, strategy_factory, interner, aggregation_views)
         storages_per_core = [
-            new_storages(primitives, cached_uids) for _ in cores
+            new_storages(primitives, cached_uids, entry_budget=config.agg_entry_budget)
+            for _ in cores
         ]
         self._distribute_roots(cores, primitives, root_words)
 
@@ -628,8 +655,18 @@ class ClusterEngine:
                 storage = storages.get(primitive.uid)
                 if storage is not None:
                     key = primitive.key_fn(core.subgraph, core.computation)
-                    value = primitive.value_fn(core.subgraph, core.computation)
-                    storage.add(key, value)
+                    if primitive.update_fn is not None:
+                        storage.add_inplace(
+                            key,
+                            core.subgraph,
+                            core.computation,
+                            primitive.value_fn,
+                            primitive.update_fn,
+                        )
+                    else:
+                        storage.add(
+                            key, primitive.value_fn(core.subgraph, core.computation)
+                        )
                     metrics.aggregate_updates += 1
                     units += cost.aggregate_units
             idx += 1
@@ -868,6 +905,92 @@ class ClusterEngine:
     # ------------------------------------------------------------------
     # Collection
     # ------------------------------------------------------------------
+    def _shuffle_aggregations(
+        self,
+        cores: List[_Core],
+        storages_per_core: List[Dict[int, AggregationStorage]],
+        cost: CostModel,
+    ) -> Dict[int, AggregationStorage]:
+        """Two-level aggregation shuffle (replaces the flat unmetered merge).
+
+        Level 1 — worker combine, on the simulated clock: per worker, the
+        per-core combiner maps fold into one storage per aggregation
+        (cores in id order, a core's spilled entries re-reduced before its
+        live map).  Level 2 — metered ship + driver merge: the combined
+        entries are hash-partitioned, shipped driver-ward at the
+        ``agg_ship_*`` rates plus one message latency per non-empty
+        partition, then k-way merged in worker order with a per-key
+        monotone ``agg_filter`` applied early.
+
+        Under the default config (unbounded combiner) the key
+        first-appearance order and per-key fold order match the seed's
+        sequential merge, so finalized views are byte-identical; the
+        shuffle costs land on the first surviving core of each worker and
+        move makespan, not results.  Dead cores' storages are still
+        merged (seed semantics — results are fault-independent), but a
+        worker with no survivor charges nothing.
+        """
+        config = self.config
+        uids = list(storages_per_core[0]) if storages_per_core else []
+        if not uids:
+            return {}
+        meter = config.meter_agg_shuffle
+        n_workers = config.workers
+        cpw = config.cores_per_worker
+        worker_combined: List[Dict[int, AggregationStorage]] = []
+        for w in range(n_workers):
+            worker_cores = cores[w * cpw : (w + 1) * cpw]
+            survivor = next((c for c in worker_cores if not c.failed), None)
+            combined_by_uid: Dict[int, AggregationStorage] = {}
+            for uid in uids:
+                template = storages_per_core[worker_cores[0].core_id][uid]
+                combined = AggregationStorage(
+                    template.name,
+                    template.reduce_fn,
+                    template.agg_filter,
+                    template.filter_monotone,
+                )
+                entries_in = 0
+                spilled = 0
+                for c in worker_cores:
+                    storage = storages_per_core[c.core_id][uid]
+                    spill = storage.spill_pairs()
+                    if spill:
+                        combined.merge_pairs(spill)
+                        spilled += len(spill)
+                    combined.merge(storage)
+                    entries_in += len(spill) + len(storage)
+                combined_by_uid[uid] = combined
+                if entries_in == 0 or survivor is None:
+                    continue
+                entries_out = len(combined)
+                words = 0
+                partitions = set()
+                for key, value in combined.entries():
+                    words += ship_words(key) + ship_words(value)
+                    partitions.add(stable_partition(key, n_workers))
+                messages = len(partitions)
+                metrics = survivor.metrics
+                metrics.agg_entries_shipped += entries_out
+                metrics.agg_words_shipped += words
+                metrics.agg_messages += messages
+                metrics.agg_combine_entries_in += entries_in
+                metrics.agg_combine_entries_out += entries_out
+                metrics.agg_spilled_entries += spilled
+                survivor.agg_entries_shipped += entries_out
+                if meter:
+                    combine_units = cost.agg_combine_cost(entries_in)
+                    ship_units = cost.agg_ship_cost(entries_out, words, messages)
+                    metrics.agg_combine_units += combine_units
+                    metrics.agg_ship_units += ship_units
+                    survivor.agg_units += combine_units + ship_units
+                    survivor.charge(combine_units + ship_units)
+            worker_combined.append(combined_by_uid)
+        return {
+            uid: merge_storages_streaming([wc[uid] for wc in worker_combined])
+            for uid in uids
+        }
+
     def _collect(
         self,
         cores: List[_Core],
@@ -876,13 +999,7 @@ class ClusterEngine:
         cost: CostModel,
         runtime: _FaultRuntime,
     ) -> ClusterStepResult:
-        merged: Dict[int, AggregationStorage] = {}
-        for storages in storages_per_core:
-            for uid, storage in storages.items():
-                if uid not in merged:
-                    merged[uid] = storage
-                else:
-                    merged[uid].merge(storage)
+        merged = self._shuffle_aggregations(cores, storages_per_core, cost)
         total_metrics = Metrics()
         total_metrics.merge(runtime.metrics)
         reports: List[CoreReport] = []
@@ -899,11 +1016,22 @@ class ClusterEngine:
                     steals_internal=core.steals_internal,
                     steals_external=core.steals_external,
                     peak_stack_bytes=core.peak_stack_bytes,
+                    agg_ship_units=core.agg_units,
+                    agg_entries_shipped=core.agg_entries_shipped,
                     failed=core.failed,
                     busy_intervals=core.busy_intervals,
                 )
             )
             makespan = max(makespan, core.clock)
+        peak_entries = total_metrics.peak_aggregation_entries
+        for storages in storages_per_core:
+            for storage in storages.values():
+                if len(storage) > peak_entries:
+                    peak_entries = len(storage)
+        for storage in merged.values():
+            if len(storage) > peak_entries:
+                peak_entries = len(storage)
+        total_metrics.peak_aggregation_entries = peak_entries
         fault_metrics = runtime.metrics
         return ClusterStepResult(
             storages=merged,

@@ -47,6 +47,19 @@ class CostModel:
     steal_request_units: float = 400.0  # WS_ext request/response messages
     steal_ship_units_per_word: float = 60.0  # prefix serialization
 
+    # Two-level aggregation shuffle (paper §4.1; DESIGN §5).  The
+    # worker-level combine folds per-core maps on the simulated clock;
+    # the combined entries then ship to the driver in hash-partitioned
+    # messages.  Per-entry/per-word ship rates are far below steal prefix
+    # shipping — aggregation entries are batched bulk transfer, steals
+    # are latency-bound round-trips — which is what keeps the paper's
+    # aggregation communication a small overhead (§6, "low communication
+    # overhead") while still visible in the overhead tables.
+    agg_combine_units_per_entry: float = 1.0  # fold one entry intra-worker
+    agg_ship_units_per_entry: float = 2.0  # per-entry serialization
+    agg_ship_units_per_word: float = 0.5  # key/value payload words
+    agg_message_units: float = 400.0  # per-partition message latency
+
     # Failure handling (fault-injection subsystem, paper §4.1 resilience).
     # A lost steal message is noticed after a timeout; retries back off
     # exponentially; orphaned enumerators unreachable through stealing
@@ -115,6 +128,22 @@ class CostModel:
         """
         return self.steal_timeout_units + self.steal_backoff_units * (
             2 ** (attempt - 1)
+        )
+
+    def agg_combine_cost(self, entries: int) -> float:
+        """Units for the worker-level combine folding ``entries`` entries."""
+        return self.agg_combine_units_per_entry * entries
+
+    def agg_ship_cost(self, entries: int, words: int, messages: int) -> float:
+        """Units to ship combined aggregation entries to the driver.
+
+        ``entries``/``words`` meter serialization and payload volume,
+        ``messages`` the per-partition message latency of the shuffle.
+        """
+        return (
+            self.agg_ship_units_per_entry * entries
+            + self.agg_ship_units_per_word * words
+            + self.agg_message_units * messages
         )
 
     def recovery_cost(self, prefix_length: int) -> float:

@@ -88,6 +88,30 @@ class ExecutionReport:
             "steal_messages_delayed": m.steal_messages_delayed,
         }
 
+    def aggregation_shuffle_summary(self) -> Dict[str, float]:
+        """Two-level aggregation shuffle observability over all steps.
+
+        ``combine_ratio`` is output/input entries of the worker-level
+        combine — the map-side combining effectiveness (1.0 = nothing
+        combined, lower is better).  All values are zero for executions
+        without aggregations or on the sequential engine.
+        """
+        m = self.metrics
+        entries_in = m.agg_combine_entries_in
+        return {
+            "entries_shipped": m.agg_entries_shipped,
+            "words_shipped": m.agg_words_shipped,
+            "messages": m.agg_messages,
+            "ship_units": m.agg_ship_units,
+            "combine_entries_in": entries_in,
+            "combine_entries_out": m.agg_combine_entries_out,
+            "combine_ratio": (
+                m.agg_combine_entries_out / entries_in if entries_in else 0.0
+            ),
+            "combine_units": m.agg_combine_units,
+            "spilled_entries": m.agg_spilled_entries,
+        }
+
 
 def execute_plan(
     graph: Graph,

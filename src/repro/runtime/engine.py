@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..core.aggregation import AggregationStorage
+from ..core.aggregation import AggregationStorage, BoundedCombinerStorage
 from ..core.computation import Computation
 from ..core.enumerator import ExtensionStrategy
 from ..core.primitives import (
@@ -35,15 +35,34 @@ Sink = Callable[[object], None]
 
 
 def new_storages(
-    primitives: Sequence[Primitive], cached_uids
+    primitives: Sequence[Primitive],
+    cached_uids,
+    entry_budget: Optional[int] = None,
 ) -> Dict[int, AggregationStorage]:
-    """Fresh storage for every non-cached aggregation in a step."""
+    """Fresh storage for every non-cached aggregation in a step.
+
+    ``entry_budget`` selects the bounded map-side combiner (cluster cores
+    under ``ClusterConfig.agg_entry_budget``); None keeps the unbounded
+    storage.
+    """
     storages: Dict[int, AggregationStorage] = {}
     for primitive in primitives:
         if isinstance(primitive, Aggregate) and primitive.uid not in cached_uids:
-            storages[primitive.uid] = AggregationStorage(
-                primitive.name, primitive.reduce_fn, primitive.agg_filter
-            )
+            if entry_budget is not None:
+                storages[primitive.uid] = BoundedCombinerStorage(
+                    primitive.name,
+                    primitive.reduce_fn,
+                    primitive.agg_filter,
+                    filter_monotone=primitive.agg_filter_monotone,
+                    entry_budget=entry_budget,
+                )
+            else:
+                storages[primitive.uid] = AggregationStorage(
+                    primitive.name,
+                    primitive.reduce_fn,
+                    primitive.agg_filter,
+                    filter_monotone=primitive.agg_filter_monotone,
+                )
     return storages
 
 
@@ -110,14 +129,28 @@ def run_step_sequential(
                             return
                         key_fn = tail.key_fn
                         value_fn = tail.value_fn
-                        add = storage.add
-                        for word in extensions:
-                            strategy_push(subgraph, word)
-                            add(
-                                key_fn(subgraph, computation),
-                                value_fn(subgraph, computation),
-                            )
-                            strategy_pop(subgraph)
+                        update_fn = tail.update_fn
+                        if update_fn is not None:
+                            add_inplace = storage.add_inplace
+                            for word in extensions:
+                                strategy_push(subgraph, word)
+                                add_inplace(
+                                    key_fn(subgraph, computation),
+                                    subgraph,
+                                    computation,
+                                    value_fn,
+                                    update_fn,
+                                )
+                                strategy_pop(subgraph)
+                        else:
+                            add = storage.add
+                            for word in extensions:
+                                strategy_push(subgraph, word)
+                                add(
+                                    key_fn(subgraph, computation),
+                                    value_fn(subgraph, computation),
+                                )
+                                strategy_pop(subgraph)
                         metrics.aggregate_updates += len(extensions)
                         return
                 for word in extensions:
@@ -140,8 +173,16 @@ def run_step_sequential(
                 storage = storages.get(primitive.uid)
                 if storage is not None:
                     key = primitive.key_fn(subgraph, computation)
-                    value = primitive.value_fn(subgraph, computation)
-                    storage.add(key, value)
+                    if primitive.update_fn is not None:
+                        storage.add_inplace(
+                            key,
+                            subgraph,
+                            computation,
+                            primitive.value_fn,
+                            primitive.update_fn,
+                        )
+                    else:
+                        storage.add(key, primitive.value_fn(subgraph, computation))
                     metrics.aggregate_updates += 1
             idx += 1
         if sink is not None:

@@ -7,6 +7,11 @@ The paper's evaluation is expressed in a handful of measurable quantities:
   GPM task and the currency of our simulated-time cost model;
 * subgraphs enumerated, filter evaluations, aggregation updates;
 * work-stealing activity (internal/external steals, steal messages);
+* aggregation-shuffle traffic — entries/words shipped driver-ward after
+  the worker-level combine, combine input/output entry counts (their
+  ratio is the map-side combine ratio), metered combine/ship units and
+  bounded-combiner spills.  Kept strictly separate from steal counters
+  so communication-overhead tables can attribute each;
 * memory footprints (enumerator state, aggregation storage);
 * fault handling — injected/detected failures, detection latency,
   re-enumerated (recovered) work, wasted work units and wasted EC,
@@ -42,6 +47,14 @@ class Metrics:
         "steals_external",
         "steal_messages",
         "steal_work_units",
+        "agg_entries_shipped",
+        "agg_words_shipped",
+        "agg_messages",
+        "agg_ship_units",
+        "agg_combine_entries_in",
+        "agg_combine_entries_out",
+        "agg_combine_units",
+        "agg_spilled_entries",
         "peak_enumerator_bytes",
         "peak_aggregation_entries",
         "failures_injected",
@@ -71,6 +84,14 @@ class Metrics:
         self.steals_external = 0
         self.steal_messages = 0
         self.steal_work_units = 0.0
+        self.agg_entries_shipped = 0
+        self.agg_words_shipped = 0
+        self.agg_messages = 0
+        self.agg_ship_units = 0.0
+        self.agg_combine_entries_in = 0
+        self.agg_combine_entries_out = 0
+        self.agg_combine_units = 0.0
+        self.agg_spilled_entries = 0
         self.peak_enumerator_bytes = 0
         self.peak_aggregation_entries = 0
         self.failures_injected = 0
@@ -100,6 +121,14 @@ class Metrics:
         self.steals_external += other.steals_external
         self.steal_messages += other.steal_messages
         self.steal_work_units += other.steal_work_units
+        self.agg_entries_shipped += other.agg_entries_shipped
+        self.agg_words_shipped += other.agg_words_shipped
+        self.agg_messages += other.agg_messages
+        self.agg_ship_units += other.agg_ship_units
+        self.agg_combine_entries_in += other.agg_combine_entries_in
+        self.agg_combine_entries_out += other.agg_combine_entries_out
+        self.agg_combine_units += other.agg_combine_units
+        self.agg_spilled_entries += other.agg_spilled_entries
         self.failures_injected += other.failures_injected
         self.failures_detected += other.failures_detected
         self.detection_latency_units += other.detection_latency_units
