@@ -5,6 +5,11 @@ balancing shows raw imbalance that worsens in later steps; internal-only
 stealing fixes intra-worker skew at low cost; external-only balances
 across workers but pays communication; internal+external gives near
 perfect balancing and the best makespan.
+
+The sweep also carries the steal-policy dimension: ``"one"`` is the
+paper's single-extension protocol, ``"half"`` moves the larger half of
+the victim frame per steal.  Chunking must not change the figure's
+shape — only steal traffic moves.
 """
 
 from collections import defaultdict
@@ -24,15 +29,17 @@ def test_fig16_worksteal(benchmark):
         3,  # max_edges
         2,  # workers
         8,  # cores per worker
+        steal_policies=("one", "half"),
     )
-    per_config = defaultdict(lambda: {"makespan": 0.0, "imbalance": []})
+    per_config = defaultdict(lambda: {"makespan": 0.0, "rows": []})
     for row in rows:
+        if row["policy"] != "one":
+            continue
         per_config[row["config"]]["makespan"] += row["makespan_s"]
-        per_config[row["config"]]["imbalance"].append(row["imbalance"])
+        per_config[row["config"]]["rows"].append(row)
 
-    def mean_imbalance(name):
-        values = per_config[name]["imbalance"]
-        return sum(values) / len(values)
+    def dominant(name):
+        return max(per_config[name]["rows"], key=lambda r: r["makespan_s"])
 
     disabled = per_config["1.Disabled"]["makespan"]
     internal = per_config["2.Internal"]["makespan"]
@@ -44,10 +51,11 @@ def test_fig16_worksteal(benchmark):
     assert external < disabled
     assert both <= internal
     assert both <= external
-    # Imbalance: disabled is the most skewed; combined is near perfect.
-    assert mean_imbalance("1.Disabled") > mean_imbalance("4.Internal+External")
-    assert mean_imbalance("4.Internal+External") < 1.6
-    # Steal activity matches the enabled levels.
+    # Figure 16's visual claim on the dominant step: stealing shrinks the
+    # tallest per-core bar, and the balanced config stays near perfect.
+    assert dominant("4.Internal+External")["max_task_s"] < dominant("1.Disabled")["max_task_s"]
+    assert dominant("4.Internal+External")["imbalance"] < 1.3
+    # Steal activity matches the enabled levels (any policy).
     for row in rows:
         if row["config"] == "1.Disabled":
             assert row["steals_internal"] == 0
@@ -56,4 +64,18 @@ def test_fig16_worksteal(benchmark):
             assert row["steals_external"] == 0
         if row["config"] == "3.External":
             assert row["steals_internal"] == 0
+
+    # Steal-policy dimension: chunked transfers need no more steal
+    # round-trips than single-extension transfers, and every "half"
+    # steal ships at least one extension.
+    totals = defaultdict(lambda: defaultdict(int))
+    for row in rows:
+        agg = totals[(row["config"], row["policy"])]
+        agg["steals"] += row["steals_internal"] + row["steals_external"]
+        agg["chunk_extensions"] += row["steal_chunk_extensions"]
+    for config in per_config:
+        one = totals[(config, "one")]
+        half = totals[(config, "half")]
+        assert half["steals"] <= one["steals"]
+        assert half["chunk_extensions"] >= half["steals"]
     record(benchmark, "fig16", rows)

@@ -1,0 +1,420 @@
+"""Steal-policy and event-scheduler benchmark.
+
+Measures the PR's scheduler work against the seed behaviour it replaces:
+
+``steal_traffic`` (headline, 3x message-reduction target)
+    A straggler-skewed clique workload on an external-stealing cluster.
+    Slow cores hold work that fast cores must repeatedly steal; under the
+    seed's single-extension protocol every stolen extension costs a
+    request/response message pair, while ``"half"`` drains a straggler's
+    frame in a few large chunks.  Steal messages, steals and makespan are
+    *simulated* quantities — deterministic, so the targets are asserted
+    exactly in every mode.
+
+``event_scheduler`` (headline, 2x wall-clock target at 280 cores)
+    The same engine run twice — ``scheduler="event"`` (idle-core parking
+    + stealable-work registry) vs ``scheduler="poll"`` (the seed's
+    busy-wait loop, kept verbatim) — on a wide cluster where most cores
+    are idle most of the time.  Simulated clocks, per-core outcomes and
+    metrics must be byte-identical; only host wall-clock and scheduler
+    bookkeeping may differ.  The wall-clock target is enforced in full
+    mode only (CI machines are noisy); the *event-count* reduction and
+    the victim-scan reduction are deterministic and always asserted.
+
+Correctness checks recorded for the CI smoke job: result multisets and
+finalized aggregation views identical across policies (with and without
+faults), and the poll/event fingerprint equality.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro import ClusterConfig, FractalContext  # noqa: E402
+from repro.graph import powerlaw_graph  # noqa: E402
+from repro.runtime.faults import FaultPlan, StragglerWindow  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_steal_policies.json"
+
+# Counters the event scheduler introduced; excluded from the poll/event
+# fingerprint (each scheduler accounts its own bookkeeping).
+SCHEDULER_COUNTERS = (
+    "scheduler_events",
+    "scheduler_requeues",
+    "cores_parked",
+    "wake_events",
+    "parked_units",
+    "victim_scan_steps",
+    "steal_chunk_extensions",
+)
+
+
+def clique_fractoid(graph, config, k=3):
+    fg = FractalContext(engine=config).from_graph(graph)
+    return (
+        fg.vfractoid()
+        .expand(1)
+        .filter(lambda s, c: s.edges_added_last() == s.n_vertices - 1)
+        .explore(k)
+    )
+
+
+def straggler_plan(n_stragglers: int, factor: float) -> FaultPlan:
+    return FaultPlan(
+        stragglers=tuple(
+            StragglerWindow(core, 0.0, 1e6, factor)
+            for core in range(n_stragglers)
+        ),
+        seed=1,
+    )
+
+
+def fingerprint(report):
+    totals = report.metrics.snapshot()
+    for key in SCHEDULER_COUNTERS:
+        totals.pop(key)
+    cores = tuple(
+        (
+            core.core_id,
+            core.finish_units,
+            core.busy_units,
+            core.steal_units,
+            core.steals_internal,
+            core.steals_external,
+            core.failed,
+        )
+        for step in report.steps
+        if step.cluster is not None
+        for core in step.cluster.cores
+    )
+    return (
+        report.result_count,
+        report.simulated_seconds,
+        tuple(sorted(totals.items())),
+        cores,
+    )
+
+
+# ----------------------------------------------------------------------
+# Workload 1: steal traffic under the chunking policies
+# ----------------------------------------------------------------------
+def run_steal_traffic(graph, workers, cores, plan, policies) -> Dict[str, dict]:
+    records: Dict[str, dict] = {}
+    counts = set()
+    for policy in policies:
+        config = ClusterConfig(
+            workers=workers,
+            cores_per_worker=cores,
+            ws_internal=False,
+            ws_external=True,
+            steal_policy=policy,
+            fault_plan=plan,
+        )
+        report = clique_fractoid(graph, config).execute(collect="count")
+        m = report.metrics
+        steals = m.steals_internal + m.steals_external
+        records[policy] = {
+            "steal_messages": m.steal_messages,
+            "steals": steals,
+            "steal_chunk_extensions": m.steal_chunk_extensions,
+            "mean_chunk": round(m.steal_chunk_extensions / steals, 3)
+            if steals
+            else 0.0,
+            "makespan_s": round(report.simulated_seconds, 6),
+            "result_count": report.result_count,
+            "scheduler_events": m.scheduler_events,
+        }
+        counts.add(report.result_count)
+        print(
+            f"  {policy:10s} messages {m.steal_messages:6d}  steals {steals:6d}  "
+            f"mean chunk {records[policy]['mean_chunk']:6.2f}  "
+            f"makespan {report.simulated_seconds:.4f}s"
+        )
+    if len(counts) != 1:
+        raise AssertionError(f"result counts diverged across policies: {counts}")
+    return records
+
+
+# ----------------------------------------------------------------------
+# Workload 2: event scheduler vs the seed polling loop
+# ----------------------------------------------------------------------
+def run_scheduler_comparison(graph, workers, cores, reps) -> Dict[str, dict]:
+    records: Dict[str, dict] = {}
+    prints = {}
+    for scheduler in ("event", "poll"):
+        config = ClusterConfig(
+            workers=workers,
+            cores_per_worker=cores,
+            ws_internal=True,
+            ws_external=True,
+            scheduler=scheduler,
+        )
+        walls: List[float] = []
+        report = None
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            report = clique_fractoid(graph, config).execute(collect="count")
+            walls.append(time.perf_counter() - t0)
+        m = report.metrics
+        records[scheduler] = {
+            "wall_s": [round(t, 4) for t in walls],
+            "wall_best_s": round(min(walls), 4),
+            "simulated_s": round(report.simulated_seconds, 6),
+            "scheduler_events": m.scheduler_events,
+            "scheduler_requeues": m.scheduler_requeues,
+            "victim_scan_steps": m.victim_scan_steps,
+            "cores_parked": m.cores_parked,
+            "wake_events": m.wake_events,
+        }
+        prints[scheduler] = fingerprint(report)
+        print(
+            f"  {scheduler:6s} wall {min(walls):.3f}s  "
+            f"sim {report.simulated_seconds:.4f}s  "
+            f"events {m.scheduler_events:8d}  "
+            f"victim scans {m.victim_scan_steps:9d}"
+        )
+    if prints["event"] != prints["poll"]:
+        raise AssertionError(
+            "event scheduler is not byte-identical to the polling loop"
+        )
+    records["identical"] = True
+    return records
+
+
+# ----------------------------------------------------------------------
+# Correctness checks recorded in the payload (used by the CI smoke job)
+# ----------------------------------------------------------------------
+def check_policy_transparency(graph, plan) -> Dict[str, object]:
+    def multiset(policy, fault_plan):
+        config = ClusterConfig(
+            workers=2,
+            cores_per_worker=3,
+            ws_internal=True,
+            ws_external=True,
+            steal_policy=policy,
+            fault_plan=fault_plan,
+        )
+        report = clique_fractoid(graph, config).execute(collect="subgraphs")
+        return Counter((s.vertices, s.edges) for s in report.subgraphs)
+
+    def census(policy):
+        config = ClusterConfig(
+            workers=2, cores_per_worker=3, steal_policy=policy
+        )
+        fg = FractalContext(engine=config).from_graph(graph)
+        view = (
+            fg.vfractoid()
+            .expand(3)
+            .aggregate(
+                "motifs",
+                key_fn=lambda s, c: s.pattern(),
+                value_fn=lambda s, c: 1,
+                reduce_fn=lambda a, b: a + b,
+            )
+            .aggregation("motifs")
+        )
+        return {k.canonical_code(): v for k, v in view.items()}
+
+    base = multiset("one", None)
+    base_view = census("one")
+    return {
+        "multisets_identical": all(
+            multiset(policy, fault_plan) == base
+            for policy in ("half", "chunk:3")
+            for fault_plan in (None, plan)
+        ),
+        "aggregation_views_identical": all(
+            census(policy) == base_view for policy in ("half", "chunk:3")
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small cluster, single wall rep (CI smoke); skips wall target",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload, correctness checks only",
+    )
+    parser.add_argument("--reps", type=int, default=None, help="wall-clock reps")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        mode = "smoke"
+    elif args.quick:
+        mode = "quick"
+    else:
+        mode = "full"
+    reps = args.reps if args.reps is not None else (1 if mode != "full" else 3)
+    if reps < 1:
+        parser.error("--reps must be >= 1")
+
+    if mode == "full":
+        traffic_graph = powerlaw_graph(400, attach=6, seed=3)
+        traffic_shape = (4, 8)
+        plan = straggler_plan(12, 12.0)
+        sched_graph = powerlaw_graph(300, attach=4, seed=11)
+        sched_shape = (10, 28)
+    elif mode == "quick":
+        traffic_graph = powerlaw_graph(250, attach=6, seed=3)
+        traffic_shape = (4, 4)
+        plan = straggler_plan(6, 12.0)
+        sched_graph = powerlaw_graph(150, attach=4, seed=11)
+        sched_shape = (6, 8)
+    else:
+        traffic_graph = powerlaw_graph(120, attach=5, seed=3)
+        traffic_shape = (2, 4)
+        plan = straggler_plan(3, 12.0)
+        sched_graph = powerlaw_graph(80, attach=4, seed=11)
+        sched_shape = (2, 8)
+    policies = ("one", "half", "chunk:16")
+
+    print(
+        f"steal traffic: {traffic_graph.n_vertices}v/{traffic_graph.n_edges}e, "
+        f"{traffic_shape[0]}x{traffic_shape[1]} cores, "
+        f"{len(plan.stragglers)} stragglers, external stealing only"
+    )
+    traffic = run_steal_traffic(traffic_graph, *traffic_shape, plan, policies)
+    message_reduction = (
+        traffic["one"]["steal_messages"] / traffic["half"]["steal_messages"]
+        if traffic["half"]["steal_messages"]
+        else float("inf")
+    )
+    makespan_lower = traffic["half"]["makespan_s"] < traffic["one"]["makespan_s"]
+
+    print(
+        f"event scheduler: {sched_graph.n_vertices}v/{sched_graph.n_edges}e, "
+        f"{sched_shape[0]}x{sched_shape[1]} = "
+        f"{sched_shape[0] * sched_shape[1]} cores"
+    )
+    sched = run_scheduler_comparison(sched_graph, *sched_shape, reps)
+    wall_speedup = sched["poll"]["wall_best_s"] / sched["event"]["wall_best_s"]
+    event_reduction = (
+        sched["poll"]["scheduler_events"] / sched["event"]["scheduler_events"]
+    )
+    scan_reduction = (
+        sched["poll"]["victim_scan_steps"]
+        / max(1, sched["event"]["victim_scan_steps"])
+    )
+
+    print("correctness checks:")
+    checks = check_policy_transparency(
+        powerlaw_graph(70, attach=4, seed=5), straggler_plan(2, 6.0)
+    )
+    checks["poll_event_identical"] = sched["identical"]
+    checks["events_reduced"] = (
+        sched["event"]["scheduler_events"] < sched["poll"]["scheduler_events"]
+    )
+    for key, value in checks.items():
+        print(f"  {key}: {value}")
+        if not value:
+            print(f"FAIL: check {key} did not hold")
+            return 1
+
+    targets = {
+        "message_reduction": {
+            "required": 3.0,
+            "achieved": round(message_reduction, 3),
+            "enforced": mode == "full",
+            "met": message_reduction >= 3.0,
+        },
+        "half_makespan_lower": {
+            "required": True,
+            "achieved": makespan_lower,
+            "enforced": True,
+            "met": makespan_lower,
+        },
+        "wall_speedup_280_cores": {
+            "required": 2.0,
+            "achieved": round(wall_speedup, 3),
+            "enforced": mode == "full",
+            "met": wall_speedup >= 2.0,
+        },
+        "event_count_reduced": {
+            "required": True,
+            "achieved": checks["events_reduced"],
+            "enforced": True,
+            "met": checks["events_reduced"],
+        },
+    }
+    payload = {
+        "generated_by": "benchmarks/bench_steal_policies.py",
+        "mode": mode,
+        "reps": reps,
+        "workloads": {
+            "steal_traffic": {
+                "graph": {
+                    "vertices": traffic_graph.n_vertices,
+                    "edges": traffic_graph.n_edges,
+                },
+                "cluster": {
+                    "workers": traffic_shape[0],
+                    "cores_per_worker": traffic_shape[1],
+                    "ws": "external-only",
+                    "stragglers": len(plan.stragglers),
+                    "straggler_factor": 12.0,
+                },
+                "policies": traffic,
+                "message_reduction_half_vs_one": round(message_reduction, 3),
+            },
+            "event_scheduler": {
+                "graph": {
+                    "vertices": sched_graph.n_vertices,
+                    "edges": sched_graph.n_edges,
+                },
+                "cluster": {
+                    "workers": sched_shape[0],
+                    "cores_per_worker": sched_shape[1],
+                    "total_cores": sched_shape[0] * sched_shape[1],
+                },
+                "schedulers": {k: v for k, v in sched.items() if k != "identical"},
+                "wall_speedup": round(wall_speedup, 3),
+                "event_reduction": round(event_reduction, 3),
+                "victim_scan_reduction": round(scan_reduction, 3),
+            },
+        },
+        "checks": checks,
+        "targets": targets,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    failed = [
+        name
+        for name, t in targets.items()
+        if t["enforced"] and not t["met"]
+    ]
+    if failed:
+        for name in failed:
+            t = targets[name]
+            print(f"FAIL: {name} achieved {t['achieved']} < {t['required']}")
+        return 1
+    print(
+        f"message reduction {message_reduction:.2f}x (target 3x), "
+        f"wall speedup {wall_speedup:.2f}x (target 2x), "
+        f"event reduction {event_reduction:.2f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

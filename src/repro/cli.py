@@ -92,9 +92,10 @@ def _engine(args) -> object:
             workers=args.workers,
             cores_per_worker=args.cores,
             fault_plan=plan,
+            steal_policy=getattr(args, "steal_policy", "one"),
         )
     except ValueError as exc:
-        raise SystemExit(f"invalid fault plan: {exc}")
+        raise SystemExit(f"invalid cluster configuration: {exc}")
 
 
 def _load_dataset(name: str, scale: float):
@@ -178,6 +179,27 @@ def _print_recovery(report) -> None:
     )
 
 
+def _print_scheduler(report) -> None:
+    """Scheduler-efficiency block printed after cluster runs."""
+    if report is None:
+        return
+    summary = report.scheduler_summary()
+    print(
+        "scheduler: "
+        f"{summary['events']:.0f} events "
+        f"({summary['requeues']:.0f} stale), "
+        f"{summary['parks']:.0f} parks / "
+        f"{summary['wake_events']:.0f} wakes "
+        f"({summary['parked_units']:.1f} units parked), "
+        f"{summary['victim_scan_steps']:.0f} victim-scan steps"
+    )
+    print(
+        "steal policy: "
+        f"{summary['steal_chunk_extensions']:.0f} extensions moved, "
+        f"mean chunk {summary['mean_steal_chunk']:.2f}"
+    )
+
+
 def _print_agg_shuffle(report) -> None:
     """Aggregation-shuffle stats printed after cluster runs that aggregate."""
     if report is None:
@@ -254,6 +276,7 @@ def _run_app(args) -> int:
             f"EC={result.extension_cost}"
         )
     if isinstance(engine, ClusterConfig):
+        _print_scheduler(context.last_report)
         _print_agg_shuffle(context.last_report)
         if engine.fault_plan is not None:
             _print_recovery(context.last_report)
@@ -350,6 +373,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--reduce", action="store_true")
     p_run.add_argument("--workers", type=int, default=1)
     p_run.add_argument("--cores", type=int, default=1)
+    p_run.add_argument(
+        "--steal-policy",
+        default="one",
+        metavar="POLICY",
+        help="work transferred per successful steal: 'one' (single "
+        "extension, the paper-faithful default), 'half' (Cilk-style "
+        "steal-half) or 'chunk:N' (at most N extensions); results are "
+        "identical under every policy, clocks and steal traffic differ",
+    )
     p_run.add_argument(
         "--profile",
         action="store_true",

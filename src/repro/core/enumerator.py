@@ -527,6 +527,23 @@ class SubgraphEnumerator:
             return None
         return self.extensions.pop()
 
+    def steal_chunk(self, count: int) -> List[int]:
+        """Steal up to ``count`` extensions from the tail, in original order.
+
+        ``steal_chunk(1)`` moves exactly the extension ``steal_one`` would,
+        so the one-at-a-time policy is the ``count == 1`` special case.  The
+        victim keeps its cursor and the head of the list; the tail slice is
+        handed to the thief untouched, preserving enumeration order of each
+        individual extension no matter how the work was partitioned.
+        """
+        available = len(self.extensions) - self.cursor
+        count = min(count, available)
+        if count <= 0:
+            return []
+        words = self.extensions[-count:]
+        del self.extensions[-count:]
+        return words
+
     def __repr__(self) -> str:
         return (
             f"SubgraphEnumerator(prefix={list(self.prefix_words)}, "

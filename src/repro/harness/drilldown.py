@@ -191,52 +191,74 @@ def run_fig16_worksteal(
     max_edges: int = 3,
     workers: int = 2,
     cores_per_worker: int = 8,
+    steal_policies: Sequence[str] = ("one",),
     verbose: bool = True,
 ) -> List[Dict]:
-    """FSM per-step task times under the four work-stealing configurations."""
+    """FSM per-step task times under the four work-stealing configurations.
+
+    ``steal_policies`` adds a chunking dimension to the sweep: each of
+    the four Figure-16 configurations runs once per policy (``"one"``
+    reproduces the paper's single-extension protocol; ``"half"`` /
+    ``"chunk:N"`` show how chunked transfers trade steal round-trips for
+    shipped extensions).  Results are identical across policies; only
+    clocks, steal counts and message traffic move.
+    """
     flags = [(False, False), (True, False), (False, True), (True, True)]
     rows = []
-    for name, (ws_int, ws_ext) in zip(WS_CONFIG_NAMES, flags):
-        config = ClusterConfig(
-            workers=workers,
-            cores_per_worker=cores_per_worker,
-            ws_internal=ws_int,
-            ws_external=ws_ext,
-            include_setup_overhead=False,
-        )
-        result = fsm(
-            FractalContext(engine=config).from_graph(graph),
-            min_support=min_support,
-            max_edges=max_edges,
-        )
-        for round_index, report in enumerate(result.reports):
-            for step in report.steps:
-                if step.cluster is None:
-                    continue
-                finishes = [c.finish_units for c in step.cluster.cores]
-                mean_finish = sum(finishes) / len(finishes)
-                rows.append(
-                    {
-                        "config": name,
-                        "round": round_index,
-                        "step": step.index,
-                        "makespan_s": step.simulated_seconds,
-                        "min_task_s": config.cost_model.seconds(min(finishes)),
-                        "max_task_s": config.cost_model.seconds(max(finishes)),
-                        "imbalance": max(finishes) / mean_finish
-                        if mean_finish
-                        else 1.0,
-                        "steals_internal": step.metrics.steals_internal,
-                        "steals_external": step.metrics.steals_external,
-                    }
-                )
+    for policy in steal_policies:
+        for name, (ws_int, ws_ext) in zip(WS_CONFIG_NAMES, flags):
+            config = ClusterConfig(
+                workers=workers,
+                cores_per_worker=cores_per_worker,
+                ws_internal=ws_int,
+                ws_external=ws_ext,
+                include_setup_overhead=False,
+                steal_policy=policy,
+            )
+            result = fsm(
+                FractalContext(engine=config).from_graph(graph),
+                min_support=min_support,
+                max_edges=max_edges,
+            )
+            for round_index, report in enumerate(result.reports):
+                for step in report.steps:
+                    if step.cluster is None:
+                        continue
+                    finishes = [c.finish_units for c in step.cluster.cores]
+                    mean_finish = sum(finishes) / len(finishes)
+                    rows.append(
+                        {
+                            "config": name,
+                            "policy": policy,
+                            "round": round_index,
+                            "step": step.index,
+                            "makespan_s": step.simulated_seconds,
+                            "min_task_s": config.cost_model.seconds(min(finishes)),
+                            "max_task_s": config.cost_model.seconds(max(finishes)),
+                            "imbalance": max(finishes) / mean_finish
+                            if mean_finish
+                            else 1.0,
+                            "steals_internal": step.metrics.steals_internal,
+                            "steals_external": step.metrics.steals_external,
+                            "steal_messages": step.cluster.steal_messages,
+                            "steal_chunk_extensions": (
+                                step.metrics.steal_chunk_extensions
+                            ),
+                        }
+                    )
     if verbose:
+        multi_policy = len(list(steal_policies)) > 1
         print_table(
-            ["config", "round", "makespan", "min task", "max task",
-             "imbalance", "WSint", "WSext"],
+            ["config", "policy", "round", "makespan", "min task", "max task",
+             "imbalance", "WSint", "WSext"]
+            if multi_policy
+            else ["config", "round", "makespan", "min task", "max task",
+                  "imbalance", "WSint", "WSext"],
             [
                 (
-                    r["config"],
+                    (r["config"], r["policy"]) if multi_policy else (r["config"],)
+                )
+                + (
                     r["round"],
                     fmt_seconds(r["makespan_s"]),
                     fmt_seconds(r["min_task_s"]),

@@ -70,6 +70,30 @@ __all__ = ["ClusterConfig", "ClusterEngine", "ClusterStepResult", "CoreReport"]
 _WAIT_EPSILON = 1.0  # units an idle core waits before re-checking for work
 
 
+def _parse_steal_policy(policy: str) -> int:
+    """Validate a steal policy string; return the fixed chunk size.
+
+    Returns 1 for ``"one"``, 0 for ``"half"`` (chunk size is computed per
+    steal as half the victim frame's remaining extensions) and N for
+    ``"chunk:N"``.  Raises ``ValueError`` on anything else.
+    """
+    if policy == "one":
+        return 1
+    if policy == "half":
+        return 0
+    if policy.startswith("chunk:"):
+        try:
+            n = int(policy[len("chunk:") :])
+        except ValueError:
+            n = 0
+        if n >= 1:
+            return n
+    raise ValueError(
+        f"steal_policy must be 'one', 'half' or 'chunk:N' (N >= 1), "
+        f"got {policy!r}"
+    )
+
+
 @dataclass(frozen=True)
 class ClusterConfig:
     """Simulated cluster shape, work-stealing policy and fault schedule.
@@ -112,10 +136,30 @@ class ClusterConfig:
     # change.
     agg_entry_budget: Optional[int] = None
     meter_agg_shuffle: bool = True
+    # How much work one successful steal moves (docs/internals.md §10).
+    # ``"one"`` — a single extension per steal, bit-identical to the
+    # original engine (clocks, metrics and results unchanged).
+    # ``"half"`` — Cilk-style steal-half: the thief takes the upper half
+    # of the victim frame's remaining extensions in one transfer.
+    # ``"chunk:N"`` — at most N extensions per transfer.
+    # Results and aggregation views are identical under every policy;
+    # chunked policies change clocks, steal counts and message traffic.
+    steal_policy: str = "one"
+    # ``"event"`` (default) parks idle cores and wakes them on published
+    # work — same simulated behaviour as the legacy polling loop, orders
+    # of magnitude fewer host-side scheduler events on wide clusters.
+    # ``"poll"`` keeps the original busy-poll loop as a reference
+    # implementation for equivalence testing.
+    scheduler: str = "event"
 
     def __post_init__(self):
         if self.batch_quantum < 1:
             raise ValueError("batch_quantum must be >= 1")
+        _parse_steal_policy(self.steal_policy)
+        if self.scheduler not in ("event", "poll"):
+            raise ValueError(
+                f"scheduler must be 'event' or 'poll', got {self.scheduler!r}"
+            )
         if self.agg_entry_budget is not None and self.agg_entry_budget < 1:
             raise ValueError("agg_entry_budget must be >= 1 (or None)")
         total = self.workers * self.cores_per_worker
@@ -154,6 +198,24 @@ class ClusterConfig:
         """Worker index hosting a global core id."""
         return core_id // self.cores_per_worker
 
+    def steal_chunk_size(self, remaining: int) -> int:
+        """Extensions one steal moves from a frame with ``remaining`` left.
+
+        Chunked policies never empty a multi-extension victim frame: the
+        victim always keeps at least one extension, so two idle cores can
+        never bounce a whole chunk back and forth without anybody
+        consuming it (single-extension transfers are already protected by
+        the claimed frame being non-stealable).
+        """
+        if remaining <= 1:
+            return remaining
+        fixed = _parse_steal_policy(self.steal_policy)
+        if fixed == 1:
+            return 1
+        if fixed:
+            return min(fixed, remaining - 1)
+        return (remaining + 1) // 2  # "half": thief takes the larger half
+
 
 @dataclass
 class CoreReport:
@@ -172,6 +234,13 @@ class CoreReport:
     # worker, so these are zero everywhere else.
     agg_ship_units: float = 0.0
     agg_entries_shipped: int = 0
+    # Scheduler-efficiency view of this core: simulated units spent parked
+    # (idle, waiting for stealable work to be published), wake
+    # notifications received, and extensions moved by its steals.  Under
+    # the legacy poll scheduler the first two stay zero.
+    parked_units: float = 0.0
+    wake_events: int = 0
+    steal_chunk_extensions: int = 0
     failed: bool = False
     # Merged (start, end) busy intervals in units, when timeline recording
     # is enabled (Figure 8).
@@ -237,6 +306,12 @@ class _Core:
         "death_clock",
         "detect_at",
         "slowdown",
+        "stealable_count",
+        "queued_clock",
+        "parked",
+        "pend",
+        "park_start",
+        "deadline",
     )
 
     def __init__(
@@ -270,6 +345,19 @@ class _Core:
         self.death_clock = 0.0
         self.detect_at = 0.0
         self.slowdown = None  # straggler factor fn, set when a plan has windows
+        # Event-scheduler state (docs/internals.md §10): number of frames
+        # on the stack that are stealable and non-exhausted (the registry
+        # key), the clock stamped on this core's live heap entry (None =
+        # not enqueued; stale entries are lazily discarded on pop), and
+        # the parked-core bookkeeping — ``pend`` is the clock the core's
+        # next *virtual* poll would run at, ``park_start`` when idleness
+        # began (for the parked-time metric).
+        self.stealable_count = 0
+        self.queued_clock: Optional[float] = None
+        self.parked = False
+        self.pend = 0.0
+        self.park_start = 0.0
+        self.deadline: Optional[float] = None
 
     def has_work(self) -> bool:
         """Whether any frame still has unconsumed extensions."""
@@ -391,6 +479,231 @@ class _FaultRuntime:
         metrics.wasted_work_units += rebuild_units
 
 
+class _SchedState:
+    """Per-drain scheduler state: stealable-work registry and parked cores.
+
+    **Registry** — ``reg_workers[w]`` is the set of core ids on worker
+    ``w`` that currently hold at least one stealable, non-exhausted frame
+    (``_Core.stealable_count`` is the per-core refcount).  It is updated
+    incrementally when frames are pushed, drained by ``take()``, stolen
+    empty, or orphaned by a death, so victim selection inspects only real
+    candidates instead of rescanning every core's whole stack.
+
+    **Parking** (event scheduler only) — an idle core that finds nothing
+    stealable leaves the event heap instead of re-entering it every
+    ``_WAIT_EPSILON``.  ``pend`` records when its *next* poll would have
+    run; at every heap pop ``(c, i)`` the virtual polls that precede the
+    event are replayed in O(parked) arithmetic (``collapse``): the failed
+    poll re-schedules to ``min(busy_min, dead_detect) + _WAIT_EPSILON``
+    exactly as ``_next_work_clock`` would have, kill deadlines fire at the
+    poll clock, and a poll at or past a reachable detection point becomes
+    a real heap event again.  Publishing a stealable frame wakes every
+    reachable parked core at its current ``pend``.  The replay reproduces
+    the legacy polling loop's clock arithmetic bit-for-bit — equivalence
+    is property-tested against ``scheduler="poll"``.
+    """
+
+    __slots__ = (
+        "config",
+        "cores",
+        "runtime",
+        "event",
+        "reg_workers",
+        "dead_avail",
+        "parked",
+        "heap",
+    )
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        cores: List[_Core],
+        runtime: "_FaultRuntime",
+        heap: List[Tuple[float, int]],
+    ):
+        self.config = config
+        self.cores = cores
+        self.runtime = runtime
+        self.event = config.scheduler == "event"
+        self.reg_workers: List[set] = [set() for _ in range(config.workers)]
+        self.dead_avail: set = set()  # failed core ids with stealable frames
+        self.parked: Dict[int, _Core] = {}
+        self.heap = heap
+        deadlines = runtime.deadlines
+        for core in cores:
+            core.parked = False
+            core.deadline = deadlines.get(core.core_id)
+            count = sum(
+                1 for f in core.stack if f.stealable and f.has_next()
+            )
+            core.stealable_count = count
+            if count > 0:
+                self.reg_workers[core.worker_id].add(core.core_id)
+                if core.failed:
+                    self.dead_avail.add(core.core_id)
+        for clock, core_id in heap:
+            cores[core_id].queued_clock = clock
+
+    # -- registry maintenance -----------------------------------------
+    def publish(self, core: _Core) -> None:
+        """A stealable frame appeared on ``core``; wake reachable thieves."""
+        core.stealable_count += 1
+        if core.stealable_count != 1:
+            return
+        self.reg_workers[core.worker_id].add(core.core_id)
+        if not self.event or not self.parked or core.failed:
+            # A dead core's orphans are only visible once the detector
+            # fires; parked thieves reach them via ``_dead_wake_at``.
+            return
+        config = self.config
+        w = core.worker_id
+        for thief in list(self.parked.values()):
+            local = thief.worker_id == w
+            if (local and config.ws_internal) or (
+                not local and config.ws_external
+            ):
+                self.unpark(thief)
+
+    def retract(self, core: _Core) -> None:
+        """A stealable frame on ``core`` was drained or stolen empty."""
+        core.stealable_count -= 1
+        if core.stealable_count == 0:
+            self.reg_workers[core.worker_id].discard(core.core_id)
+            self.dead_avail.discard(core.core_id)
+
+    def on_death(self, core: _Core) -> None:
+        """Recount after a death made every surviving frame stealable."""
+        count = sum(1 for f in core.stack if f.has_next())
+        core.stealable_count = count
+        if count > 0:
+            self.reg_workers[core.worker_id].add(core.core_id)
+            self.dead_avail.add(core.core_id)
+        else:
+            self.reg_workers[core.worker_id].discard(core.core_id)
+
+    # -- parking ------------------------------------------------------
+    def _dead_wake_at(self, thief: _Core) -> Optional[float]:
+        """Earliest detection point of a dead core this thief can reach."""
+        config = self.config
+        cores = self.cores
+        best: Optional[float] = None
+        for core_id in self.dead_avail:
+            core = cores[core_id]
+            local = core.worker_id == thief.worker_id
+            if local and not config.ws_internal:
+                continue
+            if not local and not config.ws_external:
+                continue
+            if best is None or core.detect_at < best:
+                best = core.detect_at
+        return best
+
+    def _busy_min(self) -> Optional[float]:
+        """Earliest clock among cores that still run enumeration work."""
+        best: Optional[float] = None
+        for core in self.cores:
+            if core.done or not core.stack:
+                continue
+            if best is None or core.clock < best:
+                best = core.clock
+        return best
+
+    def park(self, core: _Core, idle_since: float) -> None:
+        core.parked = True
+        core.pend = core.clock
+        core.park_start = idle_since
+        core.metrics.cores_parked += 1
+        self.parked[core.core_id] = core
+
+    def unpark(self, core: _Core) -> None:
+        """Turn a parked core's next virtual poll into a real heap event."""
+        del self.parked[core.core_id]
+        core.parked = False
+        core.metrics.wake_events += 1
+        core.metrics.parked_units += core.pend - core.park_start
+        core.clock = core.pend
+        core.queued_clock = core.clock
+        heapq.heappush(self.heap, (core.clock, core.core_id))
+
+    def _finish_parked(self, core: _Core) -> None:
+        """A parked core's poll found the cluster drained: it exits."""
+        del self.parked[core.core_id]
+        core.parked = False
+        core.metrics.parked_units += core.pend - core.park_start
+        core.clock = core.pend
+        core.done = True
+
+    def _die_parked(self, core: _Core) -> None:
+        """A parked core's virtual poll ran past its kill deadline."""
+        del self.parked[core.core_id]
+        core.parked = False
+        core.metrics.parked_units += core.pend - core.park_start
+        core.clock = core.pend
+        self.runtime.on_death(core)
+        self.on_death(core)
+
+    def collapse(self, clock: float, core_id: int, busy_min: Optional[float]) -> None:
+        """Replay parked cores' virtual polls that precede event ``(clock, core_id)``.
+
+        Exactly one failed poll fits between consecutive heap events (the
+        re-poll lands past the event unless a detection point intervenes,
+        in which case the next poll is real and the core wakes).
+        ``busy_min`` is the earliest clock among still-busy cores as the
+        legacy ``_next_work_clock`` would see it — the popped event's own
+        clock when the popped core is busy.
+        """
+        if not self.parked:
+            return
+        pos = (clock, core_id)
+        for core in list(self.parked.values()):
+            pend = core.pend
+            if (pend, core.core_id) >= pos:
+                continue
+            if core.deadline is not None and pend >= core.deadline:
+                self._die_parked(core)
+                continue
+            dead_at = self._dead_wake_at(core) if self.dead_avail else None
+            if dead_at is not None and pend >= dead_at:
+                # The detector has fired for a reachable dead core: this
+                # poll finds stealable orphans, so it runs for real.
+                self.unpark(core)
+                continue
+            wake = busy_min
+            if dead_at is not None and (wake is None or dead_at < wake):
+                wake = dead_at
+            if wake is None:
+                self._finish_parked(core)
+                continue
+            core.pend = (pend if pend > wake else wake) + _WAIT_EPSILON
+            if dead_at is not None and core.pend >= dead_at:
+                self.unpark(core)
+
+    def drain_parked(self) -> bool:
+        """Heap ran dry with cores still parked: settle their fate.
+
+        Each parked core either exits (nothing reachable can ever produce
+        work), dies at a deadline its virtual polls run past, or wakes at
+        a reachable dead core's detection point.  Returns ``True`` when
+        at least one core re-entered the heap.
+        """
+        woke = False
+        for core in sorted(self.parked.values(), key=lambda c: c.core_id):
+            while True:
+                if core.deadline is not None and core.pend >= core.deadline:
+                    self._die_parked(core)
+                    break
+                dead_at = self._dead_wake_at(core) if self.dead_avail else None
+                if dead_at is None:
+                    self._finish_parked(core)
+                    break
+                if core.pend >= dead_at:
+                    self.unpark(core)
+                    woke = True
+                    break
+                core.pend = dead_at + _WAIT_EPSILON
+        return woke
+
+
 class ClusterEngine:
     """Runs fractal steps over the simulated cluster."""
 
@@ -429,9 +742,13 @@ class ClusterEngine:
             new_storages(primitives, cached_uids, entry_budget=config.agg_entry_budget)
             for _ in cores
         ]
-        self._distribute_roots(cores, primitives, root_words)
+        setup_metrics = self._distribute_roots(cores, primitives, root_words)
 
         runtime = _FaultRuntime(config, cost)
+        # Root-enumeration probes are cluster setup, not core 0's work;
+        # booking them engine-side keeps step totals identical while
+        # per-core numbers reflect only work the core actually ran.
+        runtime.metrics.merge(setup_metrics)
         if runtime.slowdown is not None:
             for core in cores:
                 core.slowdown = runtime.slowdown
@@ -488,18 +805,47 @@ class ClusterEngine:
         cost: CostModel,
         runtime: _FaultRuntime,
     ) -> int:
-        """Run the event loop until no schedulable core has work left."""
+        """Run the scheduler until no schedulable core has work left."""
+        sched = _SchedState(self.config, cores, runtime, heap)
+        if sched.event:
+            return self._drain_event(
+                heap, cores, storages_per_core, primitives, sink, cost, runtime, sched
+            )
+        return self._drain_poll(
+            heap, cores, storages_per_core, primitives, sink, cost, runtime, sched
+        )
+
+    def _drain_poll(
+        self,
+        heap: List[Tuple[float, int]],
+        cores: List[_Core],
+        storages_per_core: List[Dict[int, AggregationStorage]],
+        primitives: Sequence[Primitive],
+        sink,
+        cost: CostModel,
+        runtime: _FaultRuntime,
+        sched: _SchedState,
+    ) -> int:
+        """The legacy polling event loop, kept as the reference scheduler.
+
+        Idle cores re-enter the heap every ``_WAIT_EPSILON`` units; the
+        event scheduler (``_drain_event``) is property-tested to produce
+        bit-identical clocks, metrics and results against this loop.
+        """
         config = self.config
         batch_quantum = config.batch_quantum
         deadlines = runtime.deadlines
+        sched_metrics = runtime.metrics
         steal_messages = 0
         while heap:
             clock, core_id = heapq.heappop(heap)
             core = cores[core_id]
+            sched_metrics.scheduler_events += 1
             if core.done:
                 continue
             if clock < core.clock:
                 # Stale heap entry; re-queue at the true clock.
+                sched_metrics.scheduler_requeues += 1
                 heapq.heappush(heap, (core.clock, core_id))
                 continue
             deadline = deadlines.get(core_id)
@@ -507,6 +853,7 @@ class ClusterEngine:
                 # The core dies between quanta; the detector will notice
                 # at ``detect_at`` and survivors recover its enumerators.
                 runtime.on_death(core)
+                sched.on_death(core)
                 continue
             if core.stack:
                 # Run up to batch_quantum quanta before rescheduling.  At
@@ -517,14 +864,16 @@ class ClusterEngine:
                 storages = storages_per_core[core_id]
                 remaining = batch_quantum
                 while remaining > 0 and core.stack:
-                    self._advance(core, primitives, storages, sink, cost)
+                    self._advance(core, primitives, storages, sink, cost, sched)
                     remaining -= 1
                     if deadline is not None and core.clock >= deadline:
                         break
                 heapq.heappush(heap, (core.clock, core_id))
                 continue
             # Idle: the stack is empty. Try to steal.
-            stolen, messages = self._try_steal(core, cores, cost, runtime)
+            stolen, messages, _found = self._try_steal(
+                core, cores, cost, runtime, sched
+            )
             steal_messages += messages
             if stolen:
                 heapq.heappush(heap, (core.clock, core_id))
@@ -539,6 +888,97 @@ class ClusterEngine:
             core.clock = max(core.clock, wake) + _WAIT_EPSILON
             heapq.heappush(heap, (core.clock, core_id))
         return steal_messages
+
+    def _drain_event(
+        self,
+        heap: List[Tuple[float, int]],
+        cores: List[_Core],
+        storages_per_core: List[Dict[int, AggregationStorage]],
+        primitives: Sequence[Primitive],
+        sink,
+        cost: CostModel,
+        runtime: _FaultRuntime,
+        sched: _SchedState,
+    ) -> int:
+        """Event-driven scheduler: parked idle cores, no polling.
+
+        Identical simulated behaviour to ``_drain_poll`` — every clock,
+        metric and result matches bit-for-bit (see ``_SchedState``) — but
+        idle cores leave the heap until stealable work is published, so
+        the host-side event count is proportional to useful work instead
+        of ``idle_cores × events``.
+        """
+        config = self.config
+        batch_quantum = config.batch_quantum
+        sched_metrics = runtime.metrics
+        steal_messages = 0
+        while True:
+            if not heap:
+                if sched.parked and sched.drain_parked():
+                    continue
+                break
+            clock, core_id = heapq.heappop(heap)
+            core = cores[core_id]
+            sched_metrics.scheduler_events += 1
+            if core.done or core.parked or core.queued_clock != clock:
+                # Lazily-invalidated stale entry (the core advanced or
+                # retired through another path); drop it instead of
+                # re-pushing.
+                sched_metrics.scheduler_requeues += 1
+                continue
+            # Replay parked cores' virtual polls preceding this event.
+            busy_min = clock if core.stack else sched._busy_min()
+            sched.collapse(clock, core_id, busy_min)
+            if heap and heap[0] < (clock, core_id):
+                # A wake landed before this event: defer and re-pop in order.
+                heapq.heappush(heap, (clock, core_id))
+                continue
+            core.queued_clock = None
+            deadline = core.deadline
+            if deadline is not None and core.clock >= deadline and not core.failed:
+                runtime.on_death(core)
+                sched.on_death(core)
+                continue
+            if core.stack:
+                storages = storages_per_core[core_id]
+                remaining = batch_quantum
+                while remaining > 0 and core.stack:
+                    self._advance(core, primitives, storages, sink, cost, sched)
+                    remaining -= 1
+                    if deadline is not None and core.clock >= deadline:
+                        break
+                core.queued_clock = core.clock
+                heapq.heappush(heap, (core.clock, core_id))
+                continue
+            idle_since = core.clock
+            stolen, messages, found = self._try_steal(
+                core, cores, cost, runtime, sched
+            )
+            steal_messages += messages
+            if stolen:
+                core.queued_clock = core.clock
+                heapq.heappush(heap, (core.clock, core_id))
+                continue
+            wake = self._next_work_clock(cores, core, config)
+            if wake is None:
+                core.done = True
+                continue
+            core.clock = max(core.clock, wake) + _WAIT_EPSILON
+            if found or self._dead_visible_at(core, sched):
+                # The next poll does something real — a victim existed but
+                # the steal message was lost (the retry draws fresh channel
+                # randomness), or a dead core's orphans become visible by
+                # then.  Keep the core live.
+                core.queued_clock = core.clock
+                heapq.heappush(heap, (core.clock, core_id))
+            else:
+                sched.park(core, idle_since)
+        return steal_messages
+
+    def _dead_visible_at(self, core: _Core, sched: _SchedState) -> bool:
+        """Whether a reachable dead core's orphans are visible by ``core.clock``."""
+        dead_at = sched._dead_wake_at(core) if sched.dead_avail else None
+        return dead_at is not None and core.clock >= dead_at
 
     # ------------------------------------------------------------------
     # Setup
@@ -572,8 +1012,18 @@ class ClusterEngine:
         cores: List[_Core],
         primitives: Sequence[Primitive],
         root_words: Optional[List[int]],
-    ) -> None:
-        """Round-robin partition of level-0 extensions by global core id."""
+    ) -> Metrics:
+        """Round-robin partition of level-0 extensions by global core id.
+
+        Returns the metrics of the root enumeration itself.  Probing the
+        level-0 candidates is cluster setup — the paper's system performs
+        it once during initialization, before any core runs — so its
+        extension tests and adjacency scans are metered separately instead
+        of being charged to core 0 (which skewed per-core load-balance
+        numbers); the caller folds them into the step's engine-level
+        metrics, leaving every published total unchanged.
+        """
+        setup_metrics = Metrics()
         first_expand = next(
             (i for i, p in enumerate(primitives) if isinstance(p, Expand)), None
         )
@@ -582,9 +1032,15 @@ class ClusterEngine:
             # core 0 evaluates the empty-subgraph pipeline once.
             if cores:
                 cores[0].stack.append(SubgraphEnumerator((), [], 0))
-            return
+            return setup_metrics
         if root_words is None:
-            words = cores[0].strategy.extensions(cores[0].subgraph)
+            strategy = cores[0].strategy
+            core_metrics = strategy.metrics
+            strategy.metrics = setup_metrics
+            try:
+                words = strategy.extensions(cores[0].subgraph)
+            finally:
+                strategy.metrics = core_metrics
         else:
             words = list(root_words)
         n = len(cores)
@@ -593,6 +1049,7 @@ class ClusterEngine:
             core.stack.append(
                 SubgraphEnumerator((), partition, first_expand + 1)
             )
+        return setup_metrics
 
     # ------------------------------------------------------------------
     # Core execution
@@ -604,6 +1061,7 @@ class ClusterEngine:
         storages: Dict[int, AggregationStorage],
         sink,
         cost: CostModel,
+        sched: _SchedState,
     ) -> None:
         """Process one quantum: consume one extension or pop a dead frame."""
         top = core.stack[-1]
@@ -613,6 +1071,8 @@ class ClusterEngine:
                 core.strategy.pop(core.subgraph)
             return
         word = top.take()
+        if top.stealable and not top.has_next():
+            sched.retract(core)
         strategy = core.strategy
         metrics = core.metrics
         before_tests = metrics.extension_tests
@@ -636,6 +1096,8 @@ class ClusterEngine:
                         idx + 1,
                     )
                 )
+                if extensions:
+                    sched.publish(core)
                 pushed_frame = True
                 break
             if kind is Filter:
@@ -706,20 +1168,31 @@ class ClusterEngine:
         cores: List[_Core],
         cost: CostModel,
         runtime: _FaultRuntime,
-    ) -> Tuple[bool, int]:
-        """Attempt WS_int, then WS_ext. Returns (success, messages sent)."""
+        sched: _SchedState,
+    ) -> Tuple[bool, int, bool]:
+        """Attempt WS_int, then WS_ext.
+
+        Returns ``(success, messages sent, victim found)``.  The last
+        flag distinguishes "nothing stealable anywhere" (the thief may
+        park) from "a victim exists but the steal failed in flight" (the
+        thief must stay live and retry with fresh channel randomness).
+        """
         config = self.config
         if config.ws_internal:
-            frame, victim = self._pick_victim(thief, cores, same_worker=True)
+            frame, victim = self._pick_victim(thief, cores, True, sched)
             if frame is not None:
+                chunk = config.steal_chunk_size(frame.remaining())
+                units = cost.steal_internal_cost()
+                if chunk > 1:
+                    units += cost.steal_chunk_cost(chunk - 1)
                 self._transfer(
-                    thief, frame, cost.steal_internal_cost(), runtime, victim.failed
+                    thief, frame, units, runtime, victim, sched, chunk
                 )
                 thief.steals_internal += 1
                 thief.metrics.steals_internal += 1
-                return True, 0
+                return True, 0, True
         if config.ws_external:
-            frame, victim = self._pick_victim(thief, cores, same_worker=False)
+            frame, victim = self._pick_victim(thief, cores, False, sched)
             if frame is not None:
                 if runtime.channel is None:
                     delivered, penalty, delay, messages = True, 0.0, 0.0, 2
@@ -736,15 +1209,20 @@ class ClusterEngine:
                     thief.steal_units += penalty
                     thief.metrics.steal_work_units += penalty
                     runtime.metrics.wasted_work_units += penalty
-                    return False, messages
+                    return False, messages, True
+                chunk = config.steal_chunk_size(frame.remaining())
                 units = cost.steal_external_cost(len(frame.prefix_words))
+                if chunk > 1:
+                    units += cost.steal_chunk_cost(chunk - 1)
                 units += penalty + delay
                 runtime.metrics.wasted_work_units += penalty
-                self._transfer(thief, frame, units, runtime, victim.failed)
+                self._transfer(
+                    thief, frame, units, runtime, victim, sched, chunk
+                )
                 thief.steals_external += 1
                 thief.metrics.steals_external += 1
-                return True, messages
-        return False, 0
+                return True, messages, True
+        return False, 0, False
 
     def _roundtrip(
         self, cost: CostModel, runtime: _FaultRuntime
@@ -785,19 +1263,52 @@ class ClusterEngine:
         return False, penalty, delay_total, messages
 
     def _pick_victim(
-        self, thief: _Core, cores: List[_Core], same_worker: bool
+        self, thief: _Core, cores: List[_Core], same_worker: bool, sched: _SchedState
     ) -> Tuple[Optional[SubgraphEnumerator], Optional[_Core]]:
-        """Round-robin victim scan; returns the shallowest stealable frame.
+        """Pick the round-robin-nearest victim with a stealable frame.
 
         A dead victim's frames are only visible once the thief's clock
         passes the failure detector's detection point for that core.
+        The event scheduler consults the stealable-work registry (only
+        cores that actually hold work are inspected — O(1) amortized);
+        the poll scheduler keeps the legacy full scan as the reference.
+        Both return the same victim: the registry is an index over
+        exactly the cores the scan would accept.
         """
         n = len(cores)
+        metrics = thief.metrics
+        if sched.event:
+            if same_worker:
+                candidates = sched.reg_workers[thief.worker_id]
+            else:
+                candidates = [
+                    core_id
+                    for w, members in enumerate(sched.reg_workers)
+                    if w != thief.worker_id
+                    for core_id in members
+                ]
+            best = None
+            best_distance = n
+            for core_id in candidates:
+                metrics.victim_scan_steps += 1
+                if core_id == thief.core_id:
+                    continue
+                candidate = cores[core_id]
+                if candidate.failed and thief.clock < candidate.detect_at:
+                    continue
+                distance = (core_id - thief.core_id) % n
+                if distance < best_distance:
+                    best_distance = distance
+                    best = candidate
+            if best is None:
+                return None, None
+            return best.stealable_frame(), best
         for offset in range(1, n):
             candidate = cores[(thief.core_id + offset) % n]
             is_local = candidate.worker_id == thief.worker_id
             if is_local != same_worker:
                 continue
+            metrics.victim_scan_steps += 1
             if candidate.failed and thief.clock < candidate.detect_at:
                 continue
             frame = candidate.stealable_frame()
@@ -811,26 +1322,45 @@ class ClusterEngine:
         frame: SubgraphEnumerator,
         steal_units: float,
         runtime: _FaultRuntime,
-        orphaned: bool,
+        victim: _Core,
+        sched: _SchedState,
+        chunk: int,
     ) -> None:
-        """Move one extension of ``frame`` onto the thief as new root work."""
-        word = frame.steal_one()
-        assert word is not None
+        """Move ``chunk`` extensions of ``frame`` onto the thief as new work.
+
+        ``chunk == 1`` (policy ``"one"``) reproduces the original single-
+        extension transfer exactly, including the claimed frame staying
+        non-stealable.  Chunked transfers hand the thief a multi-extension
+        frame that is immediately stealable again — that recursive
+        splitting is what spreads a skewed frame across the cluster in
+        O(log n) transfers instead of one round-trip per extension.
+        """
+        words = frame.steal_chunk(chunk)
+        assert words
+        if frame.stealable and not frame.has_next():
+            sched.retract(victim)
         thief.charge(steal_units)
         thief.steal_units += steal_units
         thief.metrics.steal_work_units += steal_units
+        thief.metrics.steal_chunk_extensions += len(words)
         ec_before = thief.metrics.extension_tests
         scans_before = thief.metrics.adjacency_scans
         thief.strategy.rebuild(thief.subgraph, frame.prefix_words)
-        if orphaned:
+        if victim.failed:
             # Recovering a dead core's enumerator: the prefix re-derivation
             # is wasted (redundant) work the failure caused.
-            runtime.note_recovery(thief, ec_before, scans_before, extensions=1)
-        thief.stack.append(
-            SubgraphEnumerator(
-                frame.prefix_words, [word], frame.primitive_index, stealable=False
+            runtime.note_recovery(
+                thief, ec_before, scans_before, extensions=len(words)
             )
+        stolen = SubgraphEnumerator(
+            frame.prefix_words,
+            words,
+            frame.primitive_index,
+            stealable=len(words) > 1,
         )
+        thief.stack.append(stolen)
+        if stolen.stealable:
+            sched.publish(thief)
 
     def _resubmit(
         self,
@@ -855,6 +1385,12 @@ class ClusterEngine:
             # Waiting for detection is idle time, not busy work.
             target.clock = victim.detect_at
         units = cost.recovery_cost(len(frame.prefix_words))
+        if len(words) > 1 and self.config.steal_policy != "one":
+            # Chunked policies price the extra extension words shipped in
+            # the resubmission message; "one" keeps the legacy arithmetic
+            # (the extensions ride free, as they always did) so its clocks
+            # stay bit-identical.
+            units += cost.steal_chunk_cost(len(words) - 1)
         ec_before = target.metrics.extension_tests
         scans_before = target.metrics.adjacency_scans
         target.strategy.rebuild(target.subgraph, frame.prefix_words)
@@ -891,7 +1427,7 @@ class ClusterEngine:
                     continue
                 if not local and not config.ws_external:
                     continue
-                if core.stealable_frame() is None:
+                if core.stealable_count <= 0:
                     continue
                 candidate = core.detect_at
             else:
@@ -1018,6 +1554,9 @@ class ClusterEngine:
                     peak_stack_bytes=core.peak_stack_bytes,
                     agg_ship_units=core.agg_units,
                     agg_entries_shipped=core.agg_entries_shipped,
+                    parked_units=core.metrics.parked_units,
+                    wake_events=core.metrics.wake_events,
+                    steal_chunk_extensions=core.metrics.steal_chunk_extensions,
                     failed=core.failed,
                     busy_intervals=core.busy_intervals,
                 )

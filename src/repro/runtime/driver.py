@@ -88,6 +88,33 @@ class ExecutionReport:
             "steal_messages_delayed": m.steal_messages_delayed,
         }
 
+    def scheduler_summary(self) -> Dict[str, float]:
+        """Scheduler-efficiency observability rolled up over all steps.
+
+        Meters the scheduler itself, not the mined workload: heap pops
+        (``events``) and lazily-invalidated stale entries, idle-core
+        parking (park episodes, wake notifications, total parked
+        simulated units), victim-scan work of the stealable registry,
+        and chunked-steal volume (``steal_chunk_extensions`` over
+        ``steals`` gives the mean extensions moved per successful
+        steal).  Parking/wake counters stay zero on the sequential
+        engine and under ``scheduler="poll"``.
+        """
+        m = self.metrics
+        steals = m.steals_internal + m.steals_external
+        return {
+            "events": m.scheduler_events,
+            "requeues": m.scheduler_requeues,
+            "parks": m.cores_parked,
+            "wake_events": m.wake_events,
+            "parked_units": m.parked_units,
+            "victim_scan_steps": m.victim_scan_steps,
+            "steal_chunk_extensions": m.steal_chunk_extensions,
+            "mean_steal_chunk": (
+                m.steal_chunk_extensions / steals if steals else 0.0
+            ),
+        }
+
     def aggregation_shuffle_summary(self) -> Dict[str, float]:
         """Two-level aggregation shuffle observability over all steps.
 

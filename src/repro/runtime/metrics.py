@@ -17,7 +17,13 @@ The paper's evaluation is expressed in a handful of measurable quantities:
   re-enumerated (recovered) work, wasted work units and wasted EC,
   steal retries and message-fault counts.  These stay zero in
   failure-free runs; under a fault plan they quantify the cost of the
-  paper's from-scratch recovery story while results stay identical.
+  paper's from-scratch recovery story while results stay identical;
+* scheduler efficiency — event-loop pops and lazily-invalidated stale
+  heap entries, idle-core parking (park events, wake notifications,
+  parked simulated time), victim-scan work of the stealable registry,
+  and the extensions moved per steal under chunked steal policies.
+  These meter the *scheduler*, not the mined workload: results and
+  legacy counters are identical whichever scheduler/policy runs.
 
 A single :class:`Metrics` instance accompanies every execution; engines and
 extension strategies increment its counters inline.
@@ -68,6 +74,13 @@ class Metrics:
         "steal_messages_dropped",
         "steal_messages_duplicated",
         "steal_messages_delayed",
+        "scheduler_events",
+        "scheduler_requeues",
+        "cores_parked",
+        "wake_events",
+        "parked_units",
+        "victim_scan_steps",
+        "steal_chunk_extensions",
     )
 
     def __init__(self):
@@ -105,6 +118,13 @@ class Metrics:
         self.steal_messages_dropped = 0
         self.steal_messages_duplicated = 0
         self.steal_messages_delayed = 0
+        self.scheduler_events = 0
+        self.scheduler_requeues = 0
+        self.cores_parked = 0
+        self.wake_events = 0
+        self.parked_units = 0.0
+        self.victim_scan_steps = 0
+        self.steal_chunk_extensions = 0
 
     def merge(self, other: "Metrics") -> None:
         """Accumulate counters from another instance (peaks take max)."""
@@ -140,6 +160,13 @@ class Metrics:
         self.steal_messages_dropped += other.steal_messages_dropped
         self.steal_messages_duplicated += other.steal_messages_duplicated
         self.steal_messages_delayed += other.steal_messages_delayed
+        self.scheduler_events += other.scheduler_events
+        self.scheduler_requeues += other.scheduler_requeues
+        self.cores_parked += other.cores_parked
+        self.wake_events += other.wake_events
+        self.parked_units += other.parked_units
+        self.victim_scan_steps += other.victim_scan_steps
+        self.steal_chunk_extensions += other.steal_chunk_extensions
         self.peak_enumerator_bytes = max(
             self.peak_enumerator_bytes, other.peak_enumerator_bytes
         )

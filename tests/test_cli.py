@@ -151,3 +151,43 @@ class TestFaultInjection:
                     "--fault-plan", "plan.json",
                 ]
             )
+
+
+class TestStealPolicy:
+    def test_parser_default(self):
+        args = build_parser().parse_args(["run", "cliques"])
+        assert args.steal_policy == "one"
+
+    def test_parser_accepts_policy(self):
+        args = build_parser().parse_args(
+            ["run", "cliques", "--steal-policy", "chunk:8"]
+        )
+        assert args.steal_policy == "chunk:8"
+
+    def test_invalid_policy_exits(self):
+        with pytest.raises(SystemExit, match="invalid cluster configuration"):
+            main(
+                [
+                    "run", "cliques", "--dataset", "mico", "--scale", "0.3",
+                    "--workers", "2", "--cores", "2",
+                    "--steal-policy", "bogus",
+                ]
+            )
+
+    def test_scheduler_report_printed(self, capsys):
+        assert main(
+            [
+                "run", "cliques", "--dataset", "mico", "--scale", "0.3",
+                "--k", "3", "--workers", "2", "--cores", "4",
+                "--steal-policy", "half",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scheduler:" in out
+        assert "steal policy:" in out
+
+    def test_sequential_run_skips_scheduler_report(self, capsys):
+        assert main(
+            ["run", "cliques", "--dataset", "mico", "--scale", "0.3", "--k", "3"]
+        ) == 0
+        assert "scheduler:" not in capsys.readouterr().out
