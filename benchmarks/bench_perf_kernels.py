@@ -425,6 +425,21 @@ def measure(name, fn, reps):
     return record
 
 
+def check_view_caching(graph) -> None:
+    """Regression guard: accessor views must be cached immutable tuples.
+
+    ``neighbors()`` / ``neighborhood()`` / ``incident_edges()`` sit on the
+    hot path of every extension kernel; rebuilding a fresh list per call
+    silently costs an O(degree) copy each time.  Identity (``is``) catches
+    that regression; tuple-ness catches a return to mutable lists.
+    """
+    for v in range(min(8, graph.n_vertices)):
+        for accessor in (graph.neighbors, graph.neighborhood, graph.incident_edges):
+            first = accessor(v)
+            assert accessor(v) is first, f"{accessor.__name__} rebuilds its view"
+            assert isinstance(first, tuple), f"{accessor.__name__} not a tuple"
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -440,6 +455,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     graph = mico_like()
     print(f"dataset mico_like: {graph.n_vertices} vertices, {graph.n_edges} edges")
     print(f"reps per side: {reps} (interleaved)")
+    check_view_caching(graph)
+    print("view-caching guard: accessors return cached tuples")
 
     workloads: Dict[str, dict] = {}
     workloads["motifs_k3"] = measure(
@@ -476,6 +493,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "drift; DFS-code cache cleared before every repetition"
         ),
         "prepr_wallclock": PREPR_WALLCLOCK,
+        "view_caching_guard": "passed",
         "workloads": workloads,
         "target": {
             "workload": "motifs_k3",

@@ -93,6 +93,8 @@ def _engine(args) -> object:
             cores_per_worker=args.cores,
             fault_plan=plan,
             steal_policy=getattr(args, "steal_policy", "one"),
+            pattern_kernel=getattr(args, "pattern_kernel", "legacy"),
+            order_policy=getattr(args, "order_policy", None),
         )
     except ValueError as exc:
         raise SystemExit(f"invalid cluster configuration: {exc}")
@@ -224,10 +226,41 @@ def _print_agg_shuffle(report) -> None:
     )
 
 
+def _print_pattern_kernel(report) -> None:
+    """Candidate-kernel block printed after pattern-query runs."""
+    if report is None:
+        return
+    summary = report.pattern_kernel_summary()
+    if summary["kernel"] is None:
+        return
+    print(
+        "pattern kernel: "
+        f"{summary['kernel']} "
+        f"(order policy {summary['order_policy']}, "
+        f"order {summary['order']}), "
+        f"candidate cost {summary['candidate_units']:.1f} units"
+    )
+    print(
+        "candidate work: "
+        f"{summary['back_edge_probes']:.0f} back-edge probes, "
+        f"{summary['intersect_comparisons']:.0f} comparisons, "
+        f"{summary['gallop_steps']:.0f} gallop steps, "
+        f"{summary['index_slices']:.0f} index slices"
+    )
+
+
 def _run_app(args) -> int:
     graph = _load_dataset(args.dataset, args.scale)
     engine = _engine(args)
-    context = FractalContext(engine=engine)
+    context = FractalContext(
+        engine=engine,
+        pattern_kernel=getattr(args, "pattern_kernel", None)
+        if not isinstance(engine, ClusterConfig)
+        else None,
+        order_policy=getattr(args, "order_policy", None)
+        if not isinstance(engine, ClusterConfig)
+        else None,
+    )
     fg = context.from_graph(graph)
     if args.app == "motifs":
         census = motifs(fg, args.k)
@@ -266,6 +299,7 @@ def _run_app(args) -> int:
 
         count = count_query_matches(fg, pattern)
         print(f"query {args.query} on {graph.name}: {count} matches")
+        _print_pattern_kernel(context.last_report)
     elif args.app == "keywords":
         if not args.words:
             raise SystemExit("keyword search requires --words")
@@ -381,6 +415,23 @@ def build_parser() -> argparse.ArgumentParser:
         "extension, the paper-faithful default), 'half' (Cilk-style "
         "steal-half) or 'chunk:N' (at most N extensions); results are "
         "identical under every policy, clocks and steal traffic differ",
+    )
+    p_run.add_argument(
+        "--pattern-kernel",
+        choices=["legacy", "indexed"],
+        default="legacy",
+        help="candidate kernel for pattern-induced enumeration: 'legacy' "
+        "(per-neighbor back-edge probing, the seed behaviour) or "
+        "'indexed' (label-partitioned adjacency index with sorted-set "
+        "intersection); match sets are identical under both",
+    )
+    p_run.add_argument(
+        "--order-policy",
+        choices=["legacy", "cost"],
+        default=None,
+        help="matching-order policy for pattern queries: 'legacy' "
+        "(static degree-greedy) or 'cost' (statistics-based planner); "
+        "default derives from the kernel ('cost' for indexed)",
     )
     p_run.add_argument(
         "--profile",

@@ -10,7 +10,9 @@ from .enumerator import (
     SubgraphEnumerator,
     VertexInducedStrategy,
     matching_order,
+    plan_matching_order,
 )
+from .intersect import GALLOP_CROSSOVER, intersect_slices, range_bounds
 from .fractoid import Fractoid
 from .primitives import Aggregate, AggregationFilter, Expand, Filter, Primitive
 from .steps import PlanError, plan_steps, resolve_aggregation_sources
@@ -29,6 +31,10 @@ __all__ = [
     "SubgraphEnumerator",
     "VertexInducedStrategy",
     "matching_order",
+    "plan_matching_order",
+    "GALLOP_CROSSOVER",
+    "intersect_slices",
+    "range_bounds",
     "Fractoid",
     "Aggregate",
     "AggregationFilter",

@@ -38,15 +38,27 @@ class FractalContext:
             :class:`~repro.runtime.cluster.ClusterConfig` for the simulated
             distributed runtime.
         cost_model: calibration constants for simulated time.
+        pattern_kernel: default candidate kernel for pattern-induced
+            fractoids — ``"legacy"`` or ``"indexed"``.  ``None`` (the
+            default) leaves the choice unpinned so a cluster engine's
+            ``ClusterConfig.pattern_kernel`` can select it; an explicit
+            value pins every pattern strategy created under this context.
+        order_policy: default matching-order policy for pattern-induced
+            fractoids — ``"legacy"`` or ``"cost"`` (``None`` = derive
+            from the kernel: ``"cost"`` for indexed, else ``"legacy"``).
     """
 
     def __init__(
         self,
         engine: EngineSpec = "sequential",
         cost_model: CostModel = DEFAULT_COST_MODEL,
+        pattern_kernel: Optional[str] = None,
+        order_policy: Optional[str] = None,
     ):
         self.engine = engine
         self.cost_model = cost_model
+        self.pattern_kernel = pattern_kernel
+        self.order_policy = order_policy
         self.interner = PatternInterner()
         self.aggregation_cache: Dict[int, AggregationView] = {}
         # The most recent ExecutionReport of any fractoid run under this
@@ -107,11 +119,34 @@ class FractalGraph:
         factory = custom_strategy if custom_strategy is not None else EdgeInducedStrategy
         return Fractoid(self, factory, (), mode="edge")
 
-    def pfractoid(self, pattern: Pattern) -> Fractoid:
-        """B3: pattern-induced fractoid guided by ``pattern``."""
+    def pfractoid(
+        self,
+        pattern: Pattern,
+        kernel: Optional[str] = None,
+        order_policy: Optional[str] = None,
+    ) -> Fractoid:
+        """B3: pattern-induced fractoid guided by ``pattern``.
+
+        ``kernel`` / ``order_policy`` pin the candidate kernel and
+        matching-order policy for this fractoid; when ``None`` they fall
+        back to the context defaults, and when those are also ``None``
+        the engine may configure them (``ClusterConfig.pattern_kernel``).
+        """
+        context = self.context
+        resolved_kernel = kernel if kernel is not None else context.pattern_kernel
+        resolved_policy = (
+            order_policy if order_policy is not None else context.order_policy
+        )
 
         def factory(graph, metrics, interner):
-            return PatternInducedStrategy(graph, metrics, interner, pattern)
+            return PatternInducedStrategy(
+                graph,
+                metrics,
+                interner,
+                pattern,
+                kernel=resolved_kernel,
+                order_policy=resolved_policy,
+            )
 
         return Fractoid(self, factory, (), mode="pattern")
 

@@ -31,6 +31,7 @@ from ..graph.graph import Graph
 from ..pattern.pattern import Pattern, PatternInterner
 from ..pattern.symmetry import conditions_by_position, symmetry_breaking_conditions
 from ..runtime.metrics import Metrics
+from .intersect import intersect_slices, range_bounds
 from .subgraph import Subgraph
 
 __all__ = [
@@ -40,7 +41,37 @@ __all__ = [
     "PatternInducedStrategy",
     "SubgraphEnumerator",
     "matching_order",
+    "plan_matching_order",
+    "PATTERN_KERNELS",
+    "ORDER_POLICIES",
 ]
+
+#: Candidate-generation kernels of :class:`PatternInducedStrategy`.
+#: ``"legacy"`` scans the first back-neighbor's whole adjacency and tests
+#: each candidate; ``"indexed"`` intersects label-partitioned sorted
+#: slices.  Match *sets* are identical under both.
+PATTERN_KERNELS = ("legacy", "indexed")
+
+#: Matching-order policies: ``"legacy"`` is the static degree-greedy
+#: order, ``"cost"`` the statistics-based planner
+#: (:func:`plan_matching_order`).
+ORDER_POLICIES = ("legacy", "cost")
+
+
+def _check_kernel(kernel: str) -> str:
+    if kernel not in PATTERN_KERNELS:
+        raise ValueError(
+            f"pattern_kernel must be one of {PATTERN_KERNELS}, got {kernel!r}"
+        )
+    return kernel
+
+
+def _check_policy(policy: str) -> str:
+    if policy not in ORDER_POLICIES:
+        raise ValueError(
+            f"order_policy must be one of {ORDER_POLICIES}, got {policy!r}"
+        )
+    return policy
 
 
 class ExtensionStrategy:
@@ -87,6 +118,28 @@ class ExtensionStrategy:
 
     def word_count_limit(self) -> Optional[int]:
         """Maximum enumeration depth, if the strategy imposes one."""
+        return None
+
+    def configure_kernel(
+        self, kernel: Optional[str] = None, order_policy: Optional[str] = None
+    ) -> None:
+        """Engine hook: adopt engine-level candidate-kernel settings.
+
+        The simulated cluster calls this on every per-core strategy with
+        its :class:`~repro.runtime.cluster.ClusterConfig` values.  Only
+        the pattern-induced strategy reacts; everything else ignores it.
+        Settings pinned at construction (explicit ``kernel`` /
+        ``order_policy`` arguments) take precedence and are not
+        overridden.
+        """
+
+    def kernel_info(self) -> Optional[dict]:
+        """Describe the candidate kernel in use, if the strategy has one.
+
+        ``None`` for strategies without a selectable kernel; the
+        pattern-induced strategy reports its kernel, order policy and
+        matching order for execution reports and the CLI.
+        """
         return None
 
 
@@ -361,6 +414,68 @@ def matching_order(pattern: Pattern) -> List[int]:
     return order
 
 
+def plan_matching_order(pattern: Pattern, graph: Graph) -> List[int]:
+    """Cost-based connected matching order from graph label statistics.
+
+    CFL-Match-style planning: order pattern vertices by their *estimated
+    candidate-set size* while maximizing early back edges.  The estimate
+    for matching pattern vertex ``p`` after the already-ordered set is::
+
+        |{v : label(v) = label(p)}| * prod over back edges (q, le) of
+            sel(label(q), le, label(p))
+
+    where ``sel(la, le, lb)`` is the fraction of (la, lb) vertex pairs
+    joined by an ``le`` edge, read off :meth:`Graph.label_stats` under an
+    independence assumption.  More early back edges multiply in more
+    selectivities, so constrained vertices naturally sort first; ties
+    break on back-edge count (more first) then vertex id — fully
+    deterministic.  The start vertex is the one with the rarest label
+    (highest degree, then lowest id, on ties).
+    """
+    n = pattern.n_vertices
+    if n == 0:
+        return []
+    vertex_counts, pair_counts = graph.label_stats()
+    labels = pattern.vertex_labels
+
+    def root_size(p: int) -> int:
+        return vertex_counts.get(labels[p], 0)
+
+    start = min(range(n), key=lambda p: (root_size(p), -pattern.degree(p), p))
+    order = [start]
+    chosen = {start}
+    while len(order) < n:
+        best_vertex = -1
+        best_rank: Optional[tuple] = None
+        for p in range(n):
+            if p in chosen:
+                continue
+            backs = [
+                (q, elabel)
+                for q, elabel in pattern.neighborhood(p)
+                if q in chosen
+            ]
+            if not backs:
+                continue
+            estimate = float(root_size(p))
+            for q, elabel in backs:
+                denominator = vertex_counts.get(labels[q], 0) * root_size(p)
+                if denominator:
+                    estimate *= (
+                        pair_counts.get((labels[q], elabel, labels[p]), 0)
+                        / denominator
+                    )
+                else:
+                    estimate = 0.0
+            rank = (estimate, -len(backs), p)
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best_vertex = p
+        order.append(best_vertex)
+        chosen.add(best_vertex)
+    return order
+
+
 class PatternInducedStrategy(ExtensionStrategy):
     """Pattern-guided extension (subgraph querying, paper Listing 5).
 
@@ -371,6 +486,28 @@ class PatternInducedStrategy(ExtensionStrategy):
     symmetry-breaking conditions.  Matching is non-induced: extra graph
     edges among matched vertices are permitted, and the subgraph contains
     the images of the pattern's edges.
+
+    Two candidate kernels are available (``kernel``):
+
+    * ``"legacy"`` — scan the whole neighborhood of the *first* back
+      neighbor and test every entry (byte-identical to the original
+      implementation, except that the back-edge ``edge_between`` probes
+      are now metered into ``metrics.back_edge_probes``);
+    * ``"indexed"`` — one label-partitioned sorted slice per back edge
+      (:meth:`Graph.labeled_adjacency`), symmetry conditions converted to
+      a ``[lo, hi)`` range binary-searched on the smallest slice, then
+      sorted-set intersection (:mod:`repro.core.intersect`).
+
+    Both kernels produce the same candidate *set* at every position, in
+    ascending vertex order, so with the same matching order the whole
+    enumeration stream is identical; under different orders the final
+    match sets still agree.  ``order_policy`` selects the matching order:
+    ``"legacy"`` (static degree-greedy) or ``"cost"`` (statistics-based
+    :func:`plan_matching_order`).  ``None`` values are *unpinned*: they
+    default to legacy behavior (``"cost"`` order for the indexed kernel)
+    but may be overridden by the engine via :meth:`configure_kernel` —
+    this is how ``ClusterConfig.pattern_kernel`` reaches per-core
+    strategies.  Explicit values are pinned and never overridden.
     """
 
     mode = "pattern"
@@ -381,6 +518,8 @@ class PatternInducedStrategy(ExtensionStrategy):
         metrics: Metrics,
         interner: PatternInterner,
         pattern: Pattern,
+        kernel: Optional[str] = None,
+        order_policy: Optional[str] = None,
     ):
         super().__init__(graph, metrics, interner)
         if pattern.n_vertices == 0:
@@ -388,7 +527,22 @@ class PatternInducedStrategy(ExtensionStrategy):
         if not pattern.is_connected():
             raise ValueError("pattern-induced fractoids require a connected pattern")
         self.pattern = pattern
-        self.order = matching_order(pattern)
+        self._kernel_pinned = kernel is not None
+        self._policy_pinned = order_policy is not None
+        self._kernel = _check_kernel(kernel) if kernel is not None else "legacy"
+        if order_policy is not None:
+            self._order_policy = _check_policy(order_policy)
+        else:
+            self._order_policy = "cost" if self._kernel == "indexed" else "legacy"
+        self._setup_order()
+
+    def _setup_order(self) -> None:
+        """(Re)derive order-dependent state for the current order policy."""
+        pattern = self.pattern
+        if self._order_policy == "cost":
+            self.order = plan_matching_order(pattern, self.graph)
+        else:
+            self.order = matching_order(pattern)
         conditions = symmetry_breaking_conditions(pattern)
         self._checks = conditions_by_position(conditions, self.order)
         # back_edges[pos]: (earlier position, edge label) pairs required.
@@ -404,6 +558,30 @@ class PatternInducedStrategy(ExtensionStrategy):
             self._back_edges.append(backs)
         self._labels = [pattern.vertex_labels[p] for p in self.order]
 
+    def configure_kernel(
+        self, kernel: Optional[str] = None, order_policy: Optional[str] = None
+    ) -> None:
+        new_kernel = self._kernel
+        if kernel is not None and not self._kernel_pinned:
+            new_kernel = _check_kernel(kernel)
+        new_policy = self._order_policy
+        if not self._policy_pinned:
+            if order_policy is not None:
+                new_policy = _check_policy(order_policy)
+            else:
+                new_policy = "cost" if new_kernel == "indexed" else "legacy"
+        self._kernel = new_kernel
+        if new_policy != self._order_policy:
+            self._order_policy = new_policy
+            self._setup_order()
+
+    def kernel_info(self) -> dict:
+        return {
+            "kernel": self._kernel,
+            "order_policy": self._order_policy,
+            "order": list(self.order),
+        }
+
     def word_count_limit(self) -> Optional[int]:
         return self.pattern.n_vertices
 
@@ -411,6 +589,8 @@ class PatternInducedStrategy(ExtensionStrategy):
         pos = len(subgraph.vertices)
         if pos >= self.pattern.n_vertices:
             return []
+        if self._kernel == "indexed":
+            return self._extensions_indexed(subgraph, pos)
         graph = self.graph
         metrics = self.metrics
         wanted_label = self._labels[pos]
@@ -444,9 +624,66 @@ class PatternInducedStrategy(ExtensionStrategy):
         self.metrics.extensions_generated += len(result)
         return result
 
-    @staticmethod
-    def _back_edges_ok(graph: Graph, matched, v: int, backs) -> bool:
+    def _extensions_indexed(self, subgraph: Subgraph, pos: int) -> List[int]:
+        """Indexed candidate generation: slice, range-restrict, intersect.
+
+        One labeled-adjacency slice per back edge guarantees the edge,
+        its label and the candidate's vertex label all at once; symmetry
+        conditions (always strict comparisons against matched vertex
+        ids) become a ``[lo, hi)`` window binary-searched on the
+        smallest slice before intersecting.  ``extension_tests`` counts
+        only the candidates that survive — the per-element work this
+        kernel actually performs — while the array work is metered by
+        the intersection kernels.
+        """
+        graph = self.graph
+        metrics = self.metrics
+        wanted_label = self._labels[pos]
+        if pos == 0:
+            metrics.index_slices += 1
+            result = list(graph.vertices_with_label(wanted_label))
+            metrics.extension_tests += len(result)
+            metrics.extensions_generated += len(result)
+            return result
+        matched = subgraph.vertices
+        index, lnbr, _ = graph.labeled_adjacency()
+        slices = []
+        for back_pos, elabel in self._back_edges[pos]:
+            metrics.index_slices += 1
+            segment = index[matched[back_pos]].get((wanted_label, elabel))
+            if segment is None:
+                return []
+            slices.append((lnbr, segment[0], segment[1]))
+        lower = 0
+        upper = graph.n_vertices
+        for earlier_pos, must_be_greater in self._checks[pos]:
+            bound = matched[earlier_pos]
+            if must_be_greater:
+                if bound + 1 > lower:
+                    lower = bound + 1
+            elif bound < upper:
+                upper = bound
+        if lower >= upper:
+            return []
+        # Anchor = smallest slice; restrict it to the symmetry window.
+        slices.sort(key=lambda s: s[2] - s[1])
+        arr, lo, hi = slices[0]
+        if lower > 0 or upper < graph.n_vertices:
+            lo, hi = range_bounds(arr, lo, hi, lower, upper, metrics)
+            slices[0] = (arr, lo, hi)
+        if lo >= hi:
+            return []
+        candidates = intersect_slices(slices, metrics)
+        metrics.extension_tests += len(candidates)
+        in_subgraph = subgraph.vertex_set
+        result = [v for v in candidates if v not in in_subgraph]
+        metrics.extensions_generated += len(result)
+        return result
+
+    def _back_edges_ok(self, graph: Graph, matched, v: int, backs) -> bool:
+        metrics = self.metrics
         for back_pos, elabel in backs[1:]:
+            metrics.back_edge_probes += 1
             eid = graph.edge_between(v, matched[back_pos])
             if eid < 0 or graph.edge_label(eid) != elabel:
                 return False

@@ -1,0 +1,220 @@
+"""Sorted-set intersection kernels for pattern-matching candidates.
+
+The indexed pattern kernel reduces candidate generation to intersecting
+label-partitioned adjacency segments (``Graph.labeled_adjacency``): every
+back edge of the pattern vertex being matched contributes one sorted
+slice, and the candidates are exactly the vertices present in all of
+them.  Three kernels cover the size regimes, in the style of the
+worst-case-optimal join engines (EmptyHeaded, GraphZero — see PAPERS.md):
+
+* **linear merge** for two similarly sized slices — one comparison per
+  advanced cursor;
+* **galloping** (exponential search + binary search) when the slice
+  sizes are skewed by at least :data:`GALLOP_CROSSOVER` — the small side
+  drives, probing the big side in O(log gap) steps;
+* **leapfrog k-way join** for three or more slices — round-robin seeks
+  with galloping, never materializing a pairwise intermediate.
+
+Each kernel meters its work into :class:`~repro.runtime.metrics.Metrics`
+(``intersect_comparisons`` for merge comparisons, ``gallop_steps`` for
+exponential probes and binary-search halvings) so the cost model can
+charge the simulated clock for the *actual* cheaper work instead of the
+per-candidate tests the legacy kernel would have run.
+
+Slices are ``(arr, lo, hi)`` triples over a shared flat list: the
+half-open index range ``arr[lo:hi]``, sorted ascending, no copies made
+until the output list.  All outputs are fresh sorted lists.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import List, Sequence, Tuple
+
+from ..runtime.metrics import Metrics
+
+__all__ = ["GALLOP_CROSSOVER", "intersect_slices", "range_bounds"]
+
+# Size ratio at which galloping beats the linear merge.  Galloping costs
+# O(small * log(big/small)) versus O(small + big) for the merge; with the
+# binary-search constant factor the crossover sits near big/small = 8.
+GALLOP_CROSSOVER = 8
+
+Slice = Tuple[Sequence[int], int, int]
+
+
+def range_bounds(
+    arr: Sequence[int],
+    lo: int,
+    hi: int,
+    lower: int,
+    upper: int,
+    metrics: Metrics,
+) -> Tuple[int, int]:
+    """Narrow ``arr[lo:hi]`` to the elements in ``[lower, upper)``.
+
+    Two binary searches on the sorted slice; returns the new ``(lo, hi)``
+    bounds.  This is how symmetry-breaking ``<`` / ``>`` conditions are
+    applied *before* intersecting: every condition is a strict comparison
+    against an already-matched vertex id, so the surviving candidates form
+    one contiguous run of the sorted slice.  Each search is metered as
+    ``bit_length`` of the searched range — the number of halvings the
+    binary search performs.
+    """
+    if hi > lo and lower > arr[lo]:
+        metrics.gallop_steps += (hi - lo).bit_length()
+        lo = bisect_left(arr, lower, lo, hi)
+    if hi > lo and upper <= arr[hi - 1]:
+        metrics.gallop_steps += (hi - lo).bit_length()
+        hi = bisect_left(arr, upper, lo, hi)
+    return lo, hi
+
+
+def intersect_slices(slices: List[Slice], metrics: Metrics) -> List[int]:
+    """Intersect ``k >= 1`` sorted slices into a fresh ascending list.
+
+    Kernel selection: a single slice is copied out; two slices use the
+    linear merge, or galloping when the size ratio reaches
+    :data:`GALLOP_CROSSOVER`; three or more use the leapfrog k-way join.
+    """
+    slices = sorted(slices, key=lambda s: s[2] - s[1])
+    arr, lo, hi = slices[0]
+    if hi <= lo:
+        return []
+    if len(slices) == 1:
+        return list(arr[lo:hi])
+    if len(slices) == 2:
+        b, blo, bhi = slices[1]
+        if (bhi - blo) >= GALLOP_CROSSOVER * (hi - lo):
+            return _gallop(arr, lo, hi, b, blo, bhi, metrics)
+        return _merge(arr, lo, hi, b, blo, bhi, metrics)
+    return _leapfrog(slices, metrics)
+
+
+def _merge(
+    a: Sequence[int],
+    alo: int,
+    ahi: int,
+    b: Sequence[int],
+    blo: int,
+    bhi: int,
+    metrics: Metrics,
+) -> List[int]:
+    """Linear merge intersection of two similarly sized sorted slices."""
+    out: List[int] = []
+    i, j = alo, blo
+    comparisons = 0
+    while i < ahi and j < bhi:
+        comparisons += 1
+        x = a[i]
+        y = b[j]
+        if x == y:
+            out.append(x)
+            i += 1
+            j += 1
+        elif x < y:
+            i += 1
+        else:
+            j += 1
+    metrics.intersect_comparisons += comparisons
+    return out
+
+
+def _gallop(
+    a: Sequence[int],
+    alo: int,
+    ahi: int,
+    b: Sequence[int],
+    blo: int,
+    bhi: int,
+    metrics: Metrics,
+) -> List[int]:
+    """Skewed intersection: the small slice ``a`` drives, galloping in ``b``.
+
+    For each element of ``a``, the cursor in ``b`` advances by exponential
+    probing (1, 2, 4, ... steps, each metered) to bracket the target, then
+    a binary search (metered as the bracket's ``bit_length``) lands on it.
+    Total work is O(|a| * log(|b|/|a|)), the textbook bound.
+    """
+    out: List[int] = []
+    steps = 0
+    j = blo
+    for i in range(alo, ahi):
+        x = a[i]
+        if j >= bhi:
+            break
+        if b[j] < x:
+            bound = 1
+            while j + bound < bhi and b[j + bound] < x:
+                bound <<= 1
+                steps += 1
+            end = j + bound
+            if end > bhi:
+                end = bhi
+            steps += (end - j).bit_length()
+            j = bisect_left(b, x, j, end)
+            if j >= bhi:
+                break
+        if b[j] == x:
+            out.append(x)
+            j += 1
+    metrics.gallop_steps += steps
+    return out
+
+
+def _leapfrog(slices: List[Slice], metrics: Metrics) -> List[int]:
+    """Leapfrog k-way join over ``k >= 3`` sorted slices.
+
+    Round-robin over the slices: the current candidate is the largest
+    head seen so far; each slice seeks (by galloping) to its first
+    element ``>= candidate``.  When all ``k`` heads agree the value is
+    emitted.  Any slice running out ends the join.
+    """
+    k = len(slices)
+    arrs = [s[0] for s in slices]
+    pos = [s[1] for s in slices]
+    his = [s[2] for s in slices]
+    out: List[int] = []
+    steps = 0
+    for i in range(k):
+        if pos[i] >= his[i]:
+            return out
+    x = arrs[0][pos[0]]
+    agree = 1
+    idx = 1
+    while True:
+        arr = arrs[idx]
+        hi = his[idx]
+        j = pos[idx]
+        if j < hi and arr[j] < x:
+            bound = 1
+            while j + bound < hi and arr[j + bound] < x:
+                bound <<= 1
+                steps += 1
+            end = j + bound
+            if end > hi:
+                end = hi
+            steps += (end - j).bit_length()
+            j = bisect_left(arr, x, j, end)
+            pos[idx] = j
+        if j >= hi:
+            break
+        y = arr[j]
+        if y == x:
+            agree += 1
+            if agree == k:
+                out.append(x)
+                j += 1
+                pos[idx] = j
+                if j >= hi:
+                    break
+                x = arr[j]
+                agree = 1
+        else:
+            x = y
+            agree = 1
+        idx += 1
+        if idx == k:
+            idx = 0
+    metrics.gallop_steps += steps
+    return out

@@ -19,7 +19,18 @@ contiguous allocations instead of ``n`` list objects of tuples, and every
 per-vertex view handed to the enumeration hot path (``neighbors``,
 ``incident_edges``, ``neighborhood``, ``neighbor_set``) is materialized
 once per vertex and cached — the graph is immutable, so the views never
-change.
+change.  The cached views are tuples, so accidental mutation by a
+consumer raises instead of silently corrupting every later caller.
+
+For pattern matching, a second, label-partitioned index is built lazily
+on top of the CSR (``labeled_adjacency``): each vertex's adjacency is
+segmented by ``(neighbor vertex-label, edge-label)`` with an offset table
+per vertex, so "neighbors of ``u`` with vertex label ``lv`` via edge
+label ``le``" is an O(1) dict probe yielding a slice of a neighbor-sorted
+flat array — the unit of the sorted-set intersection kernels in
+``repro.core.intersect``.  ``vertices_with_label`` and ``label_stats``
+(label frequencies and per-label-pair adjacency counts) feed the
+cost-based matching-order planner.
 
 Graphs are constructed through :class:`GraphBuilder`, which validates input
 (no self-loops, no parallel edges) and emits the CSR directly.
@@ -63,6 +74,9 @@ class Graph:
         "_incident_view",
         "_pairs_view",
         "_index_view",
+        "_labeled_adj",
+        "_label_vertices",
+        "_label_stats",
         "_vertex_keywords",
         "_edge_keywords",
         "name",
@@ -97,10 +111,15 @@ class Graph:
         n = len(vertex_labels)
         # Per-vertex views, materialized lazily and cached forever: the
         # graph is immutable, so rebuilding them per call is pure waste.
-        self._neighbors_view: List[Optional[List[int]]] = [None] * n
-        self._incident_view: List[Optional[List[int]]] = [None] * n
-        self._pairs_view: List[Optional[List[Tuple[int, int]]]] = [None] * n
+        self._neighbors_view: List[Optional[Tuple[int, ...]]] = [None] * n
+        self._incident_view: List[Optional[Tuple[int, ...]]] = [None] * n
+        self._pairs_view: List[Optional[Tuple[Tuple[int, int], ...]]] = [None] * n
         self._index_view: List[Optional[Dict[int, int]]] = [None] * n
+        # Label-partitioned adjacency and label statistics, built lazily
+        # on first use (like the cached per-vertex views).
+        self._labeled_adj: Optional[Tuple[List[Dict], List[int], List[int]]] = None
+        self._label_vertices: Optional[Dict[int, Tuple[int, ...]]] = None
+        self._label_stats: Optional[Tuple[Dict, Dict]] = None
         self._vertex_keywords = vertex_keywords
         self._edge_keywords = edge_keywords
         self.name = name
@@ -144,21 +163,21 @@ class Graph:
         """Number of neighbors of ``v``."""
         return self._offsets[v + 1] - self._offsets[v]
 
-    def neighbors(self, v: int) -> List[int]:
-        """Neighbors of ``v`` in increasing vertex order (do not mutate)."""
+    def neighbors(self, v: int) -> Tuple[int, ...]:
+        """Neighbors of ``v`` in increasing vertex order (cached tuple)."""
         view = self._neighbors_view[v]
         if view is None:
-            view = self._nbr[self._offsets[v] : self._offsets[v + 1]].tolist()
+            view = tuple(self._nbr[self._offsets[v] : self._offsets[v + 1]])
             self._neighbors_view[v] = view
         return view
 
-    def neighborhood(self, v: int) -> List[Tuple[int, int]]:
+    def neighborhood(self, v: int) -> Tuple[Tuple[int, int], ...]:
         """``(neighbor, edge_id)`` pairs of ``v`` in increasing neighbor
-        order (do not mutate)."""
+        order (cached tuple)."""
         view = self._pairs_view[v]
         if view is None:
             lo, hi = self._offsets[v], self._offsets[v + 1]
-            view = list(zip(self._nbr[lo:hi], self._nbr_eid[lo:hi]))
+            view = tuple(zip(self._nbr[lo:hi], self._nbr_eid[lo:hi]))
             self._pairs_view[v] = view
         return view
 
@@ -224,11 +243,11 @@ class Graph:
         """Edge id connecting ``u`` and ``v``, or ``-1`` if absent."""
         return self.neighbor_set(u).get(v, -1)
 
-    def incident_edges(self, v: int) -> List[int]:
-        """Edge ids incident to ``v`` (do not mutate)."""
+    def incident_edges(self, v: int) -> Tuple[int, ...]:
+        """Edge ids incident to ``v`` (cached tuple)."""
         view = self._incident_view[v]
         if view is None:
-            view = self._nbr_eid[self._offsets[v] : self._offsets[v + 1]].tolist()
+            view = tuple(self._nbr_eid[self._offsets[v] : self._offsets[v + 1]])
             self._incident_view[v] = view
         return view
 
@@ -240,6 +259,109 @@ class Graph:
         if v == dst:
             return src
         raise GraphError(f"vertex {v} is not an endpoint of edge {e}")
+
+    # ------------------------------------------------------------------
+    # Label-partitioned index (pattern-matching candidate kernels)
+    # ------------------------------------------------------------------
+    def labeled_adjacency(
+        self,
+    ) -> Tuple[List[Dict[Tuple[int, int], Tuple[int, int]]], List[int], List[int]]:
+        """The label-partitioned sorted adjacency ``(index, lnbr, leid)``.
+
+        ``index[v]`` maps ``(neighbor vertex-label, edge-label)`` to
+        ``(lo, hi)`` bounds into the flat parallel arrays ``lnbr``
+        (neighbor ids) and ``leid`` (incident edge ids).  Each segment is
+        sorted by neighbor id — the base CSR slice is neighbor-sorted and
+        grouping preserves scan order — so segments can be binary-searched
+        and intersected directly.  Built lazily on first call and cached
+        for the lifetime of the (immutable) graph.  Do not mutate.
+        """
+        cached = self._labeled_adj
+        if cached is None:
+            offsets, nbr, eid = self._offsets, self._nbr, self._nbr_eid
+            vlabels = self._vertex_labels
+            elabels = self._edge_labels
+            index: List[Dict[Tuple[int, int], Tuple[int, int]]] = []
+            lnbr: List[int] = []
+            leid: List[int] = []
+            for v in range(self.n_vertices):
+                groups: Dict[Tuple[int, int], List[int]] = {}
+                for i in range(offsets[v], offsets[v + 1]):
+                    key = (vlabels[nbr[i]], elabels[eid[i]])
+                    bucket = groups.get(key)
+                    if bucket is None:
+                        groups[key] = [i]
+                    else:
+                        bucket.append(i)
+                segments: Dict[Tuple[int, int], Tuple[int, int]] = {}
+                for key in sorted(groups):
+                    start = len(lnbr)
+                    for i in groups[key]:
+                        lnbr.append(nbr[i])
+                        leid.append(eid[i])
+                    segments[key] = (start, len(lnbr))
+                index.append(segments)
+            cached = (index, lnbr, leid)
+            self._labeled_adj = cached
+        return cached
+
+    def labeled_neighbors(self, v: int, vlabel: int, elabel: int) -> Tuple[int, ...]:
+        """Neighbors of ``v`` with vertex label ``vlabel`` reached via an
+        edge labeled ``elabel``, in increasing vertex order."""
+        index, lnbr, _ = self.labeled_adjacency()
+        segment = index[v].get((vlabel, elabel))
+        if segment is None:
+            return ()
+        return tuple(lnbr[segment[0] : segment[1]])
+
+    def vertices_with_label(self, label: int) -> Tuple[int, ...]:
+        """All vertex ids carrying ``label``, in increasing order."""
+        table = self._label_vertices
+        if table is None:
+            buckets: Dict[int, List[int]] = {}
+            for v, lab in enumerate(self._vertex_labels):
+                bucket = buckets.get(lab)
+                if bucket is None:
+                    buckets[lab] = [v]
+                else:
+                    bucket.append(v)
+            table = {lab: tuple(vs) for lab, vs in buckets.items()}
+            self._label_vertices = table
+        return table.get(label, ())
+
+    def label_stats(
+        self,
+    ) -> Tuple[Dict[int, int], Dict[Tuple[int, int, int], int]]:
+        """Label statistics ``(vertex_counts, pair_counts)`` for planning.
+
+        ``vertex_counts[l]`` is the number of vertices labeled ``l``;
+        ``pair_counts[(la, le, lb)]`` the number of *directed* adjacency
+        entries ``u -> v`` with ``label(u) = la``, edge label ``le`` and
+        ``label(v) = lb`` (each undirected edge contributes one entry per
+        direction).  ``pair_counts / (vertex_counts[la] * vertex_counts[lb])``
+        estimates the probability that a random (la, lb) vertex pair is
+        connected by an ``le`` edge — the selectivity the cost-based
+        matching-order planner multiplies per back edge.
+        """
+        stats = self._label_stats
+        if stats is None:
+            vertex_counts: Dict[int, int] = {}
+            for lab in self._vertex_labels:
+                vertex_counts[lab] = vertex_counts.get(lab, 0) + 1
+            pair_counts: Dict[Tuple[int, int, int], int] = {}
+            vlabels = self._vertex_labels
+            elabels = self._edge_labels
+            for e in range(self.n_edges):
+                lu = vlabels[self._edge_src[e]]
+                lv = vlabels[self._edge_dst[e]]
+                le = elabels[e]
+                key = (lu, le, lv)
+                pair_counts[key] = pair_counts.get(key, 0) + 1
+                key = (lv, le, lu)
+                pair_counts[key] = pair_counts.get(key, 0) + 1
+            stats = (vertex_counts, pair_counts)
+            self._label_stats = stats
+        return stats
 
     # ------------------------------------------------------------------
     # Aggregate views

@@ -8,6 +8,7 @@ runtimes; ``OOM`` outcomes surface as infinite runtimes with ``oom=True``.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Optional, Sequence
 
 from .. import FractalContext
@@ -335,6 +336,7 @@ def run_fig15_queries(
     cluster: Optional[ClusterConfig] = None,
     budget_factor: float = 40.0,
     verbose: bool = True,
+    pattern_kernel: Optional[str] = None,
 ) -> List[Dict]:
     """Fractal vs SEED vs Arabesque on the q1-q8 query set.
 
@@ -342,8 +344,13 @@ def run_fig15_queries(
     input size; querying uses a tighter default than the other figures
     because edge-induced frontiers blow up fastest here (it also bounds
     the wall-clock a doomed Arabesque run burns before its OOM).
+    ``pattern_kernel`` overrides the cluster's candidate kernel
+    (``"legacy"`` / ``"indexed"``) so callers can compare the two on the
+    same workload; each row records the kernel and its candidate cost.
     """
     cluster = cluster if cluster is not None else paper_cluster()
+    if pattern_kernel is not None:
+        cluster = dataclasses.replace(cluster, pattern_kernel=pattern_kernel)
     budget = scaled_memory_budget(graph, budget_factor)
     bfs_config = BFSConfig(
         workers=cluster.workers,
@@ -366,6 +373,7 @@ def run_fig15_queries(
             ),
             config=bfs_config,
         )
+        kernel_summary = report.pattern_kernel_summary()
         rows.append(
             {
                 "query": name,
@@ -375,6 +383,8 @@ def run_fig15_queries(
                 "seed_plan": seed.details.get("plan"),
                 "arabesque_s": arabesque.runtime_seconds,
                 "arabesque_oom": arabesque.oom,
+                "pattern_kernel": kernel_summary["kernel"],
+                "candidate_units": kernel_summary["candidate_units"],
             }
         )
     if verbose:

@@ -151,6 +151,17 @@ class ClusterConfig:
     # ``"poll"`` keeps the original busy-poll loop as a reference
     # implementation for equivalence testing.
     scheduler: str = "event"
+    # Candidate-generation kernel for pattern-induced strategies
+    # (docs/internals.md §11).  ``"legacy"`` scans the first back
+    # neighbor's whole adjacency (bit-identical to the original engine);
+    # ``"indexed"`` intersects label-partitioned sorted slices.  Match
+    # sets and aggregation views are identical under both; metrics and
+    # clocks differ.  ``order_policy`` picks the matching order
+    # (``"legacy"`` degree-greedy or ``"cost"`` planner; None = derived
+    # from the kernel).  Both are ignored by non-pattern strategies, and
+    # never override values pinned on the strategy itself.
+    pattern_kernel: str = "legacy"
+    order_policy: Optional[str] = None
 
     def __post_init__(self):
         if self.batch_quantum < 1:
@@ -159,6 +170,16 @@ class ClusterConfig:
         if self.scheduler not in ("event", "poll"):
             raise ValueError(
                 f"scheduler must be 'event' or 'poll', got {self.scheduler!r}"
+            )
+        if self.pattern_kernel not in ("legacy", "indexed"):
+            raise ValueError(
+                f"pattern_kernel must be 'legacy' or 'indexed', "
+                f"got {self.pattern_kernel!r}"
+            )
+        if self.order_policy not in (None, "legacy", "cost"):
+            raise ValueError(
+                f"order_policy must be None, 'legacy' or 'cost', "
+                f"got {self.order_policy!r}"
             )
         if self.agg_entry_budget is not None and self.agg_entry_budget < 1:
             raise ValueError("agg_entry_budget must be >= 1 (or None)")
@@ -273,6 +294,10 @@ class ClusterStepResult:
     recovered_extensions: int = 0
     recovery_units: float = 0.0
     steal_retries: int = 0
+    # Candidate-kernel description of the step's strategies (``None`` for
+    # strategies without a selectable kernel): kernel name, order policy
+    # and matching order, as reported by ``ExtensionStrategy.kernel_info``.
+    kernel_info: Optional[Dict[str, object]] = None
 
     def finish_seconds(self, cost_model: CostModel) -> List[float]:
         """Per-core finish times in seconds (task runtimes of Figure 16)."""
@@ -793,7 +818,13 @@ class ClusterEngine:
                 heap, cores, storages_per_core, primitives, sink, cost, runtime
             )
 
-        return self._collect(cores, storages_per_core, steal_messages, cost, runtime)
+        result = self._collect(
+            cores, storages_per_core, steal_messages, cost, runtime
+        )
+        # Every core runs the same strategy factory under the same config,
+        # so core 0's kernel description speaks for the whole step.
+        result.kernel_info = cores[0].strategy.kernel_info() if cores else None
+        return result
 
     def _drain(
         self,
@@ -995,6 +1026,9 @@ class ClusterEngine:
         for core_id in range(config.total_cores):
             metrics = Metrics()
             strategy = strategy_factory(graph, metrics, interner)
+            # Engine-level kernel selection: fills any settings the
+            # strategy left unpinned; a no-op for non-pattern strategies.
+            strategy.configure_kernel(config.pattern_kernel, config.order_policy)
             computation = Computation(graph, metrics, interner, aggregation_views)
             cores.append(
                 _Core(
@@ -1077,6 +1111,9 @@ class ClusterEngine:
         metrics = core.metrics
         before_tests = metrics.extension_tests
         before_scans = metrics.adjacency_scans
+        before_compares = metrics.intersect_comparisons
+        before_gallops = metrics.gallop_steps
+        before_slices = metrics.index_slices
         strategy.push(core.subgraph, word)
         metrics.subgraphs_enumerated += 1
         units = cost.subgraph_units
@@ -1139,9 +1176,15 @@ class ClusterEngine:
                 sink(core.subgraph)
             metrics.results_emitted += 1
             units += cost.emit_units
+        # Back-edge probes are metered but not clocked (see CostModel):
+        # charging them would shift legacy pattern clocks across releases.
         units += (
             (metrics.extension_tests - before_tests) * cost.extension_test_units
             + (metrics.adjacency_scans - before_scans) * cost.adjacency_scan_units
+            + (metrics.intersect_comparisons - before_compares)
+            * cost.intersect_compare_units
+            + (metrics.gallop_steps - before_gallops) * cost.gallop_step_units
+            + (metrics.index_slices - before_slices) * cost.index_slice_units
         )
         core.charge(units)
         # Sampling the footprint every few quanta captures the peak of the

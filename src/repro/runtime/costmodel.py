@@ -42,6 +42,25 @@ class CostModel:
     emit_units: float = 1.0
     subgraph_units: float = 1.0  # push/pop bookkeeping per enumerated subgraph
 
+    # Pattern-matching candidate kernels (docs/internals.md §11).  A
+    # back-edge probe is a hash lookup plus an edge-label check — the
+    # same work as one extension test, previously unmetered.  It is
+    # priced in :meth:`candidate_units` (the kernel-comparison metric)
+    # but deliberately NOT in :meth:`step_units`: charging it to the
+    # simulated clock would shift every legacy pattern-query runtime,
+    # and the legacy kernel's clocks are pinned byte-identical across
+    # releases.  The indexed kernel replaces per-candidate probes with
+    # sorted-array work: a merge comparison is a tight integer compare
+    # (a fraction of a full candidate test), a gallop/binary-search
+    # step touches one array cell, and a slice lookup is one dict probe
+    # into the label-partitioned index.  Those three ARE clocked — they
+    # are exactly zero on the legacy kernel, so legacy cost arithmetic
+    # stays bit-identical.
+    back_edge_probe_units: float = 1.0
+    intersect_compare_units: float = 0.25
+    gallop_step_units: float = 0.5
+    index_slice_units: float = 2.0
+
     # Work stealing (paper §4.2 and §6).
     steal_internal_units: float = 25.0
     steal_request_units: float = 400.0  # WS_ext request/response messages
@@ -97,6 +116,24 @@ class CostModel:
             + metrics.aggregate_updates * self.aggregate_units
             + metrics.results_emitted * self.emit_units
             + metrics.subgraphs_enumerated * self.subgraph_units
+            + metrics.intersect_comparisons * self.intersect_compare_units
+            + metrics.gallop_steps * self.gallop_step_units
+            + metrics.index_slices * self.index_slice_units
+        )
+
+    def candidate_units(self, metrics: Metrics) -> float:
+        """Candidate-generation share of the work, in units.
+
+        The quantity ``BENCH_pattern_kernels.json`` compares across
+        kernels: per-candidate extension tests, legacy back-edge hash
+        probes, and the indexed kernel's intersection/gallop/slice work.
+        """
+        return (
+            metrics.extension_tests * self.extension_test_units
+            + metrics.back_edge_probes * self.back_edge_probe_units
+            + metrics.intersect_comparisons * self.intersect_compare_units
+            + metrics.gallop_steps * self.gallop_step_units
+            + metrics.index_slices * self.index_slice_units
         )
 
     def seconds(self, units: float) -> float:

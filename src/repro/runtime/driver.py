@@ -41,6 +41,10 @@ class StepReport:
     work_units: float
     simulated_seconds: float
     cluster: Optional[ClusterStepResult] = None
+    # Candidate-kernel description (``ExtensionStrategy.kernel_info``):
+    # ``None`` for strategies without a selectable kernel, else a dict
+    # with the kernel name, order policy and matching order.
+    kernel_info: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -137,6 +141,34 @@ class ExecutionReport:
             ),
             "combine_units": m.agg_combine_units,
             "spilled_entries": m.agg_spilled_entries,
+        }
+
+    def pattern_kernel_summary(self) -> Dict[str, object]:
+        """Candidate-kernel observability rolled up over all steps.
+
+        ``kernel`` / ``order_policy`` / ``order`` describe the pattern
+        strategy's kernel (``None`` when the execution used no pattern
+        strategy).  The counters meter candidate generation:
+        ``back_edge_probes`` are the legacy kernel's ``edge_between``
+        hash probes, the rest is the indexed kernel's sorted-array work.
+        ``candidate_units`` prices all of it (plus extension tests) with
+        the default cost model — the quantity the pattern-kernel
+        benchmark compares across kernels.
+        """
+        info = None
+        for step in self.steps:
+            if step.kernel_info is not None:
+                info = step.kernel_info
+        m = self.metrics
+        return {
+            "kernel": info["kernel"] if info else None,
+            "order_policy": info["order_policy"] if info else None,
+            "order": info["order"] if info else None,
+            "back_edge_probes": m.back_edge_probes,
+            "intersect_comparisons": m.intersect_comparisons,
+            "gallop_steps": m.gallop_steps,
+            "index_slices": m.index_slices,
+            "candidate_units": DEFAULT_COST_MODEL.candidate_units(m),
         }
 
 
@@ -256,6 +288,7 @@ def _run_one_step(
             work_units=result.makespan_units,
             simulated_seconds=result.makespan_seconds,
             cluster=result,
+            kernel_info=result.kernel_info,
         )
     if engine != "sequential":
         raise ValueError(f"unknown engine {engine!r}")
@@ -278,6 +311,7 @@ def _run_one_step(
         metrics=metrics,
         work_units=units,
         simulated_seconds=cost_model.seconds(units),
+        kernel_info=strategy.kernel_info(),
     )
 
 

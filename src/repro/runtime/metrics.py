@@ -23,7 +23,14 @@ The paper's evaluation is expressed in a handful of measurable quantities:
   parked simulated time), victim-scan work of the stealable registry,
   and the extensions moved per steal under chunked steal policies.
   These meter the *scheduler*, not the mined workload: results and
-  legacy counters are identical whichever scheduler/policy runs.
+  legacy counters are identical whichever scheduler/policy runs;
+* pattern-matching candidate kernels — back-edge ``edge_between``
+  probes of the legacy pattern strategy, sorted-set intersection
+  comparisons and galloping/binary-search steps of the indexed kernel,
+  and labeled-adjacency slice lookups.  ``extension_tests`` stays the
+  per-candidate test count under either kernel; these counters expose
+  *how* the candidates were produced so the cost model can price the
+  cheaper indexed work.
 
 A single :class:`Metrics` instance accompanies every execution; engines and
 extension strategies increment its counters inline.
@@ -81,6 +88,10 @@ class Metrics:
         "parked_units",
         "victim_scan_steps",
         "steal_chunk_extensions",
+        "back_edge_probes",
+        "intersect_comparisons",
+        "gallop_steps",
+        "index_slices",
     )
 
     def __init__(self):
@@ -125,6 +136,10 @@ class Metrics:
         self.parked_units = 0.0
         self.victim_scan_steps = 0
         self.steal_chunk_extensions = 0
+        self.back_edge_probes = 0
+        self.intersect_comparisons = 0
+        self.gallop_steps = 0
+        self.index_slices = 0
 
     def merge(self, other: "Metrics") -> None:
         """Accumulate counters from another instance (peaks take max)."""
@@ -167,6 +182,10 @@ class Metrics:
         self.parked_units += other.parked_units
         self.victim_scan_steps += other.victim_scan_steps
         self.steal_chunk_extensions += other.steal_chunk_extensions
+        self.back_edge_probes += other.back_edge_probes
+        self.intersect_comparisons += other.intersect_comparisons
+        self.gallop_steps += other.gallop_steps
+        self.index_slices += other.index_slices
         self.peak_enumerator_bytes = max(
             self.peak_enumerator_bytes, other.peak_enumerator_bytes
         )

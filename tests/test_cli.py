@@ -23,6 +23,25 @@ class TestParser:
         assert args.workers == 2
         assert args.cores == 8
 
+    def test_pattern_kernel_defaults(self):
+        args = build_parser().parse_args(["run", "query"])
+        assert args.pattern_kernel == "legacy"
+        assert args.order_policy is None
+
+    def test_pattern_kernel_flags(self):
+        args = build_parser().parse_args(
+            ["run", "query", "--pattern-kernel", "indexed",
+             "--order-policy", "legacy"]
+        )
+        assert args.pattern_kernel == "indexed"
+        assert args.order_policy == "legacy"
+
+    def test_invalid_pattern_kernel_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "query", "--pattern-kernel", "turbo"]
+            )
+
 
 class TestCommands:
     def test_datasets(self, capsys):
@@ -57,7 +76,29 @@ class TestCommands:
             ["run", "query", "--dataset", "mico", "--scale", "0.3",
              "--query", "q1"]
         ) == 0
-        assert "matches" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "matches" in out
+        assert "pattern kernel: legacy" in out
+
+    def test_run_query_indexed_kernel(self, capsys):
+        base = ["run", "query", "--dataset", "orkut", "--scale", "0.3",
+                "--query", "q1"]
+        assert main(base) == 0
+        legacy_out = capsys.readouterr().out
+        assert main(base + ["--pattern-kernel", "indexed"]) == 0
+        indexed_out = capsys.readouterr().out
+        assert "pattern kernel: indexed (order policy cost" in indexed_out
+        # Same matches line under both kernels.
+        assert legacy_out.splitlines()[0] == indexed_out.splitlines()[0]
+
+    def test_run_query_indexed_on_cluster(self, capsys):
+        assert main(
+            ["run", "query", "--dataset", "orkut", "--scale", "0.2",
+             "--query", "q1", "--workers", "2", "--cores", "2",
+             "--pattern-kernel", "indexed", "--order-policy", "legacy"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pattern kernel: indexed (order policy legacy" in out
 
     def test_run_keywords(self, capsys):
         assert main(

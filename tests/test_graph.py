@@ -69,8 +69,16 @@ class TestGraphBuilder:
 
 class TestGraphAccessors:
     def test_neighbors_sorted(self, labeled_graph):
-        assert labeled_graph.neighbors(0) == [1, 3]
-        assert labeled_graph.neighbors(2) == [1, 3]
+        assert labeled_graph.neighbors(0) == (1, 3)
+        assert labeled_graph.neighbors(2) == (1, 3)
+
+    def test_neighbor_views_cached(self, labeled_graph):
+        # Accessors hand out immutable cached tuples: repeated calls
+        # return the same object, so hot loops pay no copy.
+        assert labeled_graph.neighbors(0) is labeled_graph.neighbors(0)
+        assert labeled_graph.neighborhood(0) is labeled_graph.neighborhood(0)
+        assert labeled_graph.incident_edges(1) is labeled_graph.incident_edges(1)
+        assert isinstance(labeled_graph.neighbors(0), tuple)
 
     def test_edge_endpoints_normalized(self, labeled_graph):
         for e in labeled_graph.edges():

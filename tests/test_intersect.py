@@ -1,0 +1,141 @@
+"""Property tests for the sorted-set intersection kernels.
+
+``intersect_slices`` must agree with naive set intersection for every
+kernel it dispatches to (linear merge, galloping, leapfrog k-way), and
+``range_bounds`` must narrow a sorted slice to exactly the requested
+``[lower, upper)`` window.  Both must meter their work into
+``Metrics.intersect_comparisons`` / ``Metrics.gallop_steps``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.core.intersect import (
+    GALLOP_CROSSOVER,
+    intersect_slices,
+    range_bounds,
+)
+from repro.runtime.metrics import Metrics
+
+
+def _sorted_unique(draw_list):
+    return sorted(set(draw_list))
+
+
+sorted_arrays = st.lists(
+    st.integers(min_value=0, max_value=200), max_size=60
+).map(_sorted_unique)
+
+
+def _slice(arr):
+    return (arr, 0, len(arr))
+
+
+class TestIntersectSlices:
+    @given(st.lists(sorted_arrays, min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_set_intersection(self, arrays):
+        metrics = Metrics()
+        result = intersect_slices([_slice(a) for a in arrays], metrics)
+        expected = set(arrays[0])
+        for a in arrays[1:]:
+            expected &= set(a)
+        assert result == sorted(expected)
+
+    @given(sorted_arrays, sorted_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_two_way(self, a, b):
+        metrics = Metrics()
+        result = intersect_slices([_slice(a), _slice(b)], metrics)
+        assert result == sorted(set(a) & set(b))
+
+    def test_gallop_path_taken_when_skewed(self):
+        small = [10, 500, 900]
+        big = list(range(1000))
+        assert len(big) >= GALLOP_CROSSOVER * len(small)
+        metrics = Metrics()
+        result = intersect_slices([_slice(small), _slice(big)], metrics)
+        assert result == [10, 500, 900]
+        # Galloping does binary-search work, not per-element merging.
+        assert metrics.gallop_steps > 0
+        assert metrics.intersect_comparisons == 0
+
+    def test_merge_path_taken_when_balanced(self):
+        a = [1, 3, 5, 7, 9]
+        b = [2, 3, 6, 7, 10]
+        metrics = Metrics()
+        result = intersect_slices([_slice(a), _slice(b)], metrics)
+        assert result == [3, 7]
+        assert metrics.intersect_comparisons > 0
+        assert metrics.gallop_steps == 0
+
+    def test_leapfrog_path_taken_for_three_slices(self):
+        a = [1, 2, 3, 4, 5]
+        b = [2, 4, 5, 9]
+        c = [0, 2, 5, 11]
+        metrics = Metrics()
+        result = intersect_slices([_slice(a), _slice(b), _slice(c)], metrics)
+        assert result == [2, 5]
+        assert metrics.gallop_steps > 0
+
+    def test_empty_slice_short_circuits(self):
+        metrics = Metrics()
+        assert intersect_slices([_slice([]), _slice([1, 2])], metrics) == []
+        assert metrics.intersect_comparisons == 0
+        assert metrics.gallop_steps == 0
+
+    def test_single_slice_copies(self):
+        metrics = Metrics()
+        arr = [4, 8, 15]
+        result = intersect_slices([_slice(arr)], metrics)
+        assert result == arr
+        assert result is not arr  # callers may mutate the result
+
+    @given(st.lists(sorted_arrays, min_size=2, max_size=4))
+    @settings(max_examples=40, deadline=None)
+    def test_subslices_respected(self, arrays):
+        # Intersection over interior [lo, hi) windows, as the enumerator
+        # passes them from the labeled-adjacency index.
+        metrics = Metrics()
+        slices = []
+        windows = []
+        for arr in arrays:
+            lo = min(1, len(arr))
+            hi = max(lo, len(arr) - 1)
+            slices.append((arr, lo, hi))
+            windows.append(set(arr[lo:hi]))
+        result = intersect_slices(slices, metrics)
+        expected = windows[0]
+        for w in windows[1:]:
+            expected &= w
+        assert result == sorted(expected)
+
+
+class TestRangeBounds:
+    @given(
+        sorted_arrays,
+        st.integers(min_value=-5, max_value=210),
+        st.integers(min_value=-5, max_value=210),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_window(self, arr, lower, upper):
+        metrics = Metrics()
+        lo, hi = range_bounds(arr, 0, len(arr), lower, upper, metrics)
+        assert arr[lo:hi] == [x for x in arr if lower <= x < upper]
+
+    def test_meters_binary_search_steps(self):
+        arr = list(range(100))
+        metrics = Metrics()
+        range_bounds(arr, 0, len(arr), 10, 20, metrics)
+        assert metrics.gallop_steps > 0
+
+    def test_noop_window_is_free(self):
+        arr = [1, 2, 3]
+        metrics = Metrics()
+        lo, hi = range_bounds(arr, 0, 3, 0, 10, metrics)
+        assert (lo, hi) == (0, 3)
+        assert metrics.gallop_steps == 0

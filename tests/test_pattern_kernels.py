@@ -1,0 +1,369 @@
+"""Pattern-matching candidate kernels: oracle equivalence and plumbing.
+
+The legacy and indexed kernels (× both order policies) must enumerate
+exactly the same distinct pattern instances as the independent
+backtracking oracle ``pattern.isomorphism.match_pattern`` — including the
+symmetry-breaking dedup count: exactly one result per automorphism class,
+no duplicates.  Further tests pin the label-partitioned index structures,
+the cost-based planner, kernel pinning/configuration plumbing, the
+cluster path, and the back-edge probe metering bugfix.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro import ClusterConfig, FractalContext, Pattern
+from repro.apps import QUERY_PATTERNS, fsm
+from repro.apps.queries import query_fractoid
+from repro.core.enumerator import (
+    PatternInducedStrategy,
+    matching_order,
+    plan_matching_order,
+)
+from repro.graph import GraphBuilder, erdos_renyi_graph
+from repro.pattern.isomorphism import match_pattern
+from repro.pattern.pattern import PatternInterner
+from repro.runtime.metrics import Metrics
+
+KERNELS = ("legacy", "indexed")
+POLICIES = ("legacy", "cost")
+
+
+# ----------------------------------------------------------------------
+# Random inputs
+# ----------------------------------------------------------------------
+PATTERN_SHAPES = [
+    # (edge list, name) — labels are drawn per-example.
+    ([(0, 1), (1, 2)], "path3"),
+    ([(0, 1), (1, 2), (0, 2)], "triangle"),
+    ([(0, 1), (1, 2), (2, 3)], "path4"),
+    ([(0, 1), (1, 2), (2, 3), (0, 3)], "square"),
+    ([(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)], "diamond"),
+    ([(0, 1), (0, 2), (0, 3)], "star3"),
+    ([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)], "tailed-triangle"),
+]
+
+
+@st.composite
+def graph_and_pattern(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.integers(min_value=4, max_value=12))
+    max_m = n * (n - 1) // 2
+    m = draw(st.integers(min_value=n - 1, max_value=max_m))
+    n_labels = draw(st.sampled_from([1, 2, 3]))
+    n_elabels = draw(st.sampled_from([1, 2]))
+    graph = erdos_renyi_graph(
+        n, m, n_labels=n_labels, n_edge_labels=n_elabels, seed=seed
+    )
+    edges, _ = draw(st.sampled_from(PATTERN_SHAPES))
+    k = max(max(e) for e in edges) + 1
+    vlabels = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_labels - 1),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    elabels = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_elabels - 1),
+            min_size=len(edges),
+            max_size=len(edges),
+        )
+    )
+    pattern = Pattern.from_edge_list(
+        edges, vertex_labels=vlabels, edge_labels=elabels
+    )
+    return graph, pattern
+
+
+def _enumerate(graph, pattern, kernel, order_policy=None):
+    ctx = FractalContext(pattern_kernel=kernel, order_policy=order_policy)
+    fr = query_fractoid(ctx.from_graph(graph), pattern)
+    report = fr.execute(collect="subgraphs")
+    return report
+
+
+def _oracle_instances(graph, pattern):
+    """Counter of vertex-image sets, one entry per distinct instance."""
+    return Counter(
+        frozenset(embedding)
+        for embedding in match_pattern(pattern, graph, distinct=True)
+    )
+
+
+# ----------------------------------------------------------------------
+# Oracle equivalence (satellite: hypothesis oracle suite)
+# ----------------------------------------------------------------------
+class TestOracleEquivalence:
+    @given(graph_and_pattern())
+    @settings(max_examples=30, deadline=None)
+    def test_all_kernels_match_oracle(self, gp):
+        graph, pattern = gp
+        expected = _oracle_instances(graph, pattern)
+        for kernel in KERNELS:
+            for policy in POLICIES:
+                report = _enumerate(graph, pattern, kernel, policy)
+                got = Counter(
+                    frozenset(s.vertices) for s in report.subgraphs
+                )
+                assert got == expected, (kernel, policy)
+                # Symmetry breaking deduplicates exactly: one result per
+                # instance, so the count equals the oracle's total.
+                assert report.result_count == sum(expected.values()), (
+                    kernel,
+                    policy,
+                )
+
+    @given(graph_and_pattern())
+    @settings(max_examples=30, deadline=None)
+    def test_kernels_identical_streams_under_same_order(self, gp):
+        # With the matching order held fixed, the two kernels must
+        # produce byte-identical enumeration streams, not just sets.
+        graph, pattern = gp
+        for policy in POLICIES:
+            legacy = _enumerate(graph, pattern, "legacy", policy)
+            indexed = _enumerate(graph, pattern, "indexed", policy)
+            assert [s.vertices for s in legacy.subgraphs] == [
+                s.vertices for s in indexed.subgraphs
+            ], policy
+            assert [s.edges for s in legacy.subgraphs] == [
+                s.edges for s in indexed.subgraphs
+            ], policy
+
+
+class TestQueriesCorpus:
+    @pytest.mark.parametrize("name", sorted(QUERY_PATTERNS))
+    def test_query_kernel_equivalence(self, name, small_random_graph):
+        pattern = QUERY_PATTERNS[name]
+        legacy = _enumerate(small_random_graph, pattern, "legacy")
+        indexed = _enumerate(small_random_graph, pattern, "indexed")
+        # Default order policies differ per kernel, so compare instances
+        # (vertex sets), not match tuples.
+        assert Counter(frozenset(s.vertices) for s in legacy.subgraphs) == (
+            Counter(frozenset(s.vertices) for s in indexed.subgraphs)
+        )
+
+    def test_cluster_engine_equivalence(self, small_random_graph):
+        pattern = QUERY_PATTERNS["q2"]
+        counts = {}
+        for kernel in KERNELS:
+            config = ClusterConfig(
+                workers=2, cores_per_worker=2, pattern_kernel=kernel
+            )
+            ctx = FractalContext()
+            fr = query_fractoid(ctx.from_graph(small_random_graph), pattern)
+            report = fr.execute(collect="count", engine=config)
+            counts[kernel] = report.result_count
+            assert report.pattern_kernel_summary()["kernel"] == kernel
+        assert counts["legacy"] == counts["indexed"]
+
+    def test_fsm_corpus_unaffected(self, small_random_graph):
+        # FSM runs on edge-induced fractoids: the pattern kernel setting
+        # must be a no-op for its aggregation views.
+        results = {}
+        for kernel in KERNELS:
+            ctx = FractalContext(pattern_kernel=kernel)
+            result = fsm(
+                ctx.from_graph(small_random_graph),
+                min_support=3,
+                max_edges=2,
+            )
+            results[kernel] = {
+                p.canonical_code(): result.support_of(p)
+                for p in result.patterns
+            }
+        assert results["legacy"] == results["indexed"]
+
+
+# ----------------------------------------------------------------------
+# Cost-based planner
+# ----------------------------------------------------------------------
+class TestPlanner:
+    @given(graph_and_pattern())
+    @settings(max_examples=40, deadline=None)
+    def test_order_is_connected_permutation(self, gp):
+        graph, pattern = gp
+        order = plan_matching_order(pattern, graph)
+        assert sorted(order) == list(range(pattern.n_vertices))
+        placed = {order[0]}
+        for p in order[1:]:
+            assert any(q in placed for q, _ in pattern.neighborhood(p))
+            placed.add(p)
+
+    def test_deterministic(self, small_random_graph):
+        pattern = QUERY_PATTERNS["q4"]
+        first = plan_matching_order(pattern, small_random_graph)
+        assert first == plan_matching_order(pattern, small_random_graph)
+
+    def test_rare_label_starts(self):
+        builder = GraphBuilder()
+        for _ in range(9):
+            builder.add_vertex(label=0)
+        builder.add_vertex(label=1)  # vertex 9: the one rare-label vertex
+        for v in range(9):
+            builder.add_edge(v, 9)
+        graph = builder.build()
+        pattern = Pattern.from_edge_list([(0, 1)], vertex_labels=[0, 1])
+        order = plan_matching_order(pattern, graph)
+        assert order[0] == 1  # pattern vertex with the rare label
+
+
+# ----------------------------------------------------------------------
+# Label-partitioned index structures
+# ----------------------------------------------------------------------
+class TestLabeledIndex:
+    def test_labeled_adjacency_segments(self, labeled_graph):
+        index, lnbr, leid = labeled_graph.labeled_adjacency()
+        for v in labeled_graph.vertices():
+            reconstructed = []
+            for (vlabel, elabel), (lo, hi) in sorted(index[v].items()):
+                for i in range(lo, hi):
+                    u = lnbr[i]
+                    assert labeled_graph.vertex_label(u) == vlabel
+                    assert labeled_graph.edge_label(leid[i]) == elabel
+                    reconstructed.append(u)
+                # Each segment is sorted by neighbor id.
+                assert lnbr[lo:hi] == sorted(lnbr[lo:hi])
+            assert sorted(reconstructed) == sorted(labeled_graph.neighbors(v))
+
+    def test_labeled_neighbors(self, labeled_graph):
+        assert labeled_graph.labeled_neighbors(0, 2, 7) == (1,)
+        assert labeled_graph.labeled_neighbors(0, 2, 8) == (3,)
+        assert labeled_graph.labeled_neighbors(0, 1, 7) == ()
+
+    def test_vertices_with_label(self, labeled_graph):
+        assert labeled_graph.vertices_with_label(1) == (0, 2)
+        assert labeled_graph.vertices_with_label(2) == (1, 3)
+        assert labeled_graph.vertices_with_label(99) == ()
+
+    def test_label_stats(self, labeled_graph):
+        vertex_counts, pair_counts = labeled_graph.label_stats()
+        assert vertex_counts == {1: 2, 2: 2}
+        # Each edge contributes one entry per direction.
+        assert pair_counts[(1, 7, 2)] == 2  # edges (0,1) and (2,3)
+        assert pair_counts[(2, 7, 1)] == 2
+        assert pair_counts[(1, 8, 2)] == 2  # edges (1,2) and (0,3)
+        assert sum(pair_counts.values()) == 2 * labeled_graph.n_edges
+
+    @given(st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=25, deadline=None)
+    def test_index_consistent_on_random_graphs(self, seed):
+        graph = erdos_renyi_graph(
+            10, 20, n_labels=3, n_edge_labels=2, seed=seed
+        )
+        index, lnbr, leid = graph.labeled_adjacency()
+        for v in graph.vertices():
+            flat = sorted(
+                u for (lo, hi) in index[v].values() for u in lnbr[lo:hi]
+            )
+            assert flat == sorted(graph.neighbors(v))
+
+
+# ----------------------------------------------------------------------
+# Kernel configuration plumbing
+# ----------------------------------------------------------------------
+def _strategy(graph, pattern, **kwargs):
+    return PatternInducedStrategy(
+        graph, Metrics(), PatternInterner(), pattern, **kwargs
+    )
+
+
+class TestConfiguration:
+    def test_default_is_legacy(self, small_random_graph):
+        strategy = _strategy(small_random_graph, QUERY_PATTERNS["q1"])
+        info = strategy.kernel_info()
+        assert info["kernel"] == "legacy"
+        assert info["order_policy"] == "legacy"
+        assert info["order"] == matching_order(QUERY_PATTERNS["q1"])
+
+    def test_indexed_defaults_to_cost_order(self, small_random_graph):
+        strategy = _strategy(
+            small_random_graph, QUERY_PATTERNS["q1"], kernel="indexed"
+        )
+        info = strategy.kernel_info()
+        assert info["order_policy"] == "cost"
+        assert info["order"] == plan_matching_order(
+            QUERY_PATTERNS["q1"], small_random_graph
+        )
+
+    def test_unpinned_strategy_takes_engine_config(self, small_random_graph):
+        strategy = _strategy(small_random_graph, QUERY_PATTERNS["q1"])
+        strategy.configure_kernel("indexed")
+        info = strategy.kernel_info()
+        assert info["kernel"] == "indexed"
+        assert info["order_policy"] == "cost"
+
+    def test_pinned_strategy_ignores_engine_config(self, small_random_graph):
+        strategy = _strategy(
+            small_random_graph,
+            QUERY_PATTERNS["q1"],
+            kernel="legacy",
+            order_policy="legacy",
+        )
+        strategy.configure_kernel("indexed", "cost")
+        info = strategy.kernel_info()
+        assert info["kernel"] == "legacy"
+        assert info["order_policy"] == "legacy"
+
+    def test_invalid_values_rejected(self, small_random_graph):
+        with pytest.raises(ValueError):
+            _strategy(small_random_graph, QUERY_PATTERNS["q1"], kernel="bogus")
+        with pytest.raises(ValueError):
+            _strategy(
+                small_random_graph,
+                QUERY_PATTERNS["q1"],
+                order_policy="bogus",
+            )
+        with pytest.raises(ValueError):
+            ClusterConfig(workers=1, cores_per_worker=2, pattern_kernel="x")
+        with pytest.raises(ValueError):
+            ClusterConfig(workers=1, cores_per_worker=2, order_policy="x")
+
+
+# ----------------------------------------------------------------------
+# Metering (satellite: back-edge probe bugfix)
+# ----------------------------------------------------------------------
+class TestMetering:
+    def test_legacy_meters_back_edge_probes(self, small_random_graph):
+        # The triangle query closes a cycle: position 2 has two back
+        # edges, so the legacy kernel must probe the non-anchor one.
+        report = _enumerate(small_random_graph, QUERY_PATTERNS["q1"], "legacy")
+        assert report.metrics.back_edge_probes > 0
+        assert report.metrics.intersect_comparisons == 0
+        assert report.metrics.gallop_steps == 0
+        assert report.metrics.index_slices == 0
+
+    def test_acyclic_pattern_needs_no_probes(self, small_random_graph):
+        path = Pattern.from_edge_list([(0, 1), (1, 2)])
+        report = _enumerate(small_random_graph, path, "legacy")
+        assert report.metrics.back_edge_probes == 0
+
+    def test_indexed_probes_nothing(self, small_random_graph):
+        report = _enumerate(
+            small_random_graph, QUERY_PATTERNS["q1"], "indexed"
+        )
+        assert report.metrics.back_edge_probes == 0
+        assert report.metrics.index_slices > 0
+
+    def test_summary_shape(self, small_random_graph):
+        report = _enumerate(
+            small_random_graph, QUERY_PATTERNS["q1"], "indexed"
+        )
+        summary = report.pattern_kernel_summary()
+        assert summary["kernel"] == "indexed"
+        assert summary["order_policy"] == "cost"
+        assert summary["candidate_units"] > 0
+        assert summary["order"] == report.steps[-1].kernel_info["order"]
+
+    def test_non_pattern_runs_report_no_kernel(self, small_random_graph):
+        ctx = FractalContext()
+        fr = ctx.from_graph(small_random_graph).vfractoid().expand(2)
+        report = fr.execute(collect="count")
+        assert report.pattern_kernel_summary()["kernel"] is None
