@@ -73,6 +73,8 @@ from repro.core.subgraph import Subgraph  # noqa: E402
 from repro.graph.graph import Graph, GraphBuilder  # noqa: E402
 from repro.pattern.pattern import PatternInterner  # noqa: E402
 
+from bench_schema import make_header  # noqa: E402
+
 DEFAULT_OUT = REPO_ROOT / "BENCH_agg_pipeline.json"
 
 # Wall-clock of the seed aggregation path measured at commit f020022 on
@@ -469,6 +471,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     achieved = workloads["fsm_aggregate_step"]["speedup_best"]
     payload = {
+        **make_header(
+            "agg_pipeline",
+            {"mode": "quick" if args.quick else "full", "reps": reps,
+             "workload": "fsm_aggregate_step"},
+            f"FSM aggregate step {achieved:.2f}x via map-side combining "
+            f"(target 2.0x, {'met' if achieved >= 2.0 else 'MISSED'})",
+        ),
         "generated_by": "benchmarks/bench_agg_pipeline.py",
         "mode": "quick" if args.quick else "full",
         "reps": reps,

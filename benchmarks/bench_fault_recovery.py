@@ -38,6 +38,7 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import ClusterConfig, FractalContext
+from bench_schema import make_header
 from repro.graph import powerlaw_graph
 from repro.runtime.faults import (
     CoreFailure,
@@ -292,7 +293,15 @@ def run(graph, seeded_schedules: int, out: Path) -> int:
         for k, v in sorted(curve.items())
     ]
 
+    all_identical = all(r["results_identical"] for r in runs)
     payload = {
+        **make_header(
+            "fault_recovery",
+            {"schedules": len(schedules), "apps": list(APPS)},
+            ("all fault-injected runs byte-identical to fault-free "
+             "results" if all_identical and not violations
+             else f"{len(violations)} invariant violations"),
+        ),
         "generated_by": "benchmarks/bench_fault_recovery.py",
         "graph": {"vertices": graph.n_vertices, "edges": graph.n_edges},
         "cluster": {"workers": WORKERS, "cores_per_worker": CORES},

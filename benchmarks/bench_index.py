@@ -1,0 +1,82 @@
+"""One-line-per-benchmark trajectory summary over ``BENCH_*.json``.
+
+Usage::
+
+    python benchmarks/bench_index.py            # human-readable lines
+    python benchmarks/bench_index.py --json     # one JSON object per line
+
+Each checked-in result file carries the common schema header
+(see :mod:`benchmarks.bench_schema`); this tool prints one line per
+file — benchmark name, the commit the numbers were measured at, the
+run configuration and the headline number — so the performance
+trajectory of the repo is greppable without opening any file.
+
+Exits non-zero if any ``BENCH_*.json`` lacks the schema header, which
+keeps new benchmark files from drifting off-schema.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # script usage: python benchmarks/bench_index.py
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from bench_schema import iter_bench_files, load_bench
+else:  # package usage: python -m benchmarks.bench_index
+    from .bench_schema import iter_bench_files, load_bench
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON object per line",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="directory holding BENCH_*.json (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    paths = iter_bench_files(args.root)
+    if not paths:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 1
+
+    status = 0
+    for path in paths:
+        try:
+            data = load_bench(path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            print(f"SCHEMA ERROR {exc}", file=sys.stderr)
+            status = 1
+            continue
+        if args.json:
+            print(
+                json.dumps(
+                    {
+                        "file": path.name,
+                        "bench": data["bench"],
+                        "commit": data["commit"],
+                        "config": data["config"],
+                        "headline": data["headline"],
+                    },
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(
+                f"{data['bench']:<18} {data['commit']:<10} "
+                f"{data['headline']}"
+            )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

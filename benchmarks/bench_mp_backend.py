@@ -1,0 +1,225 @@
+"""Multiprocess-backend benchmark: real cores vs the sequential engine.
+
+Measures wall-clock for motifs k=3 on a mico-like graph under the
+shared-memory multiprocess backend at 1..8 worker processes, against
+the sequential engine, and records the partitioned-storage comparison
+(hash vs greedy vertex-cut remote-fetch profile on a community graph).
+
+Honesty note: speedup is bounded by the *host's* physical parallelism.
+The payload records ``host_cpus`` next to every number and computes
+``target_met`` from the measured ratio only — on a 1-core container the
+3x target is physically unreachable and the file says so rather than
+inventing numbers.
+
+Correctness gate in every mode: counts from the multiprocess backend
+must equal the deterministic simulator's counts exactly.
+
+Usage::
+
+    python benchmarks/bench_mp_backend.py            # full run, writes JSON
+    python benchmarks/bench_mp_backend.py --smoke    # CI: 2 procs, small
+                                                     # graph, equality only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro import ClusterConfig, FractalContext, MultiprocessConfig  # noqa: E402
+from repro.apps import motifs  # noqa: E402
+from repro.graph import community_graph  # noqa: E402
+from repro.graph.datasets import mico_like  # noqa: E402
+
+from bench_schema import make_header  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_mp_backend.json"
+TARGET_SPEEDUP = 3.0
+TARGET_PROCS = 8
+
+
+def _census(engine, graph, k=3):
+    fc = FractalContext(engine=engine)
+    start = time.perf_counter()
+    result = motifs(fc.from_graph(graph), k)
+    wall = time.perf_counter() - start
+    return result, wall, fc.last_report
+
+
+def _canonical(census):
+    """Census keyed by canonical code: representative-independent."""
+    return {p.canonical_code(): c for p, c in census.items()}
+
+
+def run_smoke() -> int:
+    """CI job: 2 procs on a small graph, counts must equal the simulator."""
+    graph = mico_like(scale=0.25)
+    sim, _, _ = _census(ClusterConfig(workers=2, cores_per_worker=2), graph)
+    for partition in (None, "hash", "vertexcut"):
+        mp, wall, _ = _census(
+            MultiprocessConfig(num_procs=2, partition=partition), graph
+        )
+        if _canonical(mp) != _canonical(sim):
+            print(f"FAIL: partition={partition}: counts differ from simulator")
+            return 1
+        print(
+            f"smoke partition={partition}: {sum(mp.values())} subgraphs "
+            f"match simulator ({wall:.2f}s wall)"
+        )
+    print("smoke OK: multiprocess counts identical to simulator")
+    return 0
+
+
+def run_full(out: Path, reps: int) -> int:
+    host_cpus = os.cpu_count() or 1
+    # Big enough that one sequential run takes ~1s: per-process fork and
+    # queue overhead (tens of ms) must not dominate on multicore hosts.
+    graph = mico_like(scale=2.0)
+
+    seq_census, _, _ = _census("sequential", graph)
+    seq_wall = min(_census("sequential", graph)[1] for _ in range(reps))
+    sim_census, _, _ = _census(ClusterConfig(workers=2, cores_per_worker=2), graph)
+    assert _canonical(sim_census) == _canonical(seq_census)
+
+    scaling = {}
+    for procs in (1, 2, 4, 8):
+        best = None
+        for _ in range(reps):
+            census, wall, report = _census(
+                MultiprocessConfig(num_procs=procs), graph
+            )
+            if _canonical(census) != _canonical(seq_census):
+                print(f"FAIL: {procs}-proc counts differ from sequential")
+                return 1
+            if best is None or wall < best[0]:
+                best = (wall, report)
+        wall, report = best
+        scaling[str(procs)] = {
+            "wall_s": round(wall, 4),
+            "speedup_vs_sequential": round(seq_wall / wall, 3),
+            "backend": report.backend_summary(),
+        }
+        print(
+            f"{procs} procs: {wall:.3f}s "
+            f"({seq_wall / wall:.2f}x vs sequential {seq_wall:.3f}s)"
+        )
+
+    wall_1 = scaling["1"]["wall_s"]
+    wall_8 = scaling[str(TARGET_PROCS)]["wall_s"]
+    achieved = wall_1 / wall_8 if wall_8 else 0.0
+    target_met = achieved >= TARGET_SPEEDUP
+
+    # Partition-strategy comparison: identical counts, measurably
+    # different remote-adjacency profile on a community-structured graph.
+    pgraph = community_graph(4, 16, p_in=0.3, p_out=0.02, seed=7)
+    pseq, _, _ = _census("sequential", pgraph)
+    partitions = {}
+    for strategy in ("hash", "vertexcut"):
+        census, wall, report = _census(
+            MultiprocessConfig(num_procs=4, partition=strategy), pgraph
+        )
+        if _canonical(census) != _canonical(pseq):
+            print(f"FAIL: partition={strategy} counts differ")
+            return 1
+        partitions[strategy] = {
+            "wall_s": round(wall, 4),
+            **{
+                k: (round(v, 4) if isinstance(v, float) else v)
+                for k, v in report.partition_summary().items()
+            },
+        }
+    hash_remote = partitions["hash"]["remote_fraction"]
+    vc_remote = partitions["vertexcut"]["remote_fraction"]
+
+    headline = (
+        f"motifs k=3: {achieved:.2f}x at {TARGET_PROCS} procs vs 1 "
+        f"(target {TARGET_SPEEDUP:.0f}x, "
+        f"{'met' if target_met else 'NOT met'}; host has {host_cpus} "
+        f"cpu{'s' if host_cpus != 1 else ''}); vertexcut remote fraction "
+        f"{vc_remote:.2f} vs hash {hash_remote:.2f}"
+    )
+    payload = {
+        **make_header(
+            "mp_backend",
+            {
+                "mode": "full",
+                "reps": reps,
+                "workload": "motifs_k3",
+                "dataset": graph.name,
+                "procs": [1, 2, 4, 8],
+            },
+            headline,
+        ),
+        "generated_by": "benchmarks/bench_mp_backend.py",
+        "host_cpus": host_cpus,
+        "start_method": "fork",
+        "dataset": {
+            "name": graph.name,
+            "vertices": graph.n_vertices,
+            "edges": graph.n_edges,
+        },
+        "methodology": (
+            "wall-clock of motifs k=3, best of interleaved repetitions; "
+            "every multiprocess run's census asserted equal to the "
+            "sequential engine (canonical-code keyed); speedup target "
+            "compares 8 worker processes against 1 worker process on "
+            "this host — no extrapolation beyond host_cpus is applied"
+        ),
+        "sequential_wall_s": round(seq_wall, 4),
+        "scaling": scaling,
+        "target": {
+            "workload": "motifs_k3",
+            "required_speedup": TARGET_SPEEDUP,
+            "at_procs": TARGET_PROCS,
+            "achieved_speedup": round(achieved, 3),
+            "host_cpus": host_cpus,
+            "host_can_reach_target": host_cpus >= TARGET_SPEEDUP,
+            "target_met": target_met,
+        },
+        "partition_comparison": {
+            "graph": {
+                "name": pgraph.name,
+                "vertices": pgraph.n_vertices,
+                "edges": pgraph.n_edges,
+            },
+            "num_procs": 4,
+            "strategies": partitions,
+            "strategies_differ_measurably": hash_remote != vc_remote,
+        },
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out}")
+    print(headline)
+    return 0
+
+
+def main(argv=None) -> int:
+    if "fork" not in multiprocessing.get_all_start_methods():
+        print("SKIP: multiprocess backend requires the fork start method")
+        return 0
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: 2 procs, small graph, equality check only, no JSON",
+    )
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke()
+    return run_full(args.out, args.reps)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

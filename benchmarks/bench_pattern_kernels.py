@@ -39,6 +39,8 @@ from repro.apps.queries import query_fractoid  # noqa: E402
 from repro.harness import bench_mico, bench_patents  # noqa: E402
 from repro.runtime.costmodel import DEFAULT_COST_MODEL  # noqa: E402
 
+from bench_schema import make_header  # noqa: E402
+
 DEFAULT_OUT = REPO_ROOT / "BENCH_pattern_kernels.json"
 
 KERNELS = ("legacy", "indexed")
@@ -142,6 +144,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     reduction = total_legacy / total_indexed if total_indexed else None
     wall_speedups = [r["wall_speedup"] for r in queries.values()]
     payload = {
+        **make_header(
+            "pattern_kernels",
+            {"mode": "quick" if args.quick else "full", "reps": reps,
+             "workload": "fig15_queries"},
+            f"indexed candidate kernel cuts candidate cost "
+            f"{reduction:.2f}x over legacy (target 2.0x), median wall "
+            f"speedup {statistics.median(wall_speedups):.2f}x"
+            if reduction else "indexed kernel reduction unavailable",
+        ),
         "generated_by": "benchmarks/bench_pattern_kernels.py",
         "mode": "quick" if args.quick else "full",
         "reps": reps,

@@ -1,0 +1,92 @@
+"""Common schema for checked-in ``BENCH_*.json`` result files.
+
+Every benchmark result file carries the same header block so the
+trajectory of performance numbers across PRs is machine-readable:
+
+``schema_version``
+    Integer, bumped on incompatible header changes.
+``bench``
+    Short benchmark name (``mp_backend``, ``steal_policies``, ...).
+``commit``
+    The git commit the numbers were measured at (``HEAD`` at write
+    time; ``unknown`` outside a git checkout).
+``config``
+    The knobs that shaped the run — mode, reps, cluster shape — as a
+    flat JSON object.
+``headline``
+    One human-readable sentence with the benchmark's key number.
+
+Benchmark scripts call :func:`make_header` and merge the result into
+their payload before writing; :mod:`benchmarks.bench_index` reads the
+headers back to print the one-line-per-file trajectory summary.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+from typing import Dict, Optional
+
+SCHEMA_VERSION = 1
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "current_commit",
+    "make_header",
+    "load_bench",
+    "iter_bench_files",
+]
+
+
+def current_commit() -> str:
+    """Short hash of HEAD, or ``unknown`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(REPO_ROOT),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def make_header(
+    bench: str,
+    config: Dict[str, object],
+    headline: str,
+    commit: Optional[str] = None,
+) -> Dict[str, object]:
+    """The common header block, ready to merge into a result payload."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": bench,
+        "commit": commit if commit is not None else current_commit(),
+        "config": config,
+        "headline": headline,
+    }
+
+
+def load_bench(path: Path) -> Dict[str, object]:
+    """Load one result file; raises ValueError if the header is absent."""
+    data = json.loads(Path(path).read_text())
+    missing = [
+        key
+        for key in ("schema_version", "bench", "commit", "config", "headline")
+        if key not in data
+    ]
+    if missing:
+        raise ValueError(f"{path}: missing header fields {missing}")
+    return data
+
+
+def iter_bench_files(root: Optional[Path] = None):
+    """All checked-in ``BENCH_*.json`` paths, sorted by name."""
+    base = Path(root) if root is not None else REPO_ROOT
+    return sorted(base.glob("BENCH_*.json"))

@@ -8,6 +8,8 @@ Mining System* (SIGMOD 2019).  Public API highlights:
   (``expand`` / ``filter`` / ``aggregate`` / ``explore``);
 * :class:`ClusterConfig` — the simulated distributed runtime with
   hierarchical work stealing;
+* :class:`MultiprocessConfig` — the real-parallel backend: worker
+  processes over shared-memory CSR buffers;
 * ``repro.apps`` — the paper's applications (motifs, cliques, FSM,
   subgraph querying, keyword search, triangles);
 * ``repro.baselines`` — every system the paper compares against;
@@ -35,6 +37,7 @@ from .graph.graph import Graph, GraphBuilder
 from .pattern.pattern import Pattern
 from .runtime.cluster import ClusterConfig
 from .runtime.costmodel import CostModel
+from .runtime.mp_backend import MultiprocessConfig
 from .runtime.faults import (
     CoreFailure,
     FailureDetector,
@@ -45,7 +48,7 @@ from .runtime.faults import (
 )
 from .runtime.metrics import Metrics
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FractalContext",
@@ -59,6 +62,7 @@ __all__ = [
     "Pattern",
     "ClusterConfig",
     "CostModel",
+    "MultiprocessConfig",
     "Metrics",
     "FaultPlan",
     "CoreFailure",

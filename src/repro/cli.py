@@ -5,6 +5,8 @@ Usage::
     python -m repro datasets
     python -m repro run motifs --dataset mico --k 3
     python -m repro run cliques --dataset youtube --k 4 --workers 2 --cores 8
+    python -m repro run motifs --dataset mico --k 3 \\
+        --backend multiprocess --num-procs 4 --partition vertexcut
     python -m repro run fsm --dataset mico --support 20
     python -m repro run query --dataset patents --query q3
     python -m repro run keywords --dataset wikidata --words paris revolution
@@ -22,7 +24,13 @@ import argparse
 import sys
 from typing import List, Optional
 
-from . import ClusterConfig, FaultPlan, FractalContext
+from . import (
+    ClusterConfig,
+    FaultPlan,
+    FractalContext,
+    MultiprocessConfig,
+    __version__,
+)
 from .apps import (
     QUERY_PATTERNS,
     count_cliques,
@@ -80,11 +88,37 @@ def _fault_plan(args) -> object:
 
 def _engine(args) -> object:
     plan = _fault_plan(args)
-    if args.workers * args.cores <= 1:
+    backend = getattr(args, "backend", "auto")
+    partition = getattr(args, "partition", None)
+    if backend == "multiprocess":
+        if plan is not None:
+            raise SystemExit(
+                "failure injection is a simulator feature; it cannot be "
+                "combined with --backend multiprocess"
+            )
+        try:
+            return MultiprocessConfig(
+                num_procs=getattr(args, "num_procs", 2),
+                partition=partition,
+                pattern_kernel=getattr(args, "pattern_kernel", "legacy")
+                or "legacy",
+                order_policy=getattr(args, "order_policy", None),
+            )
+        except (ValueError, RuntimeError) as exc:
+            raise SystemExit(f"invalid multiprocess configuration: {exc}")
+    if backend == "sequential" or (
+        backend == "auto" and args.workers * args.cores <= 1
+    ):
         if plan is not None:
             raise SystemExit(
                 "failure injection needs the simulated cluster: pass "
-                "--workers/--cores so that workers x cores > 1"
+                "--workers/--cores so that workers x cores > 1, or "
+                "--backend simulator"
+            )
+        if partition is not None:
+            raise SystemExit(
+                "--partition needs parallel workers: pass --backend "
+                "simulator or --backend multiprocess"
             )
         return "sequential"
     try:
@@ -95,6 +129,7 @@ def _engine(args) -> object:
             steal_policy=getattr(args, "steal_policy", "one"),
             pattern_kernel=getattr(args, "pattern_kernel", "legacy"),
             order_policy=getattr(args, "order_policy", None),
+            partition=partition,
         )
     except ValueError as exc:
         raise SystemExit(f"invalid cluster configuration: {exc}")
@@ -226,6 +261,45 @@ def _print_agg_shuffle(report) -> None:
     )
 
 
+def _print_backend(report) -> None:
+    """Backend identity block printed after multiprocess runs."""
+    if report is None:
+        return
+    summary = report.backend_summary()
+    if summary.get("backend") != "multiprocess":
+        return
+    print(
+        "backend: multiprocess "
+        f"({summary.get('num_procs', '?')} procs, "
+        f"start method {summary.get('start_method', '?')}), "
+        f"shared graph {summary.get('shared_graph_bytes', 0)} bytes, "
+        f"wall {summary.get('wall_seconds', 0.0):.3f}s"
+    )
+
+
+def _print_partition(report) -> None:
+    """Partitioned-storage block printed after partitioned runs."""
+    if report is None:
+        return
+    summary = report.partition_summary()
+    if summary["strategy"] is None:
+        return
+    print(
+        "partition: "
+        f"{summary['strategy']} x{summary['n_parts']} "
+        f"(balance {summary['balance']:.3f}, "
+        f"{summary['cut_edges']:.0f} cut edges, "
+        f"cut fraction {summary['cut_fraction']:.3f})"
+    )
+    print(
+        "remote adjacency: "
+        f"{summary['remote_fetches']:.0f} remote / "
+        f"{summary['local_fetches']:.0f} local fetches "
+        f"(remote fraction {summary['remote_fraction']:.3f}, "
+        f"{summary['remote_units']:.1f} units)"
+    )
+
+
 def _print_pattern_kernel(report) -> None:
     """Candidate-kernel block printed after pattern-query runs."""
     if report is None:
@@ -252,13 +326,14 @@ def _print_pattern_kernel(report) -> None:
 def _run_app(args) -> int:
     graph = _load_dataset(args.dataset, args.scale)
     engine = _engine(args)
+    carries_kernel = isinstance(engine, (ClusterConfig, MultiprocessConfig))
     context = FractalContext(
         engine=engine,
         pattern_kernel=getattr(args, "pattern_kernel", None)
-        if not isinstance(engine, ClusterConfig)
+        if not carries_kernel
         else None,
         order_policy=getattr(args, "order_policy", None)
-        if not isinstance(engine, ClusterConfig)
+        if not carries_kernel
         else None,
     )
     fg = context.from_graph(graph)
@@ -314,6 +389,8 @@ def _run_app(args) -> int:
         _print_agg_shuffle(context.last_report)
         if engine.fault_plan is not None:
             _print_recovery(context.last_report)
+    _print_backend(context.last_report)
+    _print_partition(context.last_report)
     return 0
 
 
@@ -387,6 +464,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Fractal reproduction: graph pattern mining",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_datasets = sub.add_parser("datasets", help="list stand-in datasets")
@@ -407,6 +487,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--reduce", action="store_true")
     p_run.add_argument("--workers", type=int, default=1)
     p_run.add_argument("--cores", type=int, default=1)
+    p_run.add_argument(
+        "--backend",
+        choices=["auto", "sequential", "simulator", "multiprocess"],
+        default="auto",
+        help="execution backend: 'auto' (sequential, or the simulator "
+        "when --workers/--cores request parallelism), 'sequential', "
+        "'simulator' (deterministic simulated cluster) or "
+        "'multiprocess' (real worker processes over shared-memory CSR "
+        "buffers); results are identical under every backend",
+    )
+    p_run.add_argument(
+        "--num-procs",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes for --backend multiprocess (default 2)",
+    )
+    p_run.add_argument(
+        "--partition",
+        choices=["hash", "vertexcut"],
+        default=None,
+        help="partitioned graph storage: assign root vertices to "
+        "workers by multiplicative hash or greedy vertex-cut and meter "
+        "remote adjacency fetches; default is unpartitioned storage",
+    )
     p_run.add_argument(
         "--steal-policy",
         default="one",

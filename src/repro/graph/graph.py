@@ -34,6 +34,15 @@ cost-based matching-order planner.
 
 Graphs are constructed through :class:`GraphBuilder`, which validates input
 (no self-loops, no parallel edges) and emits the CSR directly.
+
+Because every lazily-built cache assumes the graph never changes, the
+class carries a mutation guard: the only sanctioned in-place mutations
+(``set_vertex_label`` / ``set_edge_label``) bump :attr:`Graph.version`
+and drop the label-derived caches, and ``freeze()`` forbids mutation
+entirely.  Frozen graphs back the shared-memory execution path
+(:mod:`repro.graph.shm`): the CSR columns accept any int64 buffer —
+``array('q')`` from the builder, or ``memoryview`` slices over a
+``multiprocessing.shared_memory`` segment attached by a worker process.
 """
 
 from __future__ import annotations
@@ -79,6 +88,8 @@ class Graph:
         "_label_stats",
         "_vertex_keywords",
         "_edge_keywords",
+        "version",
+        "_frozen",
         "name",
     )
 
@@ -122,6 +133,14 @@ class Graph:
         self._label_stats: Optional[Tuple[Dict, Dict]] = None
         self._vertex_keywords = vertex_keywords
         self._edge_keywords = edge_keywords
+        # Cache-coherence guard: every sanctioned in-place mutation bumps
+        # ``version`` and drops the caches it can invalidate, so a consumer
+        # holding a stale derived structure can detect it (compare the
+        # version it recorded at build time).  ``freeze()`` forbids
+        # mutation outright — shared-memory graph views are frozen, their
+        # buffers are mapped read-mostly into every worker process.
+        self.version = 0
+        self._frozen = False
         self.name = name
 
     # ------------------------------------------------------------------
@@ -195,6 +214,57 @@ class Graph:
         if self._vertex_keywords is None:
             return _EMPTY_KEYWORDS
         return self._vertex_keywords[v]
+
+    # ------------------------------------------------------------------
+    # Mutation guard (cache coherence)
+    # ------------------------------------------------------------------
+    @property
+    def frozen(self) -> bool:
+        """Whether in-place mutation is forbidden (shared-memory views)."""
+        return self._frozen
+
+    def freeze(self) -> "Graph":
+        """Forbid all further in-place mutation; returns ``self``.
+
+        Used for graphs whose buffers live in shared memory: a mutation
+        in one process would silently desynchronize every other attached
+        process's caches, so the mutators raise instead.
+        """
+        self._frozen = True
+        return self
+
+    def set_vertex_label(self, v: int, label: int) -> None:
+        """Re-label vertex ``v`` in place.
+
+        Bumps :attr:`version` and drops every label-derived cache
+        (labeled adjacency, label->vertices table, label statistics) so
+        later reads rebuild against the new labels.  The topology caches
+        (``neighbors``/``incident_edges``/... views) cannot go stale —
+        no sanctioned mutation touches the CSR — and are kept.
+        """
+        if self._frozen:
+            raise GraphError("graph is frozen; label mutation is forbidden")
+        if not 0 <= v < self.n_vertices:
+            raise GraphError(f"vertex {v} out of range")
+        self._vertex_labels[v] = label
+        self._bump_version()
+
+    def set_edge_label(self, e: int, label: int) -> None:
+        """Re-label edge ``e`` in place (same invalidation contract as
+        :meth:`set_vertex_label`)."""
+        if self._frozen:
+            raise GraphError("graph is frozen; label mutation is forbidden")
+        if not 0 <= e < self.n_edges:
+            raise GraphError(f"edge {e} out of range")
+        self._edge_labels[e] = label
+        self._bump_version()
+
+    def _bump_version(self) -> None:
+        """Record a mutation: bump the version, drop label-derived caches."""
+        self.version += 1
+        self._labeled_adj = None
+        self._label_vertices = None
+        self._label_stats = None
 
     # ------------------------------------------------------------------
     # Edges

@@ -1,0 +1,171 @@
+"""Shared-memory graph buffers for the multiprocess execution backend.
+
+Fractal keeps one copy of the input graph per *machine*, not per worker
+thread (§6: workers on a node share the graph through the JVM heap).
+The multiprocess backend reproduces that topology on one host: the
+driver packs every int64 column of the CSR graph into a single
+``multiprocessing.shared_memory`` segment, and each worker process maps
+the segment and reads the columns through zero-copy ``memoryview``
+slices.  However many workers run, the adjacency exists once in
+physical memory.
+
+Layout — one block, seven int64 columns, back to back::
+
+    +----------+---------+-----------+----------+----------+--------+--------+
+    | offsets  |  nbr    |  nbr_eid  | edge_src | edge_dst | vlabel | elabel |
+    |  n + 1   |  2m     |   2m      |    m     |    m     |   n    |   m    |
+    +----------+---------+-----------+----------+----------+--------+--------+
+
+``Graph`` accepts any int64 buffer for its columns (see its module
+docstring), so a worker-side graph is the ordinary :class:`Graph` over
+memoryview slices — every algorithm, cache and kernel works unchanged.
+Worker graphs are ``freeze()``-d: a label write in one process would
+silently desynchronize the caches of every other process mapping the
+same pages.
+
+Keyword annotations (arbitrary frozensets of strings) do not flatten
+into int64 columns; they ride along through fork inheritance of the
+parent graph object instead.  The backend is fork-only anyway — see
+``runtime/mp_backend.py`` for why.
+
+Lifecycle protocol (who closes what):
+
+* the **parent** releases its scratch write-view right after packing
+  (an exported memoryview makes ``close()``/``unlink()`` raise
+  ``BufferError``), and calls :meth:`SharedGraphBuffers.unlink` once
+  the backend shuts down — the segment's name is removed and the
+  memory is freed when the last mapping drops;
+* **workers** never call ``close()``: their Graph holds live memoryview
+  exports for its whole life, and the OS reclaims the mapping at
+  process exit.  (``attach`` opens with ``create=False``, which does
+  not register with the resource tracker, so no spurious leak warnings
+  at interpreter shutdown.)
+"""
+
+from __future__ import annotations
+
+from array import array
+from multiprocessing import shared_memory
+from typing import List, Optional, Sequence, Tuple
+
+from .graph import Graph
+
+__all__ = ["SharedGraphBuffers"]
+
+_ITEMSIZE = array("q").itemsize  # 8 on every supported platform
+
+
+class SharedGraphBuffers:
+    """A graph's int64 columns packed into one shared-memory segment."""
+
+    __slots__ = (
+        "name",
+        "graph_name",
+        "n_vertices",
+        "n_edges",
+        "_bounds",
+        "_shm",
+        "_source",
+    )
+
+    def __init__(self, graph: Graph):
+        if not graph.frozen:
+            graph.freeze()
+        self.graph_name = graph.name
+        self.n_vertices = graph.n_vertices
+        self.n_edges = graph.n_edges
+        offsets, nbr, nbr_eid = graph.csr()
+        edge_src, edge_dst, edge_labels = graph.edge_arrays()
+        columns: Sequence[Sequence[int]] = (
+            offsets,
+            nbr,
+            nbr_eid,
+            edge_src,
+            edge_dst,
+            graph.vertex_labels(),
+            edge_labels,
+        )
+        # Column boundaries in items: bounds[i]..bounds[i+1] is column i.
+        bounds: List[int] = [0]
+        for col in columns:
+            bounds.append(bounds[-1] + len(col))
+        self._bounds: Tuple[int, ...] = tuple(bounds)
+        nbytes = max(1, bounds[-1] * _ITEMSIZE)  # shm rejects size=0
+        self._shm: Optional[shared_memory.SharedMemory] = (
+            shared_memory.SharedMemory(create=True, size=nbytes)
+        )
+        self.name = self._shm.name
+        # Keywords (and the name) cannot flatten to int64; keep the
+        # source graph so fork-children can inherit them in attach().
+        self._source: Optional[Graph] = graph
+        view = self._shm.buf.cast("q")
+        try:
+            for i, col in enumerate(columns):
+                lo, hi = bounds[i], bounds[i + 1]
+                if hi > lo:
+                    view[lo:hi] = (
+                        col if isinstance(col, array) else array("q", col)
+                    )
+        finally:
+            # Release the scratch view: a live export would make every
+            # later close()/unlink() raise BufferError.
+            view.release()
+
+    def attach(self) -> Graph:
+        """Build a frozen :class:`Graph` over this segment's columns.
+
+        Called in a worker process (the segment arrives fork-inherited,
+        already mapped).  The returned graph's CSR and edge columns are
+        zero-copy memoryview slices; its lazy caches (per-vertex tuple
+        views, labeled adjacency, label stats) build privately per
+        process on first touch, exactly like any other graph's.
+        """
+        if self._shm is None:
+            raise ValueError("shared graph buffers have been unlinked")
+        view = self._shm.buf.cast("q")
+        b = self._bounds
+        cols = [view[b[i] : b[i + 1]] for i in range(len(b) - 1)]
+        offsets, nbr, nbr_eid, edge_src, edge_dst, vlabels, elabels = cols
+        source = self._source
+        graph = Graph(
+            vertex_labels=vlabels,
+            edge_src=edge_src,
+            edge_dst=edge_dst,
+            edge_labels=elabels,
+            vertex_keywords=getattr(source, "_vertex_keywords", None),
+            edge_keywords=getattr(source, "_edge_keywords", None),
+            name=self.graph_name,
+            csr=(offsets, nbr, nbr_eid),
+        )
+        return graph.freeze()
+
+    @property
+    def nbytes(self) -> int:
+        """Payload size of the packed columns, in bytes."""
+        return self._bounds[-1] * _ITEMSIZE
+
+    def unlink(self) -> None:
+        """Parent-side teardown: unmap and remove the segment.
+
+        Idempotent.  Must only run in the creating process, after the
+        workers using the segment have exited.
+        """
+        shm, self._shm = self._shm, None
+        self._source = None
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:
+                # A same-process attach() handed out memoryview slices
+                # that are still alive; the mapping cannot be torn down
+                # yet.  unlink() below still removes the named segment —
+                # the memory is reclaimed once the views (and process)
+                # go away, which is the POSIX shm contract.
+                pass
+            shm.unlink()
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedGraphBuffers(name={self.name!r}, "
+            f"graph={self.graph_name!r}, bytes={self.nbytes})"
+        )

@@ -250,6 +250,14 @@ class Pattern:
         domain of a pattern position is shared across its whole orbit,
         because every embedding re-matched through an automorphism places
         each vertex on every position of its orbit.
+
+        Orbit ids are densely renumbered by first appearance in
+        *canonical-position* order, not vertex order: the partition of
+        canonical positions into orbits is an isomorphism invariant, so
+        with this numbering two isomorphic Pattern instances (different
+        representatives of one DFS-code class, e.g. interned by separate
+        worker processes) agree on which orbit id names which position —
+        DomainSupport slots merged across processes line up.
         """
         if self._orbits is None:
             from .isomorphism import automorphisms  # deferred: avoids cycle
@@ -262,14 +270,17 @@ class Pattern:
                     if a != b:
                         low, high = (a, b) if a < b else (b, a)
                         orbit_of = [low if o == high else o for o in orbit_of]
-            # Renumber orbits densely.
+            # Renumber orbits densely in canonical-position order.
+            mapping = self.canonical_vertex_map()
+            vertex_at = [0] * n
+            for vertex, position in enumerate(mapping):
+                vertex_at[position] = vertex
             remap: dict = {}
-            dense = []
-            for o in orbit_of:
+            for position in range(n):
+                o = orbit_of[vertex_at[position]]
                 if o not in remap:
                     remap[o] = len(remap)
-                dense.append(remap[o])
-            self._orbits = tuple(dense)
+            self._orbits = tuple(remap[o] for o in orbit_of)
         return self._orbits
 
     def canonical_position_orbits(self) -> Tuple[int, ...]:

@@ -20,9 +20,16 @@ __all__ = [
     "ClusterEngine",
     "ClusterStepResult",
     "CoreReport",
+    "ExecutionBackend",
     "ExecutionReport",
+    "MultiprocessBackend",
+    "MultiprocessConfig",
+    "SequentialBackend",
+    "SimulatorBackend",
+    "StepOutcome",
     "StepReport",
     "execute_plan",
+    "resolve_backend",
     "run_step_sequential",
     "FaultPlan",
     "CoreFailure",
@@ -37,6 +44,13 @@ _LAZY = {
     "ClusterEngine": "cluster",
     "ClusterStepResult": "cluster",
     "CoreReport": "cluster",
+    "ExecutionBackend": "backend",
+    "SequentialBackend": "backend",
+    "SimulatorBackend": "backend",
+    "StepOutcome": "backend",
+    "resolve_backend": "backend",
+    "MultiprocessBackend": "mp_backend",
+    "MultiprocessConfig": "mp_backend",
     "ExecutionReport": "driver",
     "StepReport": "driver",
     "execute_plan": "driver",

@@ -1,0 +1,220 @@
+"""Execution backend seam: one interface, simulated or real parallelism.
+
+Every engine the driver can run a fractal step on sits behind
+:class:`ExecutionBackend`:
+
+* :class:`SequentialBackend` — the paper's Algorithm 1 on one core
+  (``engine="sequential"``), byte-identical to the pre-seam driver path;
+* :class:`SimulatorBackend` — the deterministic event-driven cluster
+  (:class:`~repro.runtime.cluster.ClusterConfig`), unchanged semantics:
+  same metrics, same per-core clocks, same results;
+* ``MultiprocessBackend`` (:mod:`repro.runtime.mp_backend`) — real OS
+  worker processes over shared-memory CSR buffers, selected with a
+  :class:`~repro.runtime.mp_backend.MultiprocessConfig`.
+
+The driver resolves the engine spec once per execution
+(:func:`resolve_backend`), runs every step through the backend, and
+calls :meth:`ExecutionBackend.close` when done — the hook multiprocess
+uses to unlink its shared-memory segment.  A backend returns one
+:class:`StepOutcome` per step: the filled aggregation storages, the
+step's metrics, its priced work, and an optional ``backend_info`` dict
+surfaced in :class:`~repro.runtime.driver.StepReport` for reporting
+(real wall time, partition quality, shared-segment size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..core.aggregation import AggregationStorage
+from ..core.computation import Computation
+from ..core.primitives import Primitive
+from ..core.subgraph import SubgraphResult
+from ..graph.graph import Graph
+from ..pattern.pattern import PatternInterner
+from .cluster import ClusterConfig, ClusterEngine, ClusterStepResult
+from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .engine import run_step_sequential
+from .metrics import Metrics
+
+__all__ = [
+    "ExecutionBackend",
+    "SequentialBackend",
+    "SimulatorBackend",
+    "StepOutcome",
+    "resolve_backend",
+]
+
+
+@dataclass
+class StepOutcome:
+    """What one backend run of one fractal step produced."""
+
+    storages: Dict[int, AggregationStorage]
+    metrics: Metrics
+    work_units: float
+    simulated_seconds: float
+    cluster: Optional[ClusterStepResult] = None
+    kernel_info: Optional[Dict[str, object]] = None
+    # Backend-specific observability (backend name, real wall time,
+    # partition summary, shared-memory footprint, ...).
+    backend_info: Optional[Dict[str, object]] = None
+    # Frozen results of the final step, for backends whose sinks run in
+    # another process (the driver's sink closure cannot).  ``None`` means
+    # the backend invoked the driver-provided sink directly.
+    subgraphs: Optional[List[SubgraphResult]] = None
+
+
+class ExecutionBackend:
+    """Interface every step executor implements."""
+
+    name: str = "abstract"
+
+    def run_step(
+        self,
+        graph: Graph,
+        strategy_factory: Callable,
+        interner: PatternInterner,
+        primitives: Sequence[Primitive],
+        aggregation_views: Dict[int, object],
+        cached_uids,
+        sink: Optional[Callable] = None,
+        root_words: Optional[List[int]] = None,
+        collect: Optional[str] = None,
+    ) -> StepOutcome:
+        """Execute one fractal step.
+
+        ``sink``/``collect`` describe the final step's output mode:
+        ``collect`` is ``"subgraphs"``, ``"count"`` or ``None`` exactly as
+        the driver received it (``None`` on non-final steps).  In-process
+        backends call ``sink`` with each live result; cross-process
+        backends honor ``collect`` and return frozen results through
+        :attr:`StepOutcome.subgraphs` instead.
+        """
+        raise NotImplementedError
+
+    def setup_seconds(self) -> float:
+        """Simulated framework setup overhead (added once per execution)."""
+        return 0.0
+
+    def close(self) -> None:
+        """Release backend resources (processes, shared memory)."""
+
+
+class SequentialBackend(ExecutionBackend):
+    """Algorithm 1 on one core — the relocated driver sequential path."""
+
+    name = "sequential"
+
+    def __init__(self, cost_model: CostModel = DEFAULT_COST_MODEL):
+        self.cost_model = cost_model
+
+    def run_step(
+        self,
+        graph,
+        strategy_factory,
+        interner,
+        primitives,
+        aggregation_views,
+        cached_uids,
+        sink=None,
+        root_words=None,
+        collect=None,
+    ) -> StepOutcome:
+        metrics = Metrics()
+        strategy = strategy_factory(graph, metrics, interner)
+        computation = Computation(graph, metrics, interner, aggregation_views)
+        storages = run_step_sequential(
+            strategy,
+            primitives,
+            computation,
+            cached_uids,
+            sink=sink,
+            root_words=root_words,
+        )
+        units = self.cost_model.step_units(metrics)
+        return StepOutcome(
+            storages=storages,
+            metrics=metrics,
+            work_units=units,
+            simulated_seconds=self.cost_model.seconds(units),
+            kernel_info=strategy.kernel_info(),
+            backend_info={"backend": self.name},
+        )
+
+
+class SimulatorBackend(ExecutionBackend):
+    """The deterministic simulated cluster behind the backend seam."""
+
+    name = "simulator"
+
+    def __init__(self, config: ClusterConfig):
+        self.config = config
+        self._engine = ClusterEngine(config)
+
+    def run_step(
+        self,
+        graph,
+        strategy_factory,
+        interner,
+        primitives,
+        aggregation_views,
+        cached_uids,
+        sink=None,
+        root_words=None,
+        collect=None,
+    ) -> StepOutcome:
+        result = self._engine.run_step(
+            graph,
+            strategy_factory,
+            interner,
+            primitives,
+            aggregation_views,
+            cached_uids,
+            sink=sink,
+            root_words=root_words,
+        )
+        info: Dict[str, object] = {
+            "backend": self.name,
+            "workers": self.config.workers,
+            "cores_per_worker": self.config.cores_per_worker,
+        }
+        if result.partition_info is not None:
+            info["partition"] = result.partition_info
+        return StepOutcome(
+            storages=result.storages,
+            metrics=result.metrics,
+            work_units=result.makespan_units,
+            simulated_seconds=result.makespan_seconds,
+            cluster=result,
+            kernel_info=result.kernel_info,
+            backend_info=info,
+        )
+
+    def setup_seconds(self) -> float:
+        if self.config.include_setup_overhead:
+            return self.config.cost_model.setup_overhead_s
+        return 0.0
+
+
+def resolve_backend(
+    engine: Union[str, ClusterConfig, object],
+    cost_model: CostModel = DEFAULT_COST_MODEL,
+) -> ExecutionBackend:
+    """Build the backend an engine spec names.
+
+    ``"sequential"`` -> :class:`SequentialBackend`; a
+    :class:`ClusterConfig` -> :class:`SimulatorBackend`; a
+    :class:`~repro.runtime.mp_backend.MultiprocessConfig` ->
+    ``MultiprocessBackend``.  Anything else raises ``ValueError``.
+    """
+    from .mp_backend import MultiprocessBackend, MultiprocessConfig
+
+    if isinstance(engine, ClusterConfig):
+        return SimulatorBackend(engine)
+    if isinstance(engine, MultiprocessConfig):
+        return MultiprocessBackend(engine)
+    if engine == "sequential":
+        return SequentialBackend(cost_model)
+    raise ValueError(f"unknown engine {engine!r}")

@@ -59,6 +59,7 @@ from ..core.primitives import (
 )
 from ..core.subgraph import Subgraph
 from ..graph.graph import Graph
+from ..graph.partition import PARTITION_STRATEGIES, partition_graph
 from ..pattern.pattern import PatternInterner
 from .costmodel import DEFAULT_COST_MODEL, CostModel
 from .engine import new_storages
@@ -162,6 +163,16 @@ class ClusterConfig:
     # never override values pinned on the strategy itself.
     pattern_kernel: str = "legacy"
     order_policy: Optional[str] = None
+    # Partitioned graph storage (docs/internals.md §12).  ``None`` (the
+    # default) keeps the replicated-graph model of the original engine —
+    # every clock and counter bit-identical to prior releases.  A
+    # strategy name from ``repro.graph.partition.PARTITION_STRATEGIES``
+    # assigns every vertex an owning *worker* (n_parts = workers):
+    # level-0 roots start on the worker that owns them, and every pushed
+    # word owned elsewhere is metered as a remote adjacency fetch and
+    # charged ``cost_model.remote_fetch_units`` on the simulated clock —
+    # the simulator's prediction of partitioning quality.
+    partition: Optional[str] = None
 
     def __post_init__(self):
         if self.batch_quantum < 1:
@@ -183,6 +194,11 @@ class ClusterConfig:
             )
         if self.agg_entry_budget is not None and self.agg_entry_budget < 1:
             raise ValueError("agg_entry_budget must be >= 1 (or None)")
+        if self.partition is not None and self.partition not in PARTITION_STRATEGIES:
+            raise ValueError(
+                f"partition must be None or one of {PARTITION_STRATEGIES}, "
+                f"got {self.partition!r}"
+            )
         total = self.workers * self.cores_per_worker
         if self.fail_at:
             for core_id, deadline in self.fail_at.items():
@@ -298,6 +314,9 @@ class ClusterStepResult:
     # strategies without a selectable kernel): kernel name, order policy
     # and matching order, as reported by ``ExtensionStrategy.kernel_info``.
     kernel_info: Optional[Dict[str, object]] = None
+    # Partition-quality summary (``GraphPartition.summary``) when the
+    # step ran under ``ClusterConfig.partition``; ``None`` otherwise.
+    partition_info: Optional[Dict[str, object]] = None
 
     def finish_seconds(self, cost_model: CostModel) -> List[float]:
         """Per-core finish times in seconds (task runtimes of Figure 16)."""
@@ -734,6 +753,9 @@ class ClusterEngine:
 
     def __init__(self, config: ClusterConfig):
         self.config = config
+        # Owner lookup for the active partition (None = replicated graph);
+        # set per run_step, consulted by _advance's fetch metering.
+        self._word_owner: Optional[Callable[[int], int]] = None
 
     def run_step(
         self,
@@ -767,6 +789,16 @@ class ClusterEngine:
             new_storages(primitives, cached_uids, entry_budget=config.agg_entry_budget)
             for _ in cores
         ]
+        partition_info: Optional[Dict[str, object]] = None
+        self._word_owner = None
+        if config.partition is not None and cores:
+            graph_partition = partition_graph(
+                graph, config.partition, config.workers
+            )
+            self._word_owner = graph_partition.word_owner(
+                graph, cores[0].strategy.mode
+            )
+            partition_info = graph_partition.summary(graph)
         setup_metrics = self._distribute_roots(cores, primitives, root_words)
 
         runtime = _FaultRuntime(config, cost)
@@ -824,6 +856,7 @@ class ClusterEngine:
         # Every core runs the same strategy factory under the same config,
         # so core 0's kernel description speaks for the whole step.
         result.kernel_info = cores[0].strategy.kernel_info() if cores else None
+        result.partition_info = partition_info
         return result
 
     def _drain(
@@ -1078,6 +1111,24 @@ class ClusterEngine:
         else:
             words = list(root_words)
         n = len(cores)
+        owner = self._word_owner
+        if owner is not None:
+            # Partitioned storage: a root starts on the worker that owns
+            # it (zero remote fetch at level 0), round-robin across that
+            # worker's cores.
+            cpw = self.config.cores_per_worker
+            per_worker: List[List[int]] = [
+                [] for _ in range(self.config.workers)
+            ]
+            for word in words:
+                per_worker[owner(word)].append(word)
+            for core in cores:
+                local = per_worker[core.worker_id]
+                partition = local[core.core_id % cpw :: cpw]
+                core.stack.append(
+                    SubgraphEnumerator((), partition, first_expand + 1)
+                )
+            return setup_metrics
         for core in cores:
             partition = words[core.core_id::n]
             core.stack.append(
@@ -1117,6 +1168,16 @@ class ClusterEngine:
         strategy.push(core.subgraph, word)
         metrics.subgraphs_enumerated += 1
         units = cost.subgraph_units
+        owner = self._word_owner
+        if owner is not None:
+            # Partitioned storage: pushing a word reads its adjacency; a
+            # word owned by another worker models a cross-partition fetch
+            # and pays the interconnect price on the simulated clock.
+            if owner(word) == core.worker_id:
+                metrics.local_adjacency_fetches += 1
+            else:
+                metrics.remote_adjacency_fetches += 1
+                units += cost.remote_fetch_units
         idx = top.primitive_index
         n = len(primitives)
         emitted = False

@@ -2,7 +2,9 @@
 
 Given a fractoid's primitives, the driver plans steps
 (:func:`~repro.core.steps.plan_steps`), executes them in order on the
-configured engine (sequential Algorithm 1 or the simulated cluster),
+configured execution backend (sequential Algorithm 1, the simulated
+cluster, or real worker processes over shared memory — resolved once
+per execution through :func:`~repro.runtime.backend.resolve_backend`),
 finalizes and caches aggregation results so later steps — and later
 executions of fractoids derived from this one — reuse instead of
 recompute, and assembles an :class:`ExecutionReport`.
@@ -15,20 +17,20 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.aggregation import AggregationView
-from ..core.computation import Computation
 from ..core.primitives import Aggregate, Primitive
 from ..core.steps import plan_steps
 from ..core.subgraph import SubgraphResult
 from ..graph.graph import Graph
 from ..pattern.pattern import PatternInterner
-from .cluster import ClusterConfig, ClusterEngine, ClusterStepResult
+from .backend import ExecutionBackend, resolve_backend
+from .cluster import ClusterConfig, ClusterStepResult
 from .costmodel import DEFAULT_COST_MODEL, CostModel
-from .engine import run_step_sequential
 from .metrics import Metrics
+from .mp_backend import MultiprocessConfig
 
 __all__ = ["ExecutionReport", "StepReport", "execute_plan", "EngineSpec"]
 
-EngineSpec = Union[str, ClusterConfig]
+EngineSpec = Union[str, ClusterConfig, MultiprocessConfig]
 
 
 @dataclass
@@ -45,6 +47,9 @@ class StepReport:
     # ``None`` for strategies without a selectable kernel, else a dict
     # with the kernel name, order policy and matching order.
     kernel_info: Optional[Dict[str, object]] = None
+    # Backend-specific observability (backend name, real wall time,
+    # partition quality, shared-memory footprint, ...).
+    backend_info: Optional[Dict[str, object]] = None
 
 
 @dataclass
@@ -143,6 +148,62 @@ class ExecutionReport:
             "spilled_entries": m.agg_spilled_entries,
         }
 
+    def backend_summary(self) -> Dict[str, object]:
+        """Which backend executed the plan, and what it cost for real.
+
+        ``wall_seconds`` sums the per-step backend wall time when the
+        backend reports it (multiprocess); the sequential and simulator
+        backends report name and shape only — their currency is
+        simulated seconds.
+        """
+        info = None
+        wall = 0.0
+        for step in self.steps:
+            if step.backend_info is not None:
+                info = step.backend_info
+                wall += step.backend_info.get("wall_seconds", 0.0)
+        if info is None:
+            return {"backend": None}
+        summary: Dict[str, object] = {"backend": info.get("backend")}
+        for key in ("workers", "cores_per_worker", "num_procs",
+                    "start_method", "shared_graph_bytes"):
+            if key in info:
+                summary[key] = info[key]
+        if "wall_seconds" in info:
+            summary["wall_seconds"] = wall
+        return summary
+
+    def partition_summary(self) -> Dict[str, object]:
+        """Partitioned-storage observability rolled up over all steps.
+
+        ``strategy``/``n_parts``/``cut_*``/``balance`` describe the
+        partition (``None``/zero when no partition was configured);
+        ``remote_fetches``/``local_fetches`` count pushed words by
+        whether their owner was the executing worker; ``remote_units``
+        prices the remote fetches with the default cost model — the
+        simulated interconnect cost the partition strategy caused.
+        """
+        info = None
+        for step in self.steps:
+            if step.cluster is not None and step.cluster.partition_info:
+                info = step.cluster.partition_info
+            if step.backend_info and step.backend_info.get("partition"):
+                info = step.backend_info["partition"]
+        m = self.metrics
+        remote = m.remote_adjacency_fetches
+        total = remote + m.local_adjacency_fetches
+        return {
+            "strategy": info["strategy"] if info else None,
+            "n_parts": info["n_parts"] if info else 0,
+            "cut_edges": info["cut_edges"] if info else 0,
+            "cut_fraction": info["cut_fraction"] if info else 0.0,
+            "balance": info["balance"] if info else 0.0,
+            "remote_fetches": remote,
+            "local_fetches": m.local_adjacency_fetches,
+            "remote_fraction": (remote / total) if total else 0.0,
+            "remote_units": remote * DEFAULT_COST_MODEL.remote_fetch_units,
+        }
+
     def pattern_kernel_summary(self) -> Dict[str, object]:
         """Candidate-kernel observability rolled up over all steps.
 
@@ -193,7 +254,8 @@ def execute_plan(
         aggregation_cache: uid -> finalized view; mutated in place so the
             owning :class:`~repro.core.context.FractalContext` reuses
             results across derived fractoids (Algorithm 2's reuse rule).
-        engine: ``"sequential"`` or a :class:`ClusterConfig`.
+        engine: ``"sequential"``, a :class:`ClusterConfig` (simulator) or
+            a :class:`MultiprocessConfig` (real worker processes).
         collect: ``"subgraphs"`` materializes results, ``"count"`` only
             counts them, ``None`` runs for aggregations alone.
         root_words: optional level-0 partition restriction.
@@ -204,6 +266,7 @@ def execute_plan(
     """
     started = time.perf_counter()
     steps = plan_steps(primitives, set(aggregation_cache))
+    backend = resolve_backend(engine, cost_model)
     total_metrics = Metrics()
     reports: List[StepReport] = []
     collected: Optional[List[SubgraphResult]] = (
@@ -212,36 +275,39 @@ def execute_plan(
     count = 0
     simulated = 0.0
 
-    for step_index, step in enumerate(steps):
-        is_final = step_index == len(steps) - 1
-        sink = None
-        if is_final and collect == "subgraphs":
-            def sink(subgraph, _out=collected):
-                _out.append(subgraph.freeze())
-        elif is_final and collect == "count":
-            def sink(subgraph):
-                pass  # counting happens via metrics.results_emitted
-        step_report = _run_one_step(
-            graph,
-            strategy_factory,
-            interner,
-            step,
-            step_index,
-            aggregation_cache,
-            engine,
-            sink,
-            root_words,
-            cost_model,
-        )
-        reports.append(step_report)
-        total_metrics.merge(step_report.metrics)
-        simulated += step_report.simulated_seconds
-        if is_final:
-            count = step_report.metrics.results_emitted
+    try:
+        for step_index, step in enumerate(steps):
+            is_final = step_index == len(steps) - 1
+            mode = collect if is_final else None
+            sink = None
+            if is_final and collect == "subgraphs":
+                def sink(subgraph, _out=collected):
+                    _out.append(subgraph.freeze())
+            elif is_final and collect == "count":
+                def sink(subgraph):
+                    pass  # counting happens via metrics.results_emitted
+            step_report, subgraphs = _run_one_step(
+                graph,
+                strategy_factory,
+                interner,
+                step,
+                step_index,
+                aggregation_cache,
+                backend,
+                sink,
+                root_words,
+                mode,
+            )
+            if subgraphs is not None and collected is not None:
+                collected.extend(subgraphs)
+            reports.append(step_report)
+            total_metrics.merge(step_report.metrics)
+            simulated += step_report.simulated_seconds
+            if is_final:
+                count = step_report.metrics.results_emitted
+    finally:
+        backend.close()
 
-    setup = 0.0
-    if isinstance(engine, ClusterConfig) and engine.include_setup_overhead:
-        setup = engine.cost_model.setup_overhead_s
     return ExecutionReport(
         subgraphs=collected,
         result_count=count,
@@ -249,7 +315,7 @@ def execute_plan(
         metrics=total_metrics,
         steps=reports,
         simulated_seconds=simulated,
-        setup_seconds=setup,
+        setup_seconds=backend.setup_seconds(),
         wall_seconds=time.perf_counter() - started,
     )
 
@@ -261,58 +327,36 @@ def _run_one_step(
     step: List[Primitive],
     step_index: int,
     aggregation_cache: Dict[int, AggregationView],
-    engine: EngineSpec,
+    backend: ExecutionBackend,
     sink,
     root_words,
-    cost_model: CostModel,
-) -> StepReport:
+    collect: Optional[str],
+):
     cached_uids = set(aggregation_cache)
     description = "".join(repr(p) for p in step)
-    if isinstance(engine, ClusterConfig):
-        cluster_engine = ClusterEngine(engine)
-        result = cluster_engine.run_step(
-            graph,
-            strategy_factory,
-            interner,
-            step,
-            aggregation_cache,
-            cached_uids,
-            sink=sink,
-            root_words=root_words,
-        )
-        _finalize(result.storages, step, aggregation_cache)
-        return StepReport(
-            index=step_index,
-            description=description,
-            metrics=result.metrics,
-            work_units=result.makespan_units,
-            simulated_seconds=result.makespan_seconds,
-            cluster=result,
-            kernel_info=result.kernel_info,
-        )
-    if engine != "sequential":
-        raise ValueError(f"unknown engine {engine!r}")
-    metrics = Metrics()
-    strategy = strategy_factory(graph, metrics, interner)
-    computation = Computation(graph, metrics, interner, aggregation_cache)
-    storages = run_step_sequential(
-        strategy,
+    outcome = backend.run_step(
+        graph,
+        strategy_factory,
+        interner,
         step,
-        computation,
+        aggregation_cache,
         cached_uids,
         sink=sink,
         root_words=root_words,
+        collect=collect,
     )
-    _finalize(storages, step, aggregation_cache)
-    units = cost_model.step_units(metrics)
-    return StepReport(
+    _finalize(outcome.storages, step, aggregation_cache)
+    report = StepReport(
         index=step_index,
         description=description,
-        metrics=metrics,
-        work_units=units,
-        simulated_seconds=cost_model.seconds(units),
-        kernel_info=strategy.kernel_info(),
+        metrics=outcome.metrics,
+        work_units=outcome.work_units,
+        simulated_seconds=outcome.simulated_seconds,
+        cluster=outcome.cluster,
+        kernel_info=outcome.kernel_info,
+        backend_info=outcome.backend_info,
     )
+    return report, outcome.subgraphs
 
 
 def _finalize(storages, step, aggregation_cache) -> None:

@@ -24,6 +24,13 @@ The paper's evaluation is expressed in a handful of measurable quantities:
   and the extensions moved per steal under chunked steal policies.
   These meter the *scheduler*, not the mined workload: results and
   legacy counters are identical whichever scheduler/policy runs;
+* partitioned graph access — adjacency fetches split into local (the
+  pushed word's partition owner is the executing worker) and remote
+  (owned elsewhere: a real deployment would ship the adjacency list
+  across workers).  Both stay zero unless a partition strategy is
+  configured, so unpartitioned runs are byte-identical to prior
+  releases; under a partition they are the quantity that separates
+  hash from vertex-cut placement;
 * pattern-matching candidate kernels — back-edge ``edge_between``
   probes of the legacy pattern strategy, sorted-set intersection
   comparisons and galloping/binary-search steps of the indexed kernel,
@@ -92,6 +99,8 @@ class Metrics:
         "intersect_comparisons",
         "gallop_steps",
         "index_slices",
+        "remote_adjacency_fetches",
+        "local_adjacency_fetches",
     )
 
     def __init__(self):
@@ -140,6 +149,8 @@ class Metrics:
         self.intersect_comparisons = 0
         self.gallop_steps = 0
         self.index_slices = 0
+        self.remote_adjacency_fetches = 0
+        self.local_adjacency_fetches = 0
 
     def merge(self, other: "Metrics") -> None:
         """Accumulate counters from another instance (peaks take max)."""
@@ -186,6 +197,8 @@ class Metrics:
         self.intersect_comparisons += other.intersect_comparisons
         self.gallop_steps += other.gallop_steps
         self.index_slices += other.index_slices
+        self.remote_adjacency_fetches += other.remote_adjacency_fetches
+        self.local_adjacency_fetches += other.local_adjacency_fetches
         self.peak_enumerator_bytes = max(
             self.peak_enumerator_bytes, other.peak_enumerator_bytes
         )
@@ -196,6 +209,23 @@ class Metrics:
     def snapshot(self) -> Dict[str, float]:
         """Counters as a plain dict (for reports and tests)."""
         return {name: getattr(self, name) for name in self.__slots__}
+
+    @classmethod
+    def from_snapshot(cls, data: Dict[str, float]) -> "Metrics":
+        """Rebuild an instance from a :meth:`snapshot` dict.
+
+        Unknown keys are rejected (they indicate a version skew between
+        the process that produced the snapshot and this one); missing
+        keys keep their zero default, so snapshots from older releases
+        still load.  This is the wire format worker processes use to
+        ship their counters back to the driver.
+        """
+        metrics = cls()
+        for name, value in data.items():
+            if name not in cls.__slots__:
+                raise ValueError(f"unknown metrics counter {name!r}")
+            setattr(metrics, name, value)
+        return metrics
 
     def __repr__(self) -> str:
         return (

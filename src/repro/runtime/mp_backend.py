@@ -1,0 +1,475 @@
+"""Real-parallel execution backend: worker processes over shared memory.
+
+Everything before this module *simulates* Fractal's cluster; this
+backend actually uses the hardware.  One fractal step runs as
+``num_procs`` OS processes, each executing the same sequential DFS
+executor (:func:`~repro.runtime.engine.run_step_sequential`) over a
+slice of the level-0 extension words — the exact decomposition the
+paper's system initialization performs (§4.2: level-0 subgraphs are
+partitioned across workers, everything deeper stays where it started).
+
+**Shared graph, one materialization.**  The driver packs the graph's
+int64 columns into a single ``multiprocessing.shared_memory`` segment
+(:class:`~repro.graph.shm.SharedGraphBuffers`) once per backend; every
+worker attaches the same segment and reads the CSR through zero-copy
+memoryview slices.  Worker count does not multiply graph memory.
+
+**Fork only.**  Fractal applications are built from closures (motif
+aggregation lambdas, filter functions); closures do not pickle, so a
+``spawn``/``forkserver`` child could never receive the step's
+primitives.  Under ``fork`` the child inherits them — along with the
+aggregation views, the chunk lists and the shared-segment handle —
+without serialization.  The backend refuses to run on platforms without
+``fork``.
+
+**Work distribution.**  Without a partition, the root words are split
+into ``num_procs * chunks_per_proc`` round-robin chunks and workers
+pull chunk indices from a queue — cheap dynamic balancing (an eager
+worker takes more chunks; the paper's work stealing, coarsened to
+chunk granularity).  With a partition strategy from
+:mod:`repro.graph.partition`, each worker statically owns its
+partition's roots, and every word pushed during enumeration is metered
+as a local or remote adjacency fetch depending on its owner — the same
+split the simulator prices, now measured on real enumeration.
+
+**Result shipping.**  Each worker folds its chunks into one storage per
+aggregation (map-side combine) and ships the combined ``entries()``
+pairs plus a metrics snapshot through a result queue — the PR-3
+two-level format: the driver rebuilds per-worker storages with
+``merge_pairs`` and k-way merges them in worker-id order, so aggregate
+values are identical to the sequential engine's and deterministic
+regardless of which worker finished first.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.aggregation import merge_storages_streaming
+from ..core.computation import Computation
+from ..core.primitives import Expand, Primitive
+from ..core.subgraph import SubgraphResult
+from ..graph.graph import Graph
+from ..graph.partition import PARTITION_STRATEGIES, partition_graph
+from ..graph.shm import SharedGraphBuffers
+from ..pattern.pattern import PatternInterner
+from .backend import ExecutionBackend, StepOutcome
+from .costmodel import DEFAULT_COST_MODEL, CostModel
+from .engine import new_storages, run_step_sequential
+from .metrics import Metrics
+
+__all__ = ["MultiprocessConfig", "MultiprocessBackend"]
+
+
+@dataclass(frozen=True)
+class MultiprocessConfig:
+    """Shape of a real-parallel execution.
+
+    ``partition=None`` (default) distributes roots dynamically via the
+    chunk queue; a strategy name from ``PARTITION_STRATEGIES`` assigns
+    each worker its owned roots statically and turns on local/remote
+    adjacency-fetch metering.  ``pattern_kernel``/``order_policy`` are
+    forwarded to each worker's strategy exactly as ``ClusterConfig``
+    forwards them to simulated cores.
+    """
+
+    num_procs: int = 2
+    partition: Optional[str] = None
+    chunks_per_proc: int = 8
+    cost_model: CostModel = DEFAULT_COST_MODEL
+    pattern_kernel: str = "legacy"
+    order_policy: Optional[str] = None
+
+    def __post_init__(self):
+        if self.num_procs < 1:
+            raise ValueError("num_procs must be >= 1")
+        if self.chunks_per_proc < 1:
+            raise ValueError("chunks_per_proc must be >= 1")
+        if self.partition is not None and self.partition not in PARTITION_STRATEGIES:
+            raise ValueError(
+                f"partition must be None or one of {PARTITION_STRATEGIES}, "
+                f"got {self.partition!r}"
+            )
+        if self.pattern_kernel not in ("legacy", "indexed"):
+            raise ValueError(
+                f"pattern_kernel must be 'legacy' or 'indexed', "
+                f"got {self.pattern_kernel!r}"
+            )
+        if self.order_policy not in (None, "legacy", "cost"):
+            raise ValueError(
+                f"order_policy must be None, 'legacy' or 'cost', "
+                f"got {self.order_policy!r}"
+            )
+
+
+class MultiprocessBackend(ExecutionBackend):
+    """Run fractal steps on real worker processes over shared memory."""
+
+    name = "multiprocess"
+
+    def __init__(self, config: MultiprocessConfig):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "the multiprocess backend requires the 'fork' start method "
+                "(fractal primitives are closures and do not pickle); "
+                "this platform does not support fork"
+            )
+        self.config = config
+        self._ctx = multiprocessing.get_context("fork")
+        # One shared segment per graph, reused across the steps of an
+        # execution (and across executions on the same graph object).
+        self._shared: Optional[SharedGraphBuffers] = None
+        self._shared_graph_id: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def _shared_for(self, graph: Graph) -> SharedGraphBuffers:
+        if self._shared is None or self._shared_graph_id != id(graph):
+            self.close()
+            self._shared = SharedGraphBuffers(graph)
+            self._shared_graph_id = id(graph)
+        return self._shared
+
+    def close(self) -> None:
+        shared, self._shared = self._shared, None
+        self._shared_graph_id = None
+        if shared is not None:
+            shared.unlink()
+
+    # ------------------------------------------------------------------
+    def run_step(
+        self,
+        graph,
+        strategy_factory,
+        interner,
+        primitives,
+        aggregation_views,
+        cached_uids,
+        sink=None,
+        root_words=None,
+        collect=None,
+    ) -> StepOutcome:
+        config = self.config
+        cost = config.cost_model
+        started = time.perf_counter()
+
+        first_expand = next(
+            (i for i, p in enumerate(primitives) if isinstance(p, Expand)), None
+        )
+        # Root probing is setup (as in the simulator's _distribute_roots):
+        # metered separately, merged into the step totals at the end, so
+        # counter totals match the sequential engine's exactly.
+        setup_metrics = Metrics()
+        parent_strategy = strategy_factory(graph, setup_metrics, interner)
+        parent_strategy.configure_kernel(config.pattern_kernel, config.order_policy)
+        kernel_info = parent_strategy.kernel_info()
+
+        if first_expand is None:
+            # Degenerate step without extension: one evaluation of the
+            # pipeline over the empty subgraph — nothing to parallelize.
+            return self._run_inline(
+                graph,
+                strategy_factory,
+                interner,
+                primitives,
+                aggregation_views,
+                cached_uids,
+                sink,
+                root_words,
+                started,
+            )
+
+        if root_words is None:
+            words = list(
+                parent_strategy.extensions(parent_strategy.make_subgraph())
+            )
+        else:
+            words = list(root_words)
+        if not words:
+            return self._run_inline(
+                graph,
+                strategy_factory,
+                interner,
+                primitives,
+                aggregation_views,
+                cached_uids,
+                sink,
+                root_words,
+                started,
+                setup_metrics=setup_metrics,
+            )
+
+        n_procs = config.num_procs
+        partition_info: Optional[Dict[str, object]] = None
+        word_owner: Optional[Callable[[int], int]] = None
+        if config.partition is not None:
+            graph_partition = partition_graph(graph, config.partition, n_procs)
+            word_owner = graph_partition.word_owner(graph, parent_strategy.mode)
+            partition_info = graph_partition.summary(graph)
+            # Static owner-based root assignment: each worker enumerates
+            # from the roots it owns, remote fetches happen only when
+            # the DFS wanders across the cut.
+            assignments: List[List[int]] = [[] for _ in range(n_procs)]
+            for word in words:
+                assignments[word_owner(word)].append(word)
+            chunk_lists = assignments
+            task_queue = None
+            n_chunks = None
+        else:
+            n_chunks = min(len(words), n_procs * config.chunks_per_proc)
+            chunk_lists = [words[i::n_chunks] for i in range(n_chunks)]
+            task_queue = self._ctx.SimpleQueue()
+            for i in range(n_chunks):
+                task_queue.put(i)
+            for _ in range(n_procs):
+                task_queue.put(None)
+
+        shared = self._shared_for(graph)
+        result_queue = self._ctx.SimpleQueue()
+
+        def worker_main(worker_id: int) -> None:
+            worker_started = time.perf_counter()
+            try:
+                worker_graph = shared.attach()
+                metrics = Metrics()
+                worker_interner = PatternInterner()
+                strategy = strategy_factory(worker_graph, metrics, worker_interner)
+                strategy.configure_kernel(
+                    config.pattern_kernel, config.order_policy
+                )
+                if word_owner is not None:
+                    _wrap_push_with_fetch_meter(
+                        strategy, word_owner, worker_id, metrics
+                    )
+                computation = Computation(
+                    worker_graph, metrics, worker_interner, aggregation_views
+                )
+                frozen: Optional[List[SubgraphResult]] = (
+                    [] if collect == "subgraphs" else None
+                )
+                if collect == "subgraphs":
+                    def child_sink(subgraph, _out=frozen):
+                        _out.append(subgraph.freeze())
+                elif collect == "count":
+                    def child_sink(subgraph):
+                        pass  # counted via metrics.results_emitted
+                else:
+                    child_sink = None
+                combined = new_storages(primitives, cached_uids)
+                if task_queue is not None:
+                    def my_chunks():
+                        while True:
+                            idx = task_queue.get()
+                            if idx is None:
+                                return
+                            yield chunk_lists[idx]
+                else:
+                    def my_chunks():
+                        yield chunk_lists[worker_id]
+                for chunk in my_chunks():
+                    if not chunk:
+                        continue
+                    storages = run_step_sequential(
+                        strategy,
+                        primitives,
+                        computation,
+                        cached_uids,
+                        sink=child_sink,
+                        root_words=chunk,
+                    )
+                    for uid, storage in storages.items():
+                        combined[uid].merge(storage)
+                payload = {
+                    "entries": {
+                        uid: list(storage.entries())
+                        for uid, storage in combined.items()
+                    },
+                    "metrics": metrics.snapshot(),
+                    "subgraphs": frozen,
+                    "wall": time.perf_counter() - worker_started,
+                }
+                result_queue.put((worker_id, "ok", payload))
+            except BaseException:
+                result_queue.put((worker_id, "error", traceback.format_exc()))
+            # No shared-memory close() here: the worker graph holds live
+            # memoryview exports (close would raise BufferError); the OS
+            # drops the mapping when the process exits.
+
+        procs = [
+            self._ctx.Process(target=worker_main, args=(wid,), daemon=True)
+            for wid in range(n_procs)
+        ]
+        for proc in procs:
+            proc.start()
+        # Drain all results before joining: a worker blocks in put() until
+        # the parent reads large payloads off the pipe.
+        results: Dict[int, Dict[str, object]] = {}
+        failure: Optional[str] = None
+        for _ in range(n_procs):
+            worker_id, status, payload = result_queue.get()
+            if status == "ok":
+                results[worker_id] = payload
+            elif failure is None:
+                failure = f"worker {worker_id} failed:\n{payload}"
+        for proc in procs:
+            proc.join()
+        if failure is not None:
+            raise RuntimeError(failure)
+
+        return self._assemble(
+            primitives,
+            cached_uids,
+            results,
+            setup_metrics,
+            kernel_info,
+            partition_info,
+            shared,
+            n_chunks,
+            collect,
+            cost,
+            started,
+        )
+
+    # ------------------------------------------------------------------
+    def _assemble(
+        self,
+        primitives: Sequence[Primitive],
+        cached_uids,
+        results: Dict[int, Dict[str, object]],
+        setup_metrics: Metrics,
+        kernel_info,
+        partition_info,
+        shared: SharedGraphBuffers,
+        n_chunks: Optional[int],
+        collect: Optional[str],
+        cost: CostModel,
+        started: float,
+    ) -> StepOutcome:
+        """Driver-side merge of worker payloads, in worker-id order."""
+        worker_ids = sorted(results)
+        per_worker: List[Dict[int, object]] = []
+        for worker_id in worker_ids:
+            rebuilt = new_storages(primitives, cached_uids)
+            for uid, pairs in results[worker_id]["entries"].items():
+                rebuilt[uid].merge_pairs(pairs)
+            per_worker.append(rebuilt)
+        uids = list(per_worker[0]) if per_worker else []
+        merged = {
+            uid: merge_storages_streaming([w[uid] for w in per_worker])
+            for uid in uids
+        }
+        total_metrics = Metrics()
+        total_metrics.merge(setup_metrics)
+        for worker_id in worker_ids:
+            total_metrics.merge(
+                Metrics.from_snapshot(results[worker_id]["metrics"])
+            )
+        subgraphs: Optional[List[SubgraphResult]] = None
+        if collect == "subgraphs":
+            subgraphs = []
+            for worker_id in worker_ids:
+                subgraphs.extend(results[worker_id]["subgraphs"] or [])
+        units = cost.step_units(total_metrics)
+        wall = time.perf_counter() - started
+        info: Dict[str, object] = {
+            "backend": self.name,
+            "num_procs": self.config.num_procs,
+            "start_method": "fork",
+            "wall_seconds": wall,
+            "worker_wall_seconds": [
+                results[worker_id]["wall"] for worker_id in worker_ids
+            ],
+            "chunks": n_chunks,
+            "shared_graph_bytes": shared.nbytes,
+        }
+        if partition_info is not None:
+            info["partition"] = partition_info
+        return StepOutcome(
+            storages=merged,
+            metrics=total_metrics,
+            work_units=units,
+            simulated_seconds=cost.seconds(units),
+            kernel_info=kernel_info,
+            backend_info=info,
+            subgraphs=subgraphs,
+        )
+
+    def _run_inline(
+        self,
+        graph,
+        strategy_factory,
+        interner,
+        primitives,
+        aggregation_views,
+        cached_uids,
+        sink,
+        root_words,
+        started: float,
+        setup_metrics: Optional[Metrics] = None,
+    ) -> StepOutcome:
+        """Degenerate steps (no Expand, or no roots) run in the parent.
+
+        The driver-provided sink works here — same process — so results
+        flow through it exactly as on the sequential backend.
+        """
+        cost = self.config.cost_model
+        metrics = Metrics()
+        if setup_metrics is not None:
+            metrics.merge(setup_metrics)
+        strategy = strategy_factory(graph, metrics, interner)
+        strategy.configure_kernel(
+            self.config.pattern_kernel, self.config.order_policy
+        )
+        computation = Computation(graph, metrics, interner, aggregation_views)
+        storages = run_step_sequential(
+            strategy,
+            primitives,
+            computation,
+            cached_uids,
+            sink=sink,
+            root_words=root_words,
+        )
+        units = cost.step_units(metrics)
+        return StepOutcome(
+            storages=storages,
+            metrics=metrics,
+            work_units=units,
+            simulated_seconds=cost.seconds(units),
+            kernel_info=strategy.kernel_info(),
+            backend_info={
+                "backend": self.name,
+                "num_procs": self.config.num_procs,
+                "inline": True,
+                "wall_seconds": time.perf_counter() - started,
+            },
+        )
+
+
+def _wrap_push_with_fetch_meter(
+    strategy,
+    word_owner: Callable[[int], int],
+    worker_id: int,
+    metrics: Metrics,
+) -> None:
+    """Count local/remote adjacency fetches on every word push.
+
+    Pushing a word reads its adjacency list to extend the subgraph; when
+    the word's partition owner is another worker, a distributed
+    deployment would fetch that list across the interconnect.  The
+    wrapper shadows the bound ``push`` with an instance attribute — the
+    strategy's behavior is unchanged, only the counters move (and with
+    them the cost model's ``remote_fetch_units`` pricing).
+    """
+    original_push = strategy.push
+
+    def metered_push(subgraph, word):
+        if word_owner(word) == worker_id:
+            metrics.local_adjacency_fetches += 1
+        else:
+            metrics.remote_adjacency_fetches += 1
+        return original_push(subgraph, word)
+
+    strategy.push = metered_push

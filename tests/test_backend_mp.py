@@ -1,0 +1,241 @@
+"""Tests for the execution-backend seam and the multiprocess backend.
+
+The contract under test: the deterministic simulator stays the default
+and byte-identical to the seed behaviour, while the multiprocess backend
+(real worker processes attached to shared-memory CSR buffers) produces
+the same counts and aggregates as the sequential engine on every
+application.  Pattern *objects* compare by canonical DFS code, so
+cross-process results are compared with set/dict equality — different
+interners may pick different (isomorphic) representatives.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro import ClusterConfig, FractalContext, MultiprocessConfig
+from repro.apps import count_cliques, fsm, motifs
+from repro.graph import community_graph, erdos_renyi_graph
+from repro.runtime.backend import (
+    SequentialBackend,
+    SimulatorBackend,
+    resolve_backend,
+)
+from repro.runtime.costmodel import DEFAULT_COST_MODEL
+from repro.runtime.mp_backend import MultiprocessBackend
+
+HAVE_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+needs_fork = pytest.mark.skipif(
+    not HAVE_FORK, reason="multiprocess backend requires fork start method"
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi_graph(40, 110, n_labels=2, seed=3)
+
+
+def _motifs(engine, graph, k=3):
+    fc = FractalContext(engine=engine)
+    return motifs(fc.from_graph(graph), k)
+
+
+class TestBackendResolution:
+    def test_sequential_string(self):
+        backend = resolve_backend("sequential", DEFAULT_COST_MODEL)
+        assert isinstance(backend, SequentialBackend)
+
+    def test_cluster_config_resolves_to_simulator(self):
+        config = ClusterConfig(workers=2, cores_per_worker=2)
+        assert isinstance(
+            resolve_backend(config, DEFAULT_COST_MODEL), SimulatorBackend
+        )
+
+    @needs_fork
+    def test_mp_config_resolves_to_multiprocess(self):
+        config = MultiprocessConfig(num_procs=2)
+        backend = resolve_backend(config, DEFAULT_COST_MODEL)
+        try:
+            assert isinstance(backend, MultiprocessBackend)
+        finally:
+            backend.close()
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            resolve_backend("spark", DEFAULT_COST_MODEL)
+
+    def test_bad_mp_config_rejected(self):
+        with pytest.raises(ValueError):
+            MultiprocessConfig(num_procs=0)
+        with pytest.raises(ValueError):
+            MultiprocessConfig(partition="metis")
+
+
+@needs_fork
+class TestMultiprocessEquivalence:
+    def test_motifs_match_sequential(self, graph):
+        seq = _motifs("sequential", graph)
+        mp = _motifs(MultiprocessConfig(num_procs=2), graph)
+        assert dict(mp) == dict(seq)
+
+    def test_motifs_match_simulator(self, graph):
+        sim = _motifs(ClusterConfig(workers=2, cores_per_worker=2), graph)
+        mp = _motifs(MultiprocessConfig(num_procs=2), graph)
+        assert dict(mp) == dict(sim)
+
+    def test_motifs_partitioned(self, graph):
+        seq = _motifs("sequential", graph)
+        for strategy in ("hash", "vertexcut"):
+            mp = _motifs(
+                MultiprocessConfig(num_procs=2, partition=strategy), graph
+            )
+            assert dict(mp) == dict(seq)
+
+    def test_cliques_match(self, graph):
+        fc_seq = FractalContext()
+        fc_mp = FractalContext(engine=MultiprocessConfig(num_procs=2))
+        k = 4
+        assert count_cliques(fc_mp.from_graph(graph), k) == count_cliques(
+            fc_seq.from_graph(graph), k
+        )
+
+    def test_fsm_match(self):
+        graph = community_graph(3, 10, p_in=0.4, p_out=0.05, n_labels=3, seed=5)
+        fc_seq = FractalContext()
+        fc_mp = FractalContext(
+            engine=MultiprocessConfig(num_procs=2, partition="hash")
+        )
+        f_seq = fsm(fc_seq.from_graph(graph), min_support=3, max_edges=2)
+        f_mp = fsm(fc_mp.from_graph(graph), min_support=3, max_edges=2)
+        assert set(f_mp.frequent) == set(f_seq.frequent)
+        assert {p: f_mp.support_of(p) for p in f_mp.frequent} == {
+            p: f_seq.support_of(p) for p in f_seq.frequent
+        }
+
+    def test_subgraph_collection(self, graph):
+        fc_seq = FractalContext()
+        fc_mp = FractalContext(engine=MultiprocessConfig(num_procs=2))
+        seq = fc_seq.from_graph(graph).vfractoid().expand(1).explore(1)
+        mp = fc_mp.from_graph(graph).vfractoid().expand(1).explore(1)
+        assert set(s.vertices for s in mp.subgraphs()) == set(
+            s.vertices for s in seq.subgraphs()
+        )
+
+
+@needs_fork
+class TestRemoteFetchMetering:
+    def test_unpartitioned_run_has_zero_fetch_counters(self, graph):
+        fc = FractalContext(engine=MultiprocessConfig(num_procs=2))
+        motifs(fc.from_graph(graph), 3)
+        m = fc.last_report.metrics
+        assert m.remote_adjacency_fetches == 0
+        assert m.local_adjacency_fetches == 0
+
+    def test_partitioned_run_meters_fetches(self, graph):
+        fc = FractalContext(
+            engine=MultiprocessConfig(num_procs=2, partition="hash")
+        )
+        motifs(fc.from_graph(graph), 3)
+        m = fc.last_report.metrics
+        assert m.remote_adjacency_fetches > 0
+        assert m.local_adjacency_fetches > 0
+        summary = fc.last_report.partition_summary()
+        assert summary["strategy"] == "hash"
+        assert summary["remote_fetches"] == m.remote_adjacency_fetches
+        assert summary["remote_units"] == pytest.approx(
+            m.remote_adjacency_fetches * DEFAULT_COST_MODEL.remote_fetch_units
+        )
+
+    def test_backend_summary_reports_shape(self, graph):
+        fc = FractalContext(engine=MultiprocessConfig(num_procs=2))
+        motifs(fc.from_graph(graph), 3)
+        summary = fc.last_report.backend_summary()
+        assert summary["backend"] == "multiprocess"
+        assert summary["num_procs"] == 2
+        assert summary["start_method"] == "fork"
+        assert summary["shared_graph_bytes"] > 0
+
+
+class TestSimulatorUnchanged:
+    """The simulator stays the default parallel engine, byte-identical."""
+
+    def test_simulator_report_identical_with_backend_seam(self, graph):
+        fc = FractalContext(engine=ClusterConfig(workers=2, cores_per_worker=2))
+        census = motifs(fc.from_graph(graph), 3)
+        report = fc.last_report
+        # Identical simulated clock and counters run-to-run (determinism).
+        fc2 = FractalContext(
+            engine=ClusterConfig(workers=2, cores_per_worker=2)
+        )
+        census2 = motifs(fc2.from_graph(graph), 3)
+        assert dict(census) == dict(census2)
+        assert report.metrics.snapshot() == fc2.last_report.metrics.snapshot()
+        assert report.simulated_seconds == pytest.approx(
+            fc2.last_report.simulated_seconds
+        )
+
+    def test_unpartitioned_simulator_has_zero_fetch_counters(self, graph):
+        fc = FractalContext(engine=ClusterConfig(workers=2, cores_per_worker=2))
+        motifs(fc.from_graph(graph), 3)
+        assert fc.last_report.metrics.remote_adjacency_fetches == 0
+        assert fc.last_report.metrics.local_adjacency_fetches == 0
+
+    def test_partitioned_simulator_meters_and_slows(self, graph):
+        plain = ClusterConfig(workers=2, cores_per_worker=2)
+        parts = ClusterConfig(workers=2, cores_per_worker=2, partition="hash")
+        fc_plain = FractalContext(engine=plain)
+        fc_parts = FractalContext(engine=parts)
+        c_plain = motifs(fc_plain.from_graph(graph), 3)
+        c_parts = motifs(fc_parts.from_graph(graph), 3)
+        assert dict(c_plain) == dict(c_parts)
+        assert fc_parts.last_report.metrics.remote_adjacency_fetches > 0
+        # Remote fetches are priced on the simulated clock.
+        assert (
+            fc_parts.last_report.simulated_seconds
+            > fc_plain.last_report.simulated_seconds
+        )
+
+
+class TestSharedGraphBuffers:
+    def test_attach_round_trip(self, graph):
+        from repro.graph import SharedGraphBuffers
+
+        shared = SharedGraphBuffers(graph)
+        try:
+            attached = shared.attach()
+            assert attached.n_vertices == graph.n_vertices
+            assert attached.n_edges == graph.n_edges
+            assert attached.frozen
+            for v in graph.vertices():
+                assert attached.neighbors(v) == graph.neighbors(v)
+                assert attached.vertex_label(v) == graph.vertex_label(v)
+            for e in graph.edges():
+                assert attached.edge(e) == graph.edge(e)
+                assert attached.edge_label(e) == graph.edge_label(e)
+            assert shared.nbytes > 0
+        finally:
+            # Release the attached views before teardown so the segment
+            # unmaps cleanly (same-process attach is a test convenience;
+            # workers attach in their own processes).
+            del attached
+            shared.unlink()
+
+    def test_source_graph_is_frozen(self, graph):
+        from repro.graph import SharedGraphBuffers
+        from repro.graph.graph import GraphError
+
+        shared = SharedGraphBuffers(graph)
+        try:
+            assert graph.frozen
+            with pytest.raises(GraphError):
+                graph.set_vertex_label(0, 1)
+        finally:
+            shared.unlink()
+
+    def test_unlink_idempotent(self, graph):
+        from repro.graph import SharedGraphBuffers
+
+        shared = SharedGraphBuffers(graph)
+        shared.unlink()
+        shared.unlink()  # must not raise

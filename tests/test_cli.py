@@ -232,3 +232,76 @@ class TestStealPolicy:
             ["run", "cliques", "--dataset", "mico", "--scale", "0.3", "--k", "3"]
         ) == 0
         assert "scheduler:" not in capsys.readouterr().out
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+
+class TestBackendFlags:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["run", "motifs"])
+        assert args.backend == "auto"
+        assert args.num_procs == 2
+        assert args.partition is None
+
+    def test_invalid_backend_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "motifs", "--backend", "spark"])
+
+    def test_invalid_partition_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "motifs", "--partition", "metis"])
+
+    def test_partition_requires_parallel_backend(self):
+        with pytest.raises(SystemExit, match="parallel workers"):
+            main(["run", "cliques", "--dataset", "mico", "--scale", "0.3",
+                  "--partition", "hash"])
+
+    def test_multiprocess_rejects_fault_injection(self):
+        with pytest.raises(SystemExit, match="simulator feature"):
+            main(["run", "cliques", "--dataset", "mico", "--scale", "0.3",
+                  "--backend", "multiprocess", "--inject-failures", "1"])
+
+    def test_run_multiprocess(self, capsys):
+        assert main(
+            ["run", "cliques", "--dataset", "mico", "--scale", "0.3",
+             "--k", "3", "--backend", "multiprocess", "--num-procs", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3-cliques" in out
+        assert "backend: multiprocess (2 procs" in out
+
+    def test_run_multiprocess_partitioned(self, capsys):
+        assert main(
+            ["run", "cliques", "--dataset", "mico", "--scale", "0.3",
+             "--k", "3", "--backend", "multiprocess", "--num-procs", "2",
+             "--partition", "vertexcut"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "partition: vertexcut x2" in out
+        assert "remote adjacency:" in out
+
+    def test_simulator_backend_partitioned(self, capsys):
+        assert main(
+            ["run", "cliques", "--dataset", "mico", "--scale", "0.3",
+             "--k", "3", "--workers", "2", "--cores", "2",
+             "--partition", "hash"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "partition: hash x2" in out
+        assert "scheduler:" in out
+
+    def test_explicit_simulator_backend(self, capsys):
+        # --backend simulator engages the cluster even at 1x1.
+        assert main(
+            ["run", "cliques", "--dataset", "mico", "--scale", "0.3",
+             "--k", "3", "--backend", "simulator"]
+        ) == 0
+        assert "scheduler:" in capsys.readouterr().out

@@ -151,3 +151,57 @@ class TestGraphAccessors:
 
     def test_repr(self, triangle_graph):
         assert "n_vertices=3" in repr(triangle_graph)
+
+
+class TestMutationGuard:
+    """Label mutation bumps the version and drops label-derived caches."""
+
+    def test_set_vertex_label_bumps_version(self, labeled_graph):
+        before = labeled_graph.version
+        labeled_graph.set_vertex_label(0, 9)
+        assert labeled_graph.version == before + 1
+        assert labeled_graph.vertex_label(0) == 9
+
+    def test_set_edge_label_bumps_version(self, labeled_graph):
+        before = labeled_graph.version
+        labeled_graph.set_edge_label(0, 9)
+        assert labeled_graph.version == before + 1
+        assert labeled_graph.edge_label(0) == 9
+
+    def test_label_caches_invalidated(self, labeled_graph):
+        # Warm every label-derived cache, then mutate: reads must see the
+        # new labels, not the stale cached tables (the PR-5 kernels keyed
+        # candidate lookups off these).
+        labeled_graph.labeled_adjacency()
+        assert 0 in labeled_graph.vertices_with_label(1)
+        labeled_graph.label_stats()
+        labeled_graph.set_vertex_label(0, 42)
+        assert 0 not in labeled_graph.vertices_with_label(1)
+        assert 0 in labeled_graph.vertices_with_label(42)
+        index, lnbr, _ = labeled_graph.labeled_adjacency()
+        for v in labeled_graph.vertices():
+            for (nbr_label, _e), (lo, hi) in index[v].items():
+                for u in lnbr[lo:hi]:
+                    assert labeled_graph.vertex_label(u) == nbr_label
+
+    def test_edge_label_cache_invalidated(self, labeled_graph):
+        labeled_graph.labeled_adjacency()
+        labeled_graph.set_edge_label(0, 99)
+        index, _lnbr, leid = labeled_graph.labeled_adjacency()
+        u, v = labeled_graph.edge(0)
+        assert (labeled_graph.vertex_label(v), 99) in index[u]
+
+    def test_out_of_range_rejected(self, labeled_graph):
+        with pytest.raises(GraphError):
+            labeled_graph.set_vertex_label(99, 0)
+        with pytest.raises(GraphError):
+            labeled_graph.set_edge_label(99, 0)
+
+    def test_frozen_graph_rejects_mutation(self, labeled_graph):
+        assert not labeled_graph.frozen
+        assert labeled_graph.freeze() is labeled_graph
+        assert labeled_graph.frozen
+        with pytest.raises(GraphError):
+            labeled_graph.set_vertex_label(0, 1)
+        with pytest.raises(GraphError):
+            labeled_graph.set_edge_label(0, 1)

@@ -1,0 +1,150 @@
+"""Tests for partitioned graph storage (hash and greedy vertex-cut)."""
+
+import pytest
+
+from repro.graph import (
+    GraphError,
+    GraphPartition,
+    PARTITION_STRATEGIES,
+    community_graph,
+    edges_of_part,
+    erdos_renyi_graph,
+    hash_partition,
+    partition_graph,
+    vertexcut_partition,
+)
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - exercised only without hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+@pytest.fixture(params=PARTITION_STRATEGIES)
+def strategy(request):
+    return request.param
+
+
+class TestPartitionValidity:
+    def test_every_vertex_assigned(self, small_random_graph, strategy):
+        part = partition_graph(small_random_graph, strategy, 4)
+        assert isinstance(part, GraphPartition)
+        for v in small_random_graph.vertices():
+            assert 0 <= part.part_of(v) < 4
+
+    def test_part_sizes_sum_to_n(self, small_random_graph, strategy):
+        part = partition_graph(small_random_graph, strategy, 3)
+        assert sum(part.part_sizes()) == small_random_graph.n_vertices
+
+    def test_single_part_is_trivial(self, small_random_graph, strategy):
+        part = partition_graph(small_random_graph, strategy, 1)
+        assert part.cut_edges(small_random_graph) == 0
+        assert part.part_sizes() == [small_random_graph.n_vertices]
+
+    def test_deterministic(self, small_random_graph, strategy):
+        a = partition_graph(small_random_graph, strategy, 4)
+        b = partition_graph(small_random_graph, strategy, 4)
+        assert list(a.owner) == list(b.owner)
+
+    def test_unknown_strategy_rejected(self, small_random_graph):
+        with pytest.raises(GraphError):
+            partition_graph(small_random_graph, "metis", 2)
+
+    def test_bad_part_count_rejected(self, small_random_graph):
+        with pytest.raises(GraphError):
+            partition_graph(small_random_graph, "hash", 0)
+
+
+class TestBalance:
+    def test_vertexcut_respects_capacity_slack(self):
+        graph = erdos_renyi_graph(120, 400, n_labels=2, seed=5)
+        part = vertexcut_partition(graph, 4)
+        capacity = 1.1 * graph.n_vertices / 4
+        assert max(part.part_sizes()) <= capacity + 1
+
+    def test_hash_is_roughly_balanced(self):
+        graph = erdos_renyi_graph(200, 400, seed=9)
+        part = hash_partition(graph, 4)
+        sizes = part.part_sizes()
+        assert min(sizes) > 0
+        assert max(sizes) / (graph.n_vertices / 4) < 1.5
+
+    def test_summary_fields(self, small_random_graph, strategy):
+        summary = partition_graph(small_random_graph, strategy, 4).summary(
+            small_random_graph
+        )
+        assert summary["strategy"] == strategy
+        assert summary["n_parts"] == 4
+        assert 0.0 <= summary["cut_fraction"] <= 1.0
+        assert summary["balance"] >= 1.0
+
+
+class TestEdgesOfPart:
+    def _edge_multiset(self, graph):
+        return sorted(
+            tuple(sorted(graph.edge(e))) + (graph.edge_label(e),)
+            for e in graph.edges()
+        )
+
+    def test_exact_cover(self, small_random_graph, strategy):
+        """Each edge lands in exactly one part: the owner of its source."""
+        graph = small_random_graph
+        part = partition_graph(graph, strategy, 3)
+        seen = []
+        for p in range(3):
+            local = edges_of_part(graph, part, p)
+            for e in local:
+                assert part.part_of(graph.edge(e)[0]) == p
+            seen.extend(local)
+        assert sorted(seen) == list(graph.edges())
+
+    def test_reassembly_preserves_edge_multiset(self, strategy):
+        graph = community_graph(3, 12, p_in=0.4, p_out=0.05, seed=11)
+        part = partition_graph(graph, strategy, 4)
+        reassembled = sorted(
+            tuple(sorted(graph.edge(e))) + (graph.edge_label(e),)
+            for p in range(4)
+            for e in edges_of_part(graph, part, p)
+        )
+        assert reassembled == self._edge_multiset(graph)
+
+    if HAVE_HYPOTHESIS:
+
+        @given(
+            n=st.integers(min_value=1, max_value=40),
+            m=st.integers(min_value=0, max_value=80),
+            n_parts=st.integers(min_value=1, max_value=6),
+            seed=st.integers(min_value=0, max_value=1000),
+            strat=st.sampled_from(PARTITION_STRATEGIES),
+        )
+        @settings(max_examples=40, deadline=None)
+        def test_property_partition_reassemble(self, n, m, n_parts, seed, strat):
+            m = min(m, n * (n - 1) // 2)
+            graph = erdos_renyi_graph(n, m, n_labels=2, seed=seed)
+            part = partition_graph(graph, strat, n_parts)
+            reassembled = sorted(
+                tuple(sorted(graph.edge(e))) + (graph.edge_label(e),)
+                for p in range(n_parts)
+                for e in edges_of_part(graph, part, p)
+            )
+            assert reassembled == self._edge_multiset(graph)
+            assert sum(part.part_sizes()) == graph.n_vertices
+
+
+class TestStrategiesDiffer:
+    def test_vertexcut_cuts_fewer_community_edges(self):
+        """On a community graph the greedy vertex-cut must beat hashing."""
+        graph = community_graph(4, 16, p_in=0.3, p_out=0.02, seed=7)
+        hash_cut = hash_partition(graph, 4).summary(graph)["cut_fraction"]
+        vc_cut = vertexcut_partition(graph, 4).summary(graph)["cut_fraction"]
+        assert vc_cut < hash_cut
+
+    def test_word_owner_edge_mode_follows_source(self, small_random_graph):
+        graph = small_random_graph
+        part = partition_graph(graph, "hash", 3)
+        owner = part.word_owner(graph, "edge")
+        for e in graph.edges():
+            assert owner(e) == part.part_of(graph.edge(e)[0])

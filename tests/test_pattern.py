@@ -114,6 +114,21 @@ class TestOrbits:
         by_position = p.canonical_position_orbits()
         assert sorted(by_position) == sorted(p.vertex_orbits())
 
+    def test_position_orbits_representative_invariant(self):
+        # Separate interners (as in separate worker processes) may pick
+        # different representatives for one isomorphism class; their
+        # position -> orbit labelings must still agree or cross-process
+        # DomainSupport merges would mix slots.
+        pa, _ = PatternInterner().intern(
+            (1, 0, 0, 0), ((0, 1, 0), (0, 2, 0), (0, 3, 0))
+        )
+        pb, _ = PatternInterner().intern(
+            (0, 0, 0, 1), ((0, 3, 0), (1, 3, 0), (2, 3, 0))
+        )
+        assert pa == pb
+        assert pa is not pb
+        assert pa.canonical_position_orbits() == pb.canonical_position_orbits()
+
 
 class TestPatternInterner:
     def test_cache_hit(self):
