@@ -87,25 +87,43 @@ def _fault_plan(args) -> object:
 
 
 def _engine(args) -> object:
-    plan = _fault_plan(args)
     backend = getattr(args, "backend", "auto")
     partition = getattr(args, "partition", None)
     if backend == "multiprocess":
-        if plan is not None:
-            raise SystemExit(
-                "failure injection is a simulator feature; it cannot be "
-                "combined with --backend multiprocess"
-            )
+        # Real-process failure injection: a plan file is used as given
+        # (its mp_* sections drive the faults); --inject-failures SEED
+        # derives real worker kills/stalls/drops from the seed.
+        num_procs = getattr(args, "num_procs", 2)
+        path = getattr(args, "fault_plan", None)
+        plan = None
+        if path is not None:
+            try:
+                plan = FaultPlan.load(path)
+            except (OSError, ValueError, TypeError, KeyError) as exc:
+                raise SystemExit(f"cannot load fault plan {path!r}: {exc}")
+        else:
+            seed = getattr(args, "inject_failures", None)
+            if seed is not None:
+                try:
+                    plan = FaultPlan.from_seed_mp(seed, num_procs)
+                except ValueError as exc:
+                    raise SystemExit(
+                        f"invalid multiprocess configuration: {exc}"
+                    )
         try:
             return MultiprocessConfig(
-                num_procs=getattr(args, "num_procs", 2),
+                num_procs=num_procs,
                 partition=partition,
                 pattern_kernel=getattr(args, "pattern_kernel", "legacy")
                 or "legacy",
                 order_policy=getattr(args, "order_policy", None),
+                worker_timeout=getattr(args, "worker_timeout", 30.0),
+                max_worker_retries=getattr(args, "max_worker_retries", 2),
+                fault_plan=plan,
             )
         except (ValueError, RuntimeError) as exc:
             raise SystemExit(f"invalid multiprocess configuration: {exc}")
+    plan = _fault_plan(args)
     if backend == "sequential" or (
         backend == "auto" and args.workers * args.cores <= 1
     ):
@@ -275,6 +293,22 @@ def _print_backend(report) -> None:
         f"shared graph {summary.get('shared_graph_bytes', 0)} bytes, "
         f"wall {summary.get('wall_seconds', 0.0):.3f}s"
     )
+    if (
+        summary.get("workers_lost")
+        or summary.get("chunks_reexecuted")
+        or summary.get("chunks_quarantined")
+        or summary.get("degraded_to")
+    ):
+        line = (
+            "mp recovery: "
+            f"{summary.get('workers_lost', 0)} workers lost "
+            f"({summary.get('workers_respawned', 0)} respawned), "
+            f"{summary.get('chunks_reexecuted', 0)} chunks re-executed, "
+            f"{summary.get('chunks_quarantined', 0)} quarantined"
+        )
+        if summary.get("degraded_to"):
+            line += f", degraded to {summary['degraded_to']}"
+        print(line)
 
 
 def _print_partition(report) -> None:
@@ -503,6 +537,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         metavar="N",
         help="worker processes for --backend multiprocess (default 2)",
+    )
+    p_run.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="multiprocess supervision deadline: a chunk lease "
+        "unacknowledged for this long marks its worker lost (crashed, "
+        "hung or straggling) and re-enqueues the chunk (default 30)",
+    )
+    p_run.add_argument(
+        "--max-worker-retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="respawns allowed per multiprocess worker slot before the "
+        "slot is abandoned; when every slot is abandoned the step "
+        "degrades to in-driver sequential execution (default 2)",
     )
     p_run.add_argument(
         "--partition",

@@ -34,7 +34,10 @@ Lifecycle protocol (who closes what):
   (an exported memoryview makes ``close()``/``unlink()`` raise
   ``BufferError``), and calls :meth:`SharedGraphBuffers.unlink` once
   the backend shuts down — the segment's name is removed and the
-  memory is freed when the last mapping drops;
+  memory is freed when the last mapping drops.  A ``weakref.finalize``
+  guard (pid-checked so fork children never trigger it) unlinks the
+  segment even on abnormal driver exit, so abandoned segments do not
+  leak past the process or trip ``resource_tracker`` warnings;
 * **workers** never call ``close()``: their Graph holds live memoryview
   exports for its whole life, and the OS reclaims the mapping at
   process exit.  (``attach`` opens with ``create=False``, which does
@@ -44,6 +47,8 @@ Lifecycle protocol (who closes what):
 
 from __future__ import annotations
 
+import os
+import weakref
 from array import array
 from multiprocessing import shared_memory
 from typing import List, Optional, Sequence, Tuple
@@ -53,6 +58,32 @@ from .graph import Graph
 __all__ = ["SharedGraphBuffers"]
 
 _ITEMSIZE = array("q").itemsize  # 8 on every supported platform
+
+
+def _release_segment(shm: shared_memory.SharedMemory, creator_pid: int) -> None:
+    """Unmap and unlink one segment; module-level so the finalizer holds
+    no reference back to the owning :class:`SharedGraphBuffers`.
+
+    The pid guard matters: fork children inherit the parent's finalizer
+    object, and a child unlinking the segment would yank it out from
+    under the driver and every sibling worker.  Only the creating
+    process may tear the name down.
+    """
+    if os.getpid() != creator_pid:
+        return
+    try:
+        shm.close()
+    except BufferError:
+        # A same-process attach() handed out memoryview slices that are
+        # still alive; the mapping cannot be torn down yet.  unlink()
+        # below still removes the named segment — the memory is
+        # reclaimed once the views (and process) go away, which is the
+        # POSIX shm contract.
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
 
 
 class SharedGraphBuffers:
@@ -66,6 +97,8 @@ class SharedGraphBuffers:
         "_bounds",
         "_shm",
         "_source",
+        "_finalizer",
+        "__weakref__",
     )
 
     def __init__(self, graph: Graph):
@@ -95,6 +128,16 @@ class SharedGraphBuffers:
             shared_memory.SharedMemory(create=True, size=nbytes)
         )
         self.name = self._shm.name
+        # Abnormal-exit guard: if the driver dies with the segment still
+        # linked (unhandled exception, sys.exit, GC of an abandoned
+        # backend), this finalizer unlinks it at collection or
+        # interpreter shutdown, so no named segment — and no
+        # resource_tracker leak warning — outlives the process.  A
+        # SIGKILLed driver skips it; the stdlib resource tracker is the
+        # backstop there.
+        self._finalizer = weakref.finalize(
+            self, _release_segment, self._shm, os.getpid()
+        )
         # Keywords (and the name) cannot flatten to int64; keep the
         # source graph so fork-children can inherit them in attach().
         self._source: Optional[Graph] = graph
@@ -153,16 +196,9 @@ class SharedGraphBuffers:
         shm, self._shm = self._shm, None
         self._source = None
         if shm is not None:
-            try:
-                shm.close()
-            except BufferError:
-                # A same-process attach() handed out memoryview slices
-                # that are still alive; the mapping cannot be torn down
-                # yet.  unlink() below still removes the named segment —
-                # the memory is reclaimed once the views (and process)
-                # go away, which is the POSIX shm contract.
-                pass
-            shm.unlink()
+            # Run the registered finalizer (exactly once; later GC and
+            # atexit invocations become no-ops).
+            self._finalizer()
 
     def __repr__(self) -> str:
         return (

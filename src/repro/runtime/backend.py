@@ -24,6 +24,8 @@ surfaced in :class:`~repro.runtime.driver.StepReport` for reporting
 
 from __future__ import annotations
 
+import multiprocessing
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
@@ -208,12 +210,32 @@ def resolve_backend(
     :class:`ClusterConfig` -> :class:`SimulatorBackend`; a
     :class:`~repro.runtime.mp_backend.MultiprocessConfig` ->
     ``MultiprocessBackend``.  Anything else raises ``ValueError``.
+
+    On platforms without the ``fork`` start method a
+    ``MultiprocessConfig`` cannot run real workers; with
+    ``degrade="auto"`` (the default) the step degrades to
+    :class:`SequentialBackend` under a ``RuntimeWarning`` naming the
+    platform, with ``degrade="never"`` the same message raises.
     """
-    from .mp_backend import MultiprocessBackend, MultiprocessConfig
+    from .mp_backend import (
+        MultiprocessBackend,
+        MultiprocessConfig,
+        fork_unavailable_message,
+    )
 
     if isinstance(engine, ClusterConfig):
         return SimulatorBackend(engine)
     if isinstance(engine, MultiprocessConfig):
+        if "fork" not in multiprocessing.get_all_start_methods():
+            message = fork_unavailable_message()
+            if engine.degrade == "never":
+                raise RuntimeError(message)
+            warnings.warn(
+                "degrading to sequential execution: " + message,
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return SequentialBackend(engine.cost_model)
         return MultiprocessBackend(engine)
     if engine == "sequential":
         return SequentialBackend(cost_model)

@@ -155,13 +155,23 @@ class ExecutionReport:
         backend reports it (multiprocess); the sequential and simulator
         backends report name and shape only — their currency is
         simulated seconds.
+
+        On the multiprocess backend the summary also carries the
+        fault-recovery ledger rolled up over all steps — workers lost
+        and respawned, chunk leases re-executed, chunks quarantined to
+        the driver's sequential path — plus ``degraded_to`` when any
+        step abandoned real parallelism entirely.  All zero/absent on a
+        fault-free run.
         """
         info = None
         wall = 0.0
+        degraded_to = None
         for step in self.steps:
             if step.backend_info is not None:
                 info = step.backend_info
                 wall += step.backend_info.get("wall_seconds", 0.0)
+                if step.backend_info.get("degraded_to"):
+                    degraded_to = step.backend_info["degraded_to"]
         if info is None:
             return {"backend": None}
         summary: Dict[str, object] = {"backend": info.get("backend")}
@@ -171,6 +181,14 @@ class ExecutionReport:
                 summary[key] = info[key]
         if "wall_seconds" in info:
             summary["wall_seconds"] = wall
+        if info.get("backend") == "multiprocess":
+            m = self.metrics
+            summary["workers_lost"] = m.workers_lost
+            summary["workers_respawned"] = m.workers_respawned
+            summary["chunks_reexecuted"] = m.chunks_reexecuted
+            summary["chunks_quarantined"] = m.chunks_quarantined
+            if degraded_to is not None:
+                summary["degraded_to"] = degraded_to
         return summary
 
     def partition_summary(self) -> Dict[str, object]:

@@ -16,6 +16,29 @@ wrong and when* on the simulated clock:
   dropped, duplicated or delayed with seeded probabilities (the Akka
   layer misbehaving).
 
+Since PR 7 the same plan vocabulary also drives *real* faults in the
+multiprocess backend (:mod:`~repro.runtime.mp_backend`): the ``mp_*``
+sections name OS-process misbehaviour instead of simulated-clock events —
+
+* **worker kills** (:class:`MpWorkerKill`) — a worker process sends
+  itself ``SIGKILL`` after completing ``after_chunks`` chunks (an OOM
+  kill, a segfault);
+* **worker stalls** (:class:`MpWorkerStall`) — a worker sleeps
+  (straggler: its heartbeats keep flowing) or freezes itself with
+  ``SIGSTOP`` (hang: heartbeats stop too) before starting a chunk;
+* **dropped results** (:class:`MpDropResult`) — a worker completes a
+  chunk but never ships the result message (a lost IPC message);
+* **poison chunks** (:class:`MpPoisonChunk`) — any worker that leases
+  the named chunk dies before shipping it, however often it is retried
+  (a workload-triggered crash); only the driver's in-process quarantine
+  path can complete it.
+
+``mp_*`` faults fire on *chunk progress*, not the simulated clock, and
+apply to generation-0 workers only (replacement workers respawned by the
+supervisor run clean), so every survivable plan terminates.  A plan may
+carry both simulated and ``mp_*`` sections; each engine consumes its
+own and ignores the other's.
+
 Everything is deterministic: failures and stragglers fire on the
 simulated clock, message faults come from one seeded stream consumed in
 scheduler order, and the scheduler itself is a deterministic min-heap —
@@ -50,6 +73,10 @@ __all__ = [
     "StragglerWindow",
     "MessageFaults",
     "FailureDetector",
+    "MpWorkerKill",
+    "MpWorkerStall",
+    "MpDropResult",
+    "MpPoisonChunk",
     "FaultPlan",
     "MessageChannel",
 ]
@@ -163,6 +190,66 @@ class FailureDetector:
         return last_beat + self.miss_threshold * interval
 
 
+def _check_chunk_count(value, what: str) -> None:
+    """Reject chunk ordinals the multiprocess supervisor cannot reach."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"{what} must be an integer, got {value!r}")
+    if value < 0:
+        raise ValueError(f"{what} must be non-negative, got {value!r}")
+
+
+@dataclass(frozen=True)
+class MpWorkerKill:
+    """Real fault: worker ``worker_id`` SIGKILLs itself.
+
+    Fires when the worker is about to start a chunk having already
+    completed ``after_chunks`` chunks (``0`` = die on the first chunk).
+    Applies to the worker slot's generation-0 process only; respawned
+    replacements run clean.
+    """
+
+    worker_id: int
+    after_chunks: int = 0
+
+
+@dataclass(frozen=True)
+class MpWorkerStall:
+    """Real fault: worker ``worker_id`` stops making progress.
+
+    Before starting the chunk after ``after_chunks`` completions, the
+    worker either sleeps ``seconds`` (``freeze=False`` — a straggler
+    whose heartbeats keep flowing) or SIGSTOPs itself (``freeze=True``
+    — a hang that silences heartbeats too).  The supervisor kills and
+    replaces either once its lease outlives the worker timeout.
+    """
+
+    worker_id: int
+    after_chunks: int = 0
+    seconds: float = 30.0
+    freeze: bool = False
+
+
+@dataclass(frozen=True)
+class MpDropResult:
+    """Real fault: the worker's ``chunk_number``-th completed chunk's
+    result message is silently discarded (a lost IPC message).  The
+    chunk's lease is never acknowledged, so the supervisor recovers it
+    through the lease timeout and re-executes it elsewhere."""
+
+    worker_id: int
+    chunk_number: int = 0
+
+
+@dataclass(frozen=True)
+class MpPoisonChunk:
+    """Real fault: chunk ``chunk_index`` kills whichever worker leases
+    it (any generation), modelling a workload-triggered crash.  Bounded
+    per-chunk retries quarantine it to the driver's in-process
+    sequential path, which is immune."""
+
+    chunk_index: int
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A complete, deterministic fault schedule for one execution.
@@ -178,10 +265,23 @@ class FaultPlan:
     message_faults: Optional[MessageFaults] = None
     detector: FailureDetector = field(default_factory=FailureDetector)
     seed: int = 0
+    # Real-process faults, consumed by the multiprocess backend only.
+    mp_worker_kills: Tuple[MpWorkerKill, ...] = ()
+    mp_worker_stalls: Tuple[MpWorkerStall, ...] = ()
+    mp_drop_results: Tuple[MpDropResult, ...] = ()
+    mp_poison_chunks: Tuple[MpPoisonChunk, ...] = ()
 
     def __post_init__(self):
         # Accept lists for convenience; store tuples so plans are hashable.
-        for name in ("core_failures", "worker_failures", "stragglers"):
+        for name in (
+            "core_failures",
+            "worker_failures",
+            "stragglers",
+            "mp_worker_kills",
+            "mp_worker_stalls",
+            "mp_drop_results",
+            "mp_poison_chunks",
+        ):
             value = getattr(self, name)
             if not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
@@ -234,6 +334,69 @@ class FaultPlan:
                 "fault plan kills every core; at least one core must "
                 "survive to recover the orphaned work"
             )
+
+    def validate_mp(self, num_procs: int) -> None:
+        """Check the real-fault sections against a worker-process count.
+
+        Called by ``MultiprocessConfig``; raises ``ValueError``.  Mirrors
+        the simulator's kill-all guard: at least one worker slot must
+        stay unkilled so gen-0 progress is possible without leaning on
+        respawns alone.
+        """
+        if num_procs < 1:
+            raise ValueError(f"num_procs must be >= 1, got {num_procs!r}")
+        for kill in self.mp_worker_kills:
+            if not 0 <= kill.worker_id < num_procs:
+                raise ValueError(
+                    f"fault plan kills mp worker {kill.worker_id}, but the "
+                    f"backend has workers 0..{num_procs - 1}"
+                )
+            _check_chunk_count(
+                kill.after_chunks, f"kill after_chunks for worker {kill.worker_id}"
+            )
+        for stall in self.mp_worker_stalls:
+            if not 0 <= stall.worker_id < num_procs:
+                raise ValueError(
+                    f"fault plan stalls mp worker {stall.worker_id}, but the "
+                    f"backend has workers 0..{num_procs - 1}"
+                )
+            _check_chunk_count(
+                stall.after_chunks,
+                f"stall after_chunks for worker {stall.worker_id}",
+            )
+            _check_clock(stall.seconds, f"stall seconds for worker {stall.worker_id}")
+            if not isinstance(stall.freeze, bool):
+                raise ValueError(
+                    f"stall freeze must be a bool, got {stall.freeze!r}"
+                )
+        for drop in self.mp_drop_results:
+            if not 0 <= drop.worker_id < num_procs:
+                raise ValueError(
+                    f"fault plan drops results of mp worker {drop.worker_id}, "
+                    f"but the backend has workers 0..{num_procs - 1}"
+                )
+            _check_chunk_count(
+                drop.chunk_number,
+                f"drop chunk_number for worker {drop.worker_id}",
+            )
+        for poison in self.mp_poison_chunks:
+            _check_chunk_count(poison.chunk_index, "poison chunk_index")
+        killed = {k.worker_id for k in self.mp_worker_kills}
+        if len(killed) >= num_procs:
+            raise ValueError(
+                "fault plan kills every mp worker; at least one worker "
+                "slot must survive to make progress without respawns"
+            )
+
+    @property
+    def has_mp_faults(self) -> bool:
+        """Whether any real-process fault section is populated."""
+        return bool(
+            self.mp_worker_kills
+            or self.mp_worker_stalls
+            or self.mp_drop_results
+            or self.mp_poison_chunks
+        )
 
     # ------------------------------------------------------------------
     # Queries used by the engine
@@ -346,6 +509,79 @@ class FaultPlan:
             seed=seed,
         )
 
+    @classmethod
+    def from_seed_mp(
+        cls,
+        seed: int,
+        num_procs: int,
+        chunks_hint: int = 8,
+        stall_seconds: float = 2.0,
+    ) -> "FaultPlan":
+        """Generate a random-but-deterministic *real-fault* schedule.
+
+        The multiprocess analogue of :meth:`from_seed`: kills, stalls,
+        dropped results and an occasional poison chunk for a
+        ``num_procs``-worker backend.  One randomly chosen worker slot
+        is always spared from kills so the plan passes
+        :meth:`validate_mp`.  ``chunks_hint`` bounds the chunk ordinals
+        faults fire at (keep it near ``chunks_per_proc``);
+        ``stall_seconds`` sizes injected sleeps — pick it above the
+        configured worker timeout to exercise straggler detection.
+        """
+        if num_procs < 1:
+            raise ValueError(f"num_procs must be >= 1, got {num_procs!r}")
+        _check_clock(stall_seconds, "mp stall seconds")
+
+        def sub(label: str) -> random.Random:
+            return random.Random(f"mp-fault-plan:{label}:{seed}")
+
+        rng = sub("survivor")
+        survivor = rng.randrange(num_procs)
+        doomed = [w for w in range(num_procs) if w != survivor]
+
+        rng = sub("kills")
+        kills: List[MpWorkerKill] = []
+        if doomed:
+            for worker_id in rng.sample(
+                doomed, rng.randint(min(1, len(doomed)), len(doomed))
+            ):
+                kills.append(
+                    MpWorkerKill(worker_id, rng.randrange(max(1, chunks_hint)))
+                )
+        rng = sub("stalls")
+        stalls: List[MpWorkerStall] = []
+        if rng.random() < 0.5:
+            stalls.append(
+                MpWorkerStall(
+                    worker_id=rng.randrange(num_procs),
+                    after_chunks=rng.randrange(max(1, chunks_hint)),
+                    seconds=stall_seconds,
+                    freeze=rng.random() < 0.5,
+                )
+            )
+        rng = sub("drops")
+        drops: List[MpDropResult] = []
+        if rng.random() < 0.5:
+            drops.append(
+                MpDropResult(
+                    worker_id=rng.randrange(num_procs),
+                    chunk_number=rng.randrange(max(1, chunks_hint)),
+                )
+            )
+        rng = sub("poison")
+        poisons: List[MpPoisonChunk] = []
+        if rng.random() < 0.3:
+            poisons.append(
+                MpPoisonChunk(rng.randrange(max(1, num_procs * chunks_hint)))
+            )
+        return cls(
+            seed=seed,
+            mp_worker_kills=tuple(kills),
+            mp_worker_stalls=tuple(stalls),
+            mp_drop_results=tuple(drops),
+            mp_poison_chunks=tuple(poisons),
+        )
+
     # ------------------------------------------------------------------
     # Serialization (CLI ``--fault-plan FILE``)
     # ------------------------------------------------------------------
@@ -379,6 +615,30 @@ class FaultPlan:
                 "delay": m.delay,
                 "delay_units": m.delay_units,
             }
+        if self.mp_worker_kills:
+            out["mp_worker_kills"] = [
+                {"worker_id": k.worker_id, "after_chunks": k.after_chunks}
+                for k in self.mp_worker_kills
+            ]
+        if self.mp_worker_stalls:
+            out["mp_worker_stalls"] = [
+                {
+                    "worker_id": s.worker_id,
+                    "after_chunks": s.after_chunks,
+                    "seconds": s.seconds,
+                    "freeze": s.freeze,
+                }
+                for s in self.mp_worker_stalls
+            ]
+        if self.mp_drop_results:
+            out["mp_drop_results"] = [
+                {"worker_id": d.worker_id, "chunk_number": d.chunk_number}
+                for d in self.mp_drop_results
+            ]
+        if self.mp_poison_chunks:
+            out["mp_poison_chunks"] = [
+                {"chunk_index": p.chunk_index} for p in self.mp_poison_chunks
+            ]
         out["detector"] = {
             "heartbeat_interval_units": self.detector.heartbeat_interval_units,
             "miss_threshold": self.detector.miss_threshold,
@@ -390,24 +650,57 @@ class FaultPlan:
         """Inverse of :meth:`to_dict` (tolerates missing sections)."""
         if not isinstance(data, dict):
             raise ValueError(f"fault plan must be a JSON object, got {data!r}")
+
+        def build(entry_cls, entry: dict, section: str):
+            # Unknown keys in a fault entry signal a typo'd or newer plan;
+            # surface a ValueError instead of dataclass TypeError noise.
+            if not isinstance(entry, dict):
+                raise ValueError(
+                    f"{section} entries must be JSON objects, got {entry!r}"
+                )
+            try:
+                return entry_cls(**entry)
+            except TypeError as exc:
+                raise ValueError(f"bad {section} entry {entry!r}: {exc}")
+
         message_faults = None
         if data.get("message_faults") is not None:
-            message_faults = MessageFaults(**data["message_faults"])
-        detector = FailureDetector(**data.get("detector", {}))
+            message_faults = build(
+                MessageFaults, data["message_faults"], "message_faults"
+            )
+        detector = build(FailureDetector, data.get("detector", {}), "detector")
         return cls(
             core_failures=tuple(
-                CoreFailure(**entry) for entry in data.get("core_failures", ())
+                build(CoreFailure, entry, "core_failures")
+                for entry in data.get("core_failures", ())
             ),
             worker_failures=tuple(
-                WorkerFailure(**entry)
+                build(WorkerFailure, entry, "worker_failures")
                 for entry in data.get("worker_failures", ())
             ),
             stragglers=tuple(
-                StragglerWindow(**entry) for entry in data.get("stragglers", ())
+                build(StragglerWindow, entry, "stragglers")
+                for entry in data.get("stragglers", ())
             ),
             message_faults=message_faults,
             detector=detector,
             seed=data.get("seed", 0),
+            mp_worker_kills=tuple(
+                build(MpWorkerKill, entry, "mp_worker_kills")
+                for entry in data.get("mp_worker_kills", ())
+            ),
+            mp_worker_stalls=tuple(
+                build(MpWorkerStall, entry, "mp_worker_stalls")
+                for entry in data.get("mp_worker_stalls", ())
+            ),
+            mp_drop_results=tuple(
+                build(MpDropResult, entry, "mp_drop_results")
+                for entry in data.get("mp_drop_results", ())
+            ),
+            mp_poison_chunks=tuple(
+                build(MpPoisonChunk, entry, "mp_poison_chunks")
+                for entry in data.get("mp_poison_chunks", ())
+            ),
         )
 
     def save(self, path: str) -> None:

@@ -37,7 +37,13 @@ The paper's evaluation is expressed in a handful of measurable quantities:
   and labeled-adjacency slice lookups.  ``extension_tests`` stays the
   per-candidate test count under either kernel; these counters expose
   *how* the candidates were produced so the cost model can price the
-  cheaper indexed work.
+  cheaper indexed work;
+* multiprocess supervision — real worker processes lost to crashes,
+  hangs or stragglers (``workers_lost``) and respawned replacements,
+  chunk leases re-executed after a worker death or lost result message,
+  and chunks quarantined to the driver's sequential path after
+  repeatedly killing their workers.  All zero on fault-free runs and on
+  every other backend.
 
 A single :class:`Metrics` instance accompanies every execution; engines and
 extension strategies increment its counters inline.
@@ -101,6 +107,10 @@ class Metrics:
         "index_slices",
         "remote_adjacency_fetches",
         "local_adjacency_fetches",
+        "workers_lost",
+        "workers_respawned",
+        "chunks_reexecuted",
+        "chunks_quarantined",
     )
 
     def __init__(self):
@@ -151,6 +161,10 @@ class Metrics:
         self.index_slices = 0
         self.remote_adjacency_fetches = 0
         self.local_adjacency_fetches = 0
+        self.workers_lost = 0
+        self.workers_respawned = 0
+        self.chunks_reexecuted = 0
+        self.chunks_quarantined = 0
 
     def merge(self, other: "Metrics") -> None:
         """Accumulate counters from another instance (peaks take max)."""
@@ -199,6 +213,10 @@ class Metrics:
         self.index_slices += other.index_slices
         self.remote_adjacency_fetches += other.remote_adjacency_fetches
         self.local_adjacency_fetches += other.local_adjacency_fetches
+        self.workers_lost += other.workers_lost
+        self.workers_respawned += other.workers_respawned
+        self.chunks_reexecuted += other.chunks_reexecuted
+        self.chunks_quarantined += other.chunks_quarantined
         self.peak_enumerator_bytes = max(
             self.peak_enumerator_bytes, other.peak_enumerator_bytes
         )

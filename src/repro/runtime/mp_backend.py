@@ -1,4 +1,4 @@
-"""Real-parallel execution backend: worker processes over shared memory.
+"""Real-parallel execution backend: supervised workers over shared memory.
 
 Everything before this module *simulates* Fractal's cluster; this
 backend actually uses the hardware.  One fractal step runs as
@@ -19,35 +19,84 @@ aggregation lambdas, filter functions); closures do not pickle, so a
 ``spawn``/``forkserver`` child could never receive the step's
 primitives.  Under ``fork`` the child inherits them — along with the
 aggregation views, the chunk lists and the shared-segment handle —
-without serialization.  The backend refuses to run on platforms without
-``fork``.
+without serialization.  Platforms without ``fork`` degrade to the
+sequential backend with a warning (see
+:func:`~repro.runtime.backend.resolve_backend`), or raise when
+``degrade="never"``.
 
-**Work distribution.**  Without a partition, the root words are split
-into ``num_procs * chunks_per_proc`` round-robin chunks and workers
-pull chunk indices from a queue — cheap dynamic balancing (an eager
-worker takes more chunks; the paper's work stealing, coarsened to
-chunk granularity).  With a partition strategy from
-:mod:`repro.graph.partition`, each worker statically owns its
-partition's roots, and every word pushed during enumeration is metered
-as a local or remote adjacency fetch depending on its owner — the same
-split the simulator prices, now measured on real enumeration.
+**Supervised chunk leases.**  The root words are split into chunks and
+the driver runs a supervision loop instead of a blocking join: each
+worker holds at most one chunk *lease* at a time, announced progress
+flows back on the result queue (heartbeats, lease starts, per-chunk
+results), and a chunk is only *retired* when its results arrive.  The
+supervisor distinguishes three ways a worker stops cooperating:
 
-**Result shipping.**  Each worker folds its chunks into one storage per
-aggregation (map-side combine) and ships the combined ``entries()``
-pairs plus a metrics snapshot through a result queue — the PR-3
-two-level format: the driver rebuilds per-worker storages with
-``merge_pairs`` and k-way merges them in worker-id order, so aggregate
-values are identical to the sequential engine's and deterministic
-regardless of which worker finished first.
+* **crash** — the process died (OOM kill, segfault, unhandled error);
+* **hang** — a lease outlived ``worker_timeout`` and heartbeats went
+  silent (the process is frozen);
+* **straggler** — a lease outlived ``worker_timeout`` while heartbeats
+  kept flowing (the process is alive but stuck or its result message
+  was lost).
+
+A lost worker is SIGKILLed and reaped; its unacknowledged lease is
+re-enqueued and the slot is respawned (fresh fork, bounded by
+``max_worker_retries`` per slot, with exponential backoff between
+respawns).  A chunk that repeatedly kills its workers is *quarantined*
+after ``max_chunk_retries`` revocations and re-executed in-driver on
+the sequential path — the graceful-degradation rung for poison work.
+If every slot exhausts its respawn budget the whole remainder of the
+step degrades to in-driver sequential execution with a warning
+(``degrade="auto"``) or raises (``degrade="never"``).  Because a chunk
+is retired exactly once — results ship as per-chunk deltas and
+duplicates from twice-executed chunks are dropped by the acknowledgment
+set — aggregate results under any survivable fault schedule are
+byte-identical to a fault-free run.
+
+**Real fault injection.**  A :class:`~repro.runtime.faults.FaultPlan`'s
+``mp_*`` sections drive actual process misbehaviour for chaos testing:
+self-``SIGKILL`` after N chunks, injected sleeps and ``SIGSTOP``
+freezes, dropped result messages and poison chunks.  Faults apply to
+generation-0 workers only (respawned replacements run clean), so every
+survivable schedule terminates.
+
+**Work distribution.**  Without a partition, chunks are round-robin
+slices of the root words and any idle worker receives the next pending
+chunk — cheap dynamic balancing at lease granularity.  With a
+partition strategy from :mod:`repro.graph.partition`, each chunk is
+owned by its partition's worker slot and is only leased elsewhere after
+the owner slot is abandoned, so fault-free partitioned runs keep the
+exact static placement (and local/remote fetch metering) of the
+unsupervised backend.
+
+**Result shipping.**  Each worker ships one message per completed
+chunk: the chunk's aggregation ``entries()`` pairs plus a *delta*
+metrics snapshot covering exactly that chunk's work.  The driver
+rebuilds per-chunk storages and k-way merges them in chunk-index order
+— deterministic regardless of which worker ran which chunk, and
+immune to double-counting when a chunk is executed twice.
+
+**Known limit.**  A worker SIGKILLed in the middle of a result-queue
+``put`` can leave the queue's cross-process lock held; survivors then
+stall, trip their lease timeouts and the step walks down the
+degradation ladder to the in-driver path.  Results stay correct; only
+wall-clock suffers.  (Injected kills fire at chunk boundaries, outside
+``put``, so chaos schedules do not hit this by construction.)
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
+import queue as queue_lib
+import signal
+import sys
+import threading
 import time
 import traceback
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+import warnings
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.aggregation import merge_storages_streaming
 from ..core.computation import Computation
@@ -60,21 +109,49 @@ from ..pattern.pattern import PatternInterner
 from .backend import ExecutionBackend, StepOutcome
 from .costmodel import DEFAULT_COST_MODEL, CostModel
 from .engine import new_storages, run_step_sequential
+from .faults import FaultPlan
 from .metrics import Metrics
 
 __all__ = ["MultiprocessConfig", "MultiprocessBackend"]
+
+# Counters shipped as absolute values (merge takes max), not deltas.
+_PEAK_COUNTERS = ("peak_enumerator_bytes", "peak_aggregation_entries")
+
+
+def _snapshot_delta(
+    before: Dict[str, float], after: Dict[str, float]
+) -> Dict[str, float]:
+    """Per-chunk counter delta between two cumulative snapshots."""
+    delta: Dict[str, float] = {}
+    for name, value in after.items():
+        if name in _PEAK_COUNTERS:
+            delta[name] = value
+        else:
+            delta[name] = value - before.get(name, 0)
+    return delta
 
 
 @dataclass(frozen=True)
 class MultiprocessConfig:
     """Shape of a real-parallel execution.
 
-    ``partition=None`` (default) distributes roots dynamically via the
-    chunk queue; a strategy name from ``PARTITION_STRATEGIES`` assigns
-    each worker its owned roots statically and turns on local/remote
-    adjacency-fetch metering.  ``pattern_kernel``/``order_policy`` are
-    forwarded to each worker's strategy exactly as ``ClusterConfig``
-    forwards them to simulated cores.
+    ``partition=None`` (default) distributes chunk leases dynamically;
+    a strategy name from ``PARTITION_STRATEGIES`` pins each chunk to its
+    owner's worker slot and turns on local/remote adjacency-fetch
+    metering.  ``pattern_kernel``/``order_policy`` are forwarded to each
+    worker's strategy exactly as ``ClusterConfig`` forwards them to
+    simulated cores.
+
+    Fault-tolerance knobs: ``worker_timeout`` bounds how long a chunk
+    lease may stay unacknowledged before its worker is declared lost;
+    ``max_worker_retries`` bounds respawns per worker slot;
+    ``max_chunk_retries`` bounds re-leases per chunk before it is
+    quarantined to the driver's sequential path; ``degrade`` selects
+    whether unavailable fork/shared-memory or total worker loss falls
+    back to sequential execution with a warning (``"auto"``) or raises
+    (``"never"``).  ``fault_plan`` injects *real* process faults from
+    its ``mp_*`` sections (chaos testing); simulated-clock sections are
+    ignored here.
     """
 
     num_procs: int = 2
@@ -83,10 +160,16 @@ class MultiprocessConfig:
     cost_model: CostModel = DEFAULT_COST_MODEL
     pattern_kernel: str = "legacy"
     order_policy: Optional[str] = None
+    worker_timeout: float = 30.0
+    max_worker_retries: int = 2
+    max_chunk_retries: int = 2
+    heartbeat_interval: float = 0.25
+    degrade: str = "auto"
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self):
         if self.num_procs < 1:
-            raise ValueError("num_procs must be >= 1")
+            raise ValueError(f"num_procs must be >= 1, got {self.num_procs!r}")
         if self.chunks_per_proc < 1:
             raise ValueError("chunks_per_proc must be >= 1")
         if self.partition is not None and self.partition not in PARTITION_STRATEGIES:
@@ -104,20 +187,47 @@ class MultiprocessConfig:
                 f"order_policy must be None, 'legacy' or 'cost', "
                 f"got {self.order_policy!r}"
             )
+        if not self.worker_timeout > 0:
+            raise ValueError(
+                f"worker_timeout must be positive, got {self.worker_timeout!r}"
+            )
+        if self.max_worker_retries < 0:
+            raise ValueError("max_worker_retries must be >= 0")
+        if self.max_chunk_retries < 0:
+            raise ValueError("max_chunk_retries must be >= 0")
+        if not self.heartbeat_interval > 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.degrade not in ("auto", "never"):
+            raise ValueError(
+                f"degrade must be 'auto' or 'never', got {self.degrade!r}"
+            )
+        if self.fault_plan is not None:
+            self.fault_plan.validate_mp(self.num_procs)
+
+
+@dataclass
+class _WorkerHandle:
+    """Supervisor-side state of one worker incarnation (slot, generation)."""
+
+    slot: int
+    gen: int
+    proc: object
+    task_queue: object
+    lease: Optional[int] = None
+    lease_since: float = 0.0
+    last_msg: float = 0.0
+    done: bool = False
+    dead: bool = False
 
 
 class MultiprocessBackend(ExecutionBackend):
-    """Run fractal steps on real worker processes over shared memory."""
+    """Run fractal steps on supervised worker processes over shared memory."""
 
     name = "multiprocess"
 
     def __init__(self, config: MultiprocessConfig):
         if "fork" not in multiprocessing.get_all_start_methods():
-            raise RuntimeError(
-                "the multiprocess backend requires the 'fork' start method "
-                "(fractal primitives are closures and do not pickle); "
-                "this platform does not support fork"
-            )
+            raise RuntimeError(fork_unavailable_message())
         self.config = config
         self._ctx = multiprocessing.get_context("fork")
         # One shared segment per graph, reused across the steps of an
@@ -205,33 +315,149 @@ class MultiprocessBackend(ExecutionBackend):
         n_procs = config.num_procs
         partition_info: Optional[Dict[str, object]] = None
         word_owner: Optional[Callable[[int], int]] = None
+        chunk_owner: Optional[List[int]] = None
         if config.partition is not None:
             graph_partition = partition_graph(graph, config.partition, n_procs)
             word_owner = graph_partition.word_owner(graph, parent_strategy.mode)
             partition_info = graph_partition.summary(graph)
-            # Static owner-based root assignment: each worker enumerates
-            # from the roots it owns, remote fetches happen only when
-            # the DFS wanders across the cut.
+            # Owner-pinned chunks: each worker enumerates from the roots
+            # it owns (remote fetches happen only when the DFS wanders
+            # across the cut); leases move off the owner slot only when
+            # that slot is abandoned after repeated deaths.
             assignments: List[List[int]] = [[] for _ in range(n_procs)]
             for word in words:
                 assignments[word_owner(word)].append(word)
-            chunk_lists = assignments
-            task_queue = None
-            n_chunks = None
+            chunk_lists: List[List[int]] = []
+            chunk_owner = []
+            for slot, owned in enumerate(assignments):
+                if not owned:
+                    continue
+                k = min(len(owned), config.chunks_per_proc)
+                for i in range(k):
+                    chunk_lists.append(owned[i::k])
+                    chunk_owner.append(slot)
         else:
-            n_chunks = min(len(words), n_procs * config.chunks_per_proc)
-            chunk_lists = [words[i::n_chunks] for i in range(n_chunks)]
-            task_queue = self._ctx.SimpleQueue()
-            for i in range(n_chunks):
-                task_queue.put(i)
-            for _ in range(n_procs):
-                task_queue.put(None)
+            n = min(len(words), n_procs * config.chunks_per_proc)
+            chunk_lists = [words[i::n] for i in range(n)]
+        n_chunks = len(chunk_lists)
 
-        shared = self._shared_for(graph)
-        result_queue = self._ctx.SimpleQueue()
+        try:
+            shared = self._shared_for(graph)
+        except OSError as exc:
+            message = (
+                f"shared-memory segment creation failed ({exc}); "
+                "the multiprocess backend cannot share the graph"
+            )
+            if config.degrade == "never":
+                raise RuntimeError(message)
+            warnings.warn(
+                "degrading to sequential execution: " + message,
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            outcome = self._run_inline(
+                graph,
+                strategy_factory,
+                interner,
+                primitives,
+                aggregation_views,
+                cached_uids,
+                sink,
+                words,
+                started,
+                setup_metrics=setup_metrics,
+            )
+            outcome.backend_info["degraded_to"] = "sequential"
+            return outcome
 
-        def worker_main(worker_id: int) -> None:
+        return self._run_supervised(
+            graph,
+            strategy_factory,
+            primitives,
+            aggregation_views,
+            cached_uids,
+            collect,
+            shared,
+            chunk_lists,
+            chunk_owner,
+            word_owner,
+            setup_metrics,
+            kernel_info,
+            partition_info,
+            cost,
+            started,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_supervised(
+        self,
+        graph,
+        strategy_factory,
+        primitives,
+        aggregation_views,
+        cached_uids,
+        collect,
+        shared: SharedGraphBuffers,
+        chunk_lists: List[List[int]],
+        chunk_owner: Optional[List[int]],
+        word_owner,
+        setup_metrics: Metrics,
+        kernel_info,
+        partition_info,
+        cost: CostModel,
+        started: float,
+    ) -> StepOutcome:
+        """Supervision loop: lease chunks, watch workers, recover losses."""
+        config = self.config
+        n_procs = config.num_procs
+        n_chunks = len(chunk_lists)
+        plan = config.fault_plan
+        mp_kills = plan.mp_worker_kills if plan is not None else ()
+        mp_stalls = plan.mp_worker_stalls if plan is not None else ()
+        mp_drops = plan.mp_drop_results if plan is not None else ()
+        poison_set: Set[int] = (
+            {p.chunk_index for p in plan.mp_poison_chunks}
+            if plan is not None
+            else set()
+        )
+        result_queue = self._ctx.Queue()
+        beat_interval = max(
+            0.02, min(config.heartbeat_interval, config.worker_timeout / 4.0)
+        )
+
+        def worker_main(slot: int, gen: int, task_queue) -> None:
             worker_started = time.perf_counter()
+            key = (slot, gen)
+            stop_beats = threading.Event()
+
+            def beat() -> None:
+                while not stop_beats.wait(beat_interval):
+                    try:
+                        result_queue.put(("hb", key))
+                    except Exception:
+                        return
+
+            heartbeats = threading.Thread(target=beat, daemon=True)
+            heartbeats.start()
+            my_kills = tuple(
+                k for k in mp_kills if gen == 0 and k.worker_id == slot
+            )
+            my_stalls = [
+                [s, False] for s in mp_stalls if gen == 0 and s.worker_id == slot
+            ]
+            my_drops = (
+                {d.chunk_number for d in mp_drops if d.worker_id == slot}
+                if gen == 0
+                else set()
+            )
+
+            def die() -> None:
+                # Stop heartbeats first so SIGKILL cannot land inside a
+                # heartbeat put() holding the queue's cross-process lock.
+                stop_beats.set()
+                heartbeats.join(timeout=1.0)
+                os.kill(os.getpid(), signal.SIGKILL)
+
             try:
                 worker_graph = shared.attach()
                 metrics = Metrics()
@@ -242,136 +468,473 @@ class MultiprocessBackend(ExecutionBackend):
                 )
                 if word_owner is not None:
                     _wrap_push_with_fetch_meter(
-                        strategy, word_owner, worker_id, metrics
+                        strategy, word_owner, slot, metrics
                     )
                 computation = Computation(
                     worker_graph, metrics, worker_interner, aggregation_views
                 )
-                frozen: Optional[List[SubgraphResult]] = (
-                    [] if collect == "subgraphs" else None
-                )
-                if collect == "subgraphs":
-                    def child_sink(subgraph, _out=frozen):
-                        _out.append(subgraph.freeze())
-                elif collect == "count":
-                    def child_sink(subgraph):
-                        pass  # counted via metrics.results_emitted
-                else:
-                    child_sink = None
-                combined = new_storages(primitives, cached_uids)
-                if task_queue is not None:
-                    def my_chunks():
-                        while True:
-                            idx = task_queue.get()
-                            if idx is None:
-                                return
-                            yield chunk_lists[idx]
-                else:
-                    def my_chunks():
-                        yield chunk_lists[worker_id]
-                for chunk in my_chunks():
-                    if not chunk:
-                        continue
+                baseline: Dict[str, float] = {}
+                chunks_done = 0
+                while True:
+                    cidx = task_queue.get()
+                    if cidx is None:
+                        result_queue.put(
+                            (
+                                "done",
+                                key,
+                                {
+                                    "metrics": _snapshot_delta(
+                                        baseline, metrics.snapshot()
+                                    ),
+                                    "wall": time.perf_counter() - worker_started,
+                                },
+                            )
+                        )
+                        stop_beats.set()
+                        return
+                    # ---- injected real faults (chaos testing) --------
+                    if cidx in poison_set:
+                        die()
+                    if any(chunks_done >= k.after_chunks for k in my_kills):
+                        die()
+                    for entry in my_stalls:
+                        stall, fired = entry
+                        if not fired and chunks_done == stall.after_chunks:
+                            entry[1] = True
+                            if stall.freeze:
+                                stop_beats.set()
+                                heartbeats.join(timeout=1.0)
+                                os.kill(os.getpid(), signal.SIGSTOP)
+                            else:
+                                time.sleep(stall.seconds)
+                    # --------------------------------------------------
+                    result_queue.put(("lease", key, cidx))
+                    frozen: Optional[List[SubgraphResult]] = (
+                        [] if collect == "subgraphs" else None
+                    )
+                    if collect == "subgraphs":
+                        def child_sink(subgraph, _out=frozen):
+                            _out.append(subgraph.freeze())
+                    elif collect == "count":
+                        def child_sink(subgraph):
+                            pass  # counted via metrics.results_emitted
+                    else:
+                        child_sink = None
                     storages = run_step_sequential(
                         strategy,
                         primitives,
                         computation,
                         cached_uids,
                         sink=child_sink,
-                        root_words=chunk,
+                        root_words=chunk_lists[cidx],
                     )
-                    for uid, storage in storages.items():
-                        combined[uid].merge(storage)
-                payload = {
-                    "entries": {
-                        uid: list(storage.entries())
-                        for uid, storage in combined.items()
-                    },
-                    "metrics": metrics.snapshot(),
-                    "subgraphs": frozen,
-                    "wall": time.perf_counter() - worker_started,
-                }
-                result_queue.put((worker_id, "ok", payload))
+                    snap = metrics.snapshot()
+                    payload = {
+                        "entries": {
+                            uid: list(storage.entries())
+                            for uid, storage in storages.items()
+                        },
+                        "metrics": _snapshot_delta(baseline, snap),
+                        "subgraphs": frozen,
+                    }
+                    baseline = snap
+                    dropped = chunks_done in my_drops
+                    chunks_done += 1
+                    if not dropped:
+                        result_queue.put(("chunk", key, cidx, payload))
             except BaseException:
-                result_queue.put((worker_id, "error", traceback.format_exc()))
-            # No shared-memory close() here: the worker graph holds live
-            # memoryview exports (close would raise BufferError); the OS
-            # drops the mapping when the process exits.
+                try:
+                    result_queue.put(("error", key, traceback.format_exc()))
+                except Exception:
+                    pass
+            finally:
+                stop_beats.set()
 
-        procs = [
-            self._ctx.Process(target=worker_main, args=(wid,), daemon=True)
-            for wid in range(n_procs)
-        ]
-        for proc in procs:
+        # ---- supervisor state -------------------------------------------
+        handles: Dict[Tuple[int, int], _WorkerHandle] = {}
+        live: Dict[int, Tuple[int, int]] = {}  # slot -> current incarnation
+        respawns_left: Dict[int, int] = {
+            slot: config.max_worker_retries for slot in range(n_procs)
+        }
+        abandoned: Set[int] = set()
+        if chunk_owner is not None:
+            pending_owned: List[deque] = [deque() for _ in range(n_procs)]
+            for cidx, slot in enumerate(chunk_owner):
+                pending_owned[slot].append(cidx)
+            orphans: deque = deque()
+        else:
+            pending: deque = deque(range(n_chunks))
+        acked: Dict[int, dict] = {}
+        retries: Dict[int, int] = {}
+        quarantine: List[int] = []
+        deaths = {"crash": 0, "hang": 0, "straggler": 0}
+        recovery = {
+            "workers_lost": 0,
+            "workers_respawned": 0,
+            "chunks_reexecuted": 0,
+            "chunks_quarantined": 0,
+        }
+        worker_walls: Dict[Tuple[int, int], float] = {}
+        extra_metrics: List[Dict[str, float]] = []
+        last_error: Optional[str] = None
+        degraded = False
+
+        def spawn(slot: int, gen: int) -> None:
+            task_queue = self._ctx.SimpleQueue()
+            proc = self._ctx.Process(
+                target=worker_main, args=(slot, gen, task_queue), daemon=True
+            )
             proc.start()
-        # Drain all results before joining: a worker blocks in put() until
-        # the parent reads large payloads off the pipe.
-        results: Dict[int, Dict[str, object]] = {}
-        failure: Optional[str] = None
-        for _ in range(n_procs):
-            worker_id, status, payload = result_queue.get()
-            if status == "ok":
-                results[worker_id] = payload
-            elif failure is None:
-                failure = f"worker {worker_id} failed:\n{payload}"
-        for proc in procs:
-            proc.join()
-        if failure is not None:
-            raise RuntimeError(failure)
+            now = time.monotonic()
+            handle = _WorkerHandle(
+                slot=slot, gen=gen, proc=proc, task_queue=task_queue,
+                last_msg=now,
+            )
+            handles[(slot, gen)] = handle
+            live[slot] = (slot, gen)
+
+        def next_chunk(slot: int) -> Optional[int]:
+            if chunk_owner is not None:
+                if pending_owned[slot]:
+                    return pending_owned[slot].popleft()
+                if orphans:
+                    return orphans.popleft()
+                return None
+            return pending.popleft() if pending else None
+
+        def dispatch() -> None:
+            now = time.monotonic()
+            for slot, key in list(live.items()):
+                handle = handles[key]
+                if handle.dead or handle.done or handle.lease is not None:
+                    continue
+                cidx = next_chunk(slot)
+                if cidx is None:
+                    continue
+                handle.lease = cidx
+                handle.lease_since = now
+                handle.task_queue.put(cidx)
+
+        def revoke(cidx: int) -> None:
+            retries[cidx] = retries.get(cidx, 0) + 1
+            if retries[cidx] > config.max_chunk_retries:
+                quarantine.append(cidx)
+                recovery["chunks_quarantined"] += 1
+                return
+            recovery["chunks_reexecuted"] += 1
+            if chunk_owner is not None:
+                owner = chunk_owner[cidx]
+                if owner in abandoned:
+                    orphans.appendleft(cidx)
+                else:
+                    pending_owned[owner].appendleft(cidx)
+            else:
+                pending.appendleft(cidx)
+
+        def lose_worker(handle: _WorkerHandle, reason: str) -> None:
+            deaths[reason] += 1
+            recovery["workers_lost"] += 1
+            handle.dead = True
+            _kill_process(handle.proc)
+            if live.get(handle.slot) == (handle.slot, handle.gen):
+                del live[handle.slot]
+            if handle.lease is not None:
+                revoke(handle.lease)
+                handle.lease = None
+            if respawns_left[handle.slot] > 0:
+                respawns_left[handle.slot] -= 1
+                recovery["workers_respawned"] += 1
+                # Exponential backoff between respawns: a repeatedly
+                # dying slot must not fork-bomb the host.
+                total_deaths = sum(deaths.values())
+                time.sleep(min(0.4, 0.02 * (2 ** min(total_deaths - 1, 4))))
+                spawn(handle.slot, handle.gen + 1)
+            else:
+                abandoned.add(handle.slot)
+                if chunk_owner is not None:
+                    while pending_owned[handle.slot]:
+                        orphans.append(pending_owned[handle.slot].popleft())
+
+        def resolved() -> int:
+            return len(acked) + len(quarantine)
+
+        poll = max(0.01, min(0.1, config.worker_timeout / 20.0))
+        try:
+            for slot in range(n_procs):
+                spawn(slot, 0)
+            dispatch()
+            while resolved() < n_chunks:
+                if not live:
+                    # Every slot exhausted its respawn budget: walk the
+                    # last rung of the degradation ladder.
+                    degraded = True
+                    break
+                try:
+                    message = result_queue.get(timeout=poll)
+                except queue_lib.Empty:
+                    message = None
+                now = time.monotonic()
+                if message is not None:
+                    kind, key = message[0], message[1]
+                    handle = handles.get(key)
+                    if handle is not None and not handle.dead:
+                        handle.last_msg = now
+                    if kind == "chunk":
+                        cidx, payload = message[2], message[3]
+                        if cidx not in acked:
+                            acked[cidx] = payload
+                        if handle is not None and handle.lease == cidx:
+                            handle.lease = None
+                    elif kind == "done":
+                        info = message[2]
+                        worker_walls[key] = info["wall"]
+                        extra_metrics.append(info["metrics"])
+                        if handle is not None:
+                            handle.done = True
+                    elif kind == "error":
+                        last_error = message[2]
+                        if handle is not None and not handle.dead:
+                            lose_worker(handle, "crash")
+                    # "hb" and "lease" only refresh last_msg.
+                # Sentinel / deadline sweep.
+                for key in list(live.values()):
+                    handle = handles[key]
+                    if handle.dead or handle.done:
+                        continue
+                    if not handle.proc.is_alive():
+                        lose_worker(handle, "crash")
+                        continue
+                    if (
+                        handle.lease is not None
+                        and now - handle.lease_since > config.worker_timeout
+                    ):
+                        stale = (
+                            now - handle.last_msg > config.worker_timeout / 2.0
+                        )
+                        lose_worker(handle, "hang" if stale else "straggler")
+                dispatch()
+        finally:
+            self._shutdown_workers(
+                handles, result_queue, worker_walls, extra_metrics, acked
+            )
+
+        remaining = sorted(
+            set(range(n_chunks)) - set(acked) - set(quarantine)
+        )
+        if degraded:
+            message = (
+                "all multiprocess worker slots exhausted their respawn "
+                f"budget ({config.max_worker_retries} per slot); "
+                f"re-executing {len(remaining) + len(quarantine)} chunks "
+                "in-driver on the sequential path"
+                + (f"\nlast worker error:\n{last_error}" if last_error else "")
+            )
+            if config.degrade == "never":
+                raise RuntimeError(message)
+            warnings.warn(message, RuntimeWarning, stacklevel=2)
+        driver_chunks = sorted(set(quarantine) | set(remaining))
+        if driver_chunks:
+            driver_payloads = self._run_chunks_in_driver(
+                graph,
+                strategy_factory,
+                primitives,
+                aggregation_views,
+                cached_uids,
+                chunk_lists,
+                driver_chunks,
+                collect,
+            )
+            acked.update(driver_payloads)
 
         return self._assemble(
             primitives,
             cached_uids,
-            results,
+            acked,
+            n_chunks,
             setup_metrics,
+            extra_metrics,
+            worker_walls,
+            recovery,
+            deaths,
+            degraded,
             kernel_info,
             partition_info,
             shared,
-            n_chunks,
             collect,
             cost,
             started,
         )
 
     # ------------------------------------------------------------------
+    def _shutdown_workers(
+        self, handles, result_queue, worker_walls, extra_metrics, acked
+    ) -> bool:
+        """Clean shutdown: signal, join with timeout, terminate-and-reap.
+
+        Never blocks indefinitely — a wedged worker is terminated and,
+        failing that, SIGKILLed, so Ctrl-C and test teardown cannot
+        deadlock on ``join``.
+        """
+        config = self.config
+        for handle in handles.values():
+            if not handle.dead and not handle.done:
+                try:
+                    handle.task_queue.put(None)
+                except Exception:
+                    pass
+        deadline = time.monotonic() + max(1.0, min(config.worker_timeout, 5.0))
+        pending = {
+            key
+            for key, handle in handles.items()
+            if not handle.dead and not handle.done
+        }
+        while pending and time.monotonic() < deadline:
+            try:
+                message = result_queue.get(timeout=0.05)
+            except queue_lib.Empty:
+                for key in list(pending):
+                    if not handles[key].proc.is_alive():
+                        pending.discard(key)
+                continue
+            kind, key = message[0], message[1]
+            if kind == "done":
+                worker_walls[key] = message[2]["wall"]
+                extra_metrics.append(message[2]["metrics"])
+                if key in handles:
+                    handles[key].done = True
+                pending.discard(key)
+            elif kind == "chunk":
+                cidx, payload = message[2], message[3]
+                if cidx not in acked:
+                    acked[cidx] = payload
+        clean = not pending
+        for handle in handles.values():
+            proc = handle.proc
+            proc.join(timeout=0.2)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=0.5)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=1.0)
+        return clean
+
+    # ------------------------------------------------------------------
+    def _run_chunks_in_driver(
+        self,
+        graph,
+        strategy_factory,
+        primitives,
+        aggregation_views,
+        cached_uids,
+        chunk_lists,
+        chunk_indices: Sequence[int],
+        collect,
+    ) -> Dict[int, dict]:
+        """Quarantine/degradation rung: run chunks on the driver itself.
+
+        Mirrors a worker exactly (fresh interner, per-chunk payloads) so
+        assembly cannot tell driver-run chunks from worker-run ones.
+        Partition fetch metering is skipped — the driver is not a
+        partition owner, and this path only runs under faults, where
+        placement metering has already diverged.
+        """
+        config = self.config
+        metrics = Metrics()
+        interner = PatternInterner()
+        strategy = strategy_factory(graph, metrics, interner)
+        strategy.configure_kernel(config.pattern_kernel, config.order_policy)
+        computation = Computation(graph, metrics, interner, aggregation_views)
+        baseline: Dict[str, float] = {}
+        payloads: Dict[int, dict] = {}
+        for cidx in sorted(chunk_indices):
+            frozen: Optional[List[SubgraphResult]] = (
+                [] if collect == "subgraphs" else None
+            )
+            if collect == "subgraphs":
+                def child_sink(subgraph, _out=frozen):
+                    _out.append(subgraph.freeze())
+            elif collect == "count":
+                def child_sink(subgraph):
+                    pass  # counted via metrics.results_emitted
+            else:
+                child_sink = None
+            storages = run_step_sequential(
+                strategy,
+                primitives,
+                computation,
+                cached_uids,
+                sink=child_sink,
+                root_words=chunk_lists[cidx],
+            )
+            snap = metrics.snapshot()
+            payloads[cidx] = {
+                "entries": {
+                    uid: list(storage.entries())
+                    for uid, storage in storages.items()
+                },
+                "metrics": _snapshot_delta(baseline, snap),
+                "subgraphs": frozen,
+            }
+            baseline = snap
+        return payloads
+
+    # ------------------------------------------------------------------
     def _assemble(
         self,
         primitives: Sequence[Primitive],
         cached_uids,
-        results: Dict[int, Dict[str, object]],
+        acked: Dict[int, dict],
+        n_chunks: int,
         setup_metrics: Metrics,
+        extra_metrics: List[Dict[str, float]],
+        worker_walls: Dict[Tuple[int, int], float],
+        recovery: Dict[str, int],
+        deaths: Dict[str, int],
+        degraded: bool,
         kernel_info,
         partition_info,
         shared: SharedGraphBuffers,
-        n_chunks: Optional[int],
         collect: Optional[str],
         cost: CostModel,
         started: float,
     ) -> StepOutcome:
-        """Driver-side merge of worker payloads, in worker-id order."""
-        worker_ids = sorted(results)
-        per_worker: List[Dict[int, object]] = []
-        for worker_id in worker_ids:
+        """Driver-side merge of chunk payloads, in chunk-index order."""
+        if len(acked) != n_chunks:
+            missing = sorted(set(range(n_chunks)) - set(acked))
+            raise RuntimeError(
+                f"multiprocess supervision lost chunks {missing}; this is a "
+                "bug — every chunk must be acked or quarantined"
+            )
+        order = sorted(acked)
+        per_chunk: List[Dict[int, object]] = []
+        for cidx in order:
             rebuilt = new_storages(primitives, cached_uids)
-            for uid, pairs in results[worker_id]["entries"].items():
+            for uid, pairs in acked[cidx]["entries"].items():
                 rebuilt[uid].merge_pairs(pairs)
-            per_worker.append(rebuilt)
-        uids = list(per_worker[0]) if per_worker else []
+            per_chunk.append(rebuilt)
+        uids = list(per_chunk[0]) if per_chunk else []
         merged = {
-            uid: merge_storages_streaming([w[uid] for w in per_worker])
+            uid: merge_storages_streaming([c[uid] for c in per_chunk])
             for uid in uids
         }
         total_metrics = Metrics()
         total_metrics.merge(setup_metrics)
-        for worker_id in worker_ids:
+        for cidx in order:
             total_metrics.merge(
-                Metrics.from_snapshot(results[worker_id]["metrics"])
+                Metrics.from_snapshot(acked[cidx]["metrics"])
             )
+        for snapshot in extra_metrics:
+            total_metrics.merge(Metrics.from_snapshot(snapshot))
+        total_metrics.workers_lost += recovery["workers_lost"]
+        total_metrics.workers_respawned += recovery["workers_respawned"]
+        total_metrics.chunks_reexecuted += recovery["chunks_reexecuted"]
+        total_metrics.chunks_quarantined += recovery["chunks_quarantined"]
         subgraphs: Optional[List[SubgraphResult]] = None
         if collect == "subgraphs":
             subgraphs = []
-            for worker_id in worker_ids:
-                subgraphs.extend(results[worker_id]["subgraphs"] or [])
+            for cidx in order:
+                subgraphs.extend(acked[cidx]["subgraphs"] or [])
         units = cost.step_units(total_metrics)
         wall = time.perf_counter() - started
         info: Dict[str, object] = {
@@ -380,11 +943,18 @@ class MultiprocessBackend(ExecutionBackend):
             "start_method": "fork",
             "wall_seconds": wall,
             "worker_wall_seconds": [
-                results[worker_id]["wall"] for worker_id in worker_ids
+                worker_walls[key] for key in sorted(worker_walls)
             ],
             "chunks": n_chunks,
             "shared_graph_bytes": shared.nbytes,
+            "workers_lost": recovery["workers_lost"],
+            "workers_respawned": recovery["workers_respawned"],
+            "chunks_reexecuted": recovery["chunks_reexecuted"],
+            "chunks_quarantined": recovery["chunks_quarantined"],
+            "worker_deaths": dict(deaths),
         }
+        if degraded:
+            info["degraded_to"] = "sequential"
         if partition_info is not None:
             info["partition"] = partition_info
         return StepOutcome(
@@ -446,6 +1016,28 @@ class MultiprocessBackend(ExecutionBackend):
                 "wall_seconds": time.perf_counter() - started,
             },
         )
+
+
+def fork_unavailable_message() -> str:
+    """Actionable error for platforms without the ``fork`` start method."""
+    methods = multiprocessing.get_all_start_methods()
+    return (
+        "the multiprocess backend requires the 'fork' start method "
+        "(fractal primitives are closures and do not pickle), but this "
+        f"platform ({sys.platform!r}) only provides {methods!r}; "
+        "use --backend simulator (engine=ClusterConfig(...)) for "
+        "deterministic parallelism, or --backend sequential"
+    )
+
+
+def _kill_process(proc) -> None:
+    """SIGKILL one worker and reap it; works on SIGSTOPped processes too."""
+    try:
+        if proc.is_alive():
+            proc.kill()
+    except Exception:
+        pass
+    proc.join(timeout=2.0)
 
 
 def _wrap_push_with_fetch_meter(

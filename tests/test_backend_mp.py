@@ -239,3 +239,78 @@ class TestSharedGraphBuffers:
         shared = SharedGraphBuffers(graph)
         shared.unlink()
         shared.unlink()  # must not raise
+
+    def test_abandoned_segment_does_not_leak(self):
+        # Regression for the finalizer guard: a driver that creates a
+        # segment and exits without unlink() must not leave the segment
+        # behind or trip the stdlib resource_tracker's leak warning at
+        # interpreter shutdown.
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.graph import SharedGraphBuffers, erdos_renyi_graph\n"
+            "g = erdos_renyi_graph(12, 20, seed=1)\n"
+            "shared = SharedGraphBuffers(g)\n"
+            "print(shared.name)\n"
+            # No unlink(), no close(): abandon the segment on purpose.
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "leaked shared_memory" not in proc.stderr
+        assert proc.stderr.strip() == ""
+        name = proc.stdout.strip()
+        assert name
+        # The finalizer unlinked the name before the process exited.
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name, create=False)
+
+
+class TestMultiprocessConfigValidation:
+    def test_rejects_zero_procs(self):
+        with pytest.raises(ValueError, match="num_procs must be >= 1"):
+            MultiprocessConfig(num_procs=0)
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError, match="worker_timeout"):
+            MultiprocessConfig(worker_timeout=0.0)
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError, match="max_worker_retries"):
+            MultiprocessConfig(max_worker_retries=-1)
+        with pytest.raises(ValueError, match="max_chunk_retries"):
+            MultiprocessConfig(max_chunk_retries=-1)
+
+    def test_rejects_unknown_degrade(self):
+        with pytest.raises(ValueError, match="degrade"):
+            MultiprocessConfig(degrade="sometimes")
+
+    def test_no_fork_platform_degrades_with_actionable_warning(self, monkeypatch):
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        with pytest.warns(RuntimeWarning) as caught:
+            backend = resolve_backend(
+                MultiprocessConfig(num_procs=2), DEFAULT_COST_MODEL
+            )
+        assert isinstance(backend, SequentialBackend)
+        message = str(caught[0].message)
+        assert "fork" in message
+        assert "--backend simulator" in message
+
+    def test_no_fork_platform_raises_when_degrade_never(self, monkeypatch):
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        with pytest.raises(RuntimeError, match="--backend simulator"):
+            resolve_backend(
+                MultiprocessConfig(num_procs=2, degrade="never"),
+                DEFAULT_COST_MODEL,
+            )

@@ -264,10 +264,60 @@ class TestBackendFlags:
             main(["run", "cliques", "--dataset", "mico", "--scale", "0.3",
                   "--partition", "hash"])
 
-    def test_multiprocess_rejects_fault_injection(self):
-        with pytest.raises(SystemExit, match="simulator feature"):
+    def test_parser_mp_supervision_defaults(self):
+        args = build_parser().parse_args(["run", "motifs"])
+        assert args.worker_timeout == 30.0
+        assert args.max_worker_retries == 2
+
+    def test_rejects_zero_procs_with_value_in_message(self):
+        with pytest.raises(SystemExit, match="num_procs must be >= 1, got 0"):
             main(["run", "cliques", "--dataset", "mico", "--scale", "0.3",
-                  "--backend", "multiprocess", "--inject-failures", "1"])
+                  "--backend", "multiprocess", "--num-procs", "0"])
+
+    def test_no_fork_platform_message_is_actionable(self, monkeypatch):
+        import multiprocessing
+
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        with pytest.warns(RuntimeWarning) as caught:
+            assert main(
+                ["run", "cliques", "--dataset", "mico", "--scale", "0.3",
+                 "--k", "3", "--backend", "multiprocess"]
+            ) == 0
+        message = str(caught[0].message)
+        assert "fork" in message
+        assert "--backend simulator" in message
+
+    def test_multiprocess_fault_injection(self, capsys):
+        # Real-process failure injection: seeded plan, recovery printed,
+        # run still succeeds with correct results.
+        assert main(
+            ["run", "cliques", "--dataset", "mico", "--scale", "0.3",
+             "--k", "3", "--backend", "multiprocess", "--num-procs", "2",
+             "--worker-timeout", "5", "--inject-failures", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3-cliques" in out
+        assert "backend: multiprocess (2 procs" in out
+        assert "mp recovery:" in out
+
+    def test_multiprocess_fault_plan_file(self, capsys, tmp_path):
+        from repro.runtime.faults import FaultPlan, MpWorkerKill
+
+        plan = FaultPlan(
+            mp_worker_kills=(MpWorkerKill(worker_id=0, after_chunks=0),)
+        )
+        path = tmp_path / "plan.json"
+        plan.save(str(path))
+        assert main(
+            ["run", "cliques", "--dataset", "mico", "--scale", "0.3",
+             "--k", "3", "--backend", "multiprocess", "--num-procs", "2",
+             "--worker-timeout", "5", "--fault-plan", str(path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "mp recovery:" in out
+        assert "workers lost" in out
 
     def test_run_multiprocess(self, capsys):
         assert main(

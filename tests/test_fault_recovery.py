@@ -14,6 +14,10 @@ from repro.runtime.faults import (
     FailureDetector,
     FaultPlan,
     MessageFaults,
+    MpDropResult,
+    MpPoisonChunk,
+    MpWorkerKill,
+    MpWorkerStall,
     StragglerWindow,
     WorkerFailure,
 )
@@ -290,6 +294,85 @@ class TestPlanSerialization:
     def test_from_dict_rejects_non_object(self):
         with pytest.raises(ValueError, match="JSON object"):
             FaultPlan.from_dict([1, 2, 3])
+
+
+class TestMpPlanSections:
+    """JSON round-trip and validation of the real-process fault sections."""
+
+    def test_mp_round_trip(self, tmp_path):
+        plan = FaultPlan(
+            mp_worker_kills=(MpWorkerKill(worker_id=0, after_chunks=2),),
+            mp_worker_stalls=(
+                MpWorkerStall(worker_id=1, after_chunks=1, seconds=1.5,
+                              freeze=True),
+            ),
+            mp_drop_results=(MpDropResult(worker_id=1, chunk_number=0),),
+            mp_poison_chunks=(MpPoisonChunk(chunk_index=3),),
+        )
+        path = tmp_path / "mp-plan.json"
+        plan.save(str(path))
+        loaded = FaultPlan.load(str(path))
+        assert loaded == plan
+        assert loaded.has_mp_faults
+
+    def test_seeded_mp_plan_round_trips(self, tmp_path):
+        plan = FaultPlan.from_seed_mp(21, 3)
+        path = tmp_path / "seeded.json"
+        plan.save(str(path))
+        assert FaultPlan.load(str(path)) == plan
+
+    def test_simulator_plan_json_has_no_mp_sections(self):
+        data = FaultPlan.from_seed(21, 2, 4).to_dict()
+        assert not any(key.startswith("mp_") for key in data)
+
+    def test_unknown_key_in_mp_entry_rejected(self):
+        data = FaultPlan(
+            mp_worker_kills=(MpWorkerKill(worker_id=0),)
+        ).to_dict()
+        data["mp_worker_kills"][0]["bogus"] = 1
+        with pytest.raises(ValueError, match="mp_worker_kills"):
+            FaultPlan.from_dict(data)
+
+    def test_negative_chunk_index_rejected(self):
+        plan = FaultPlan(mp_poison_chunks=(MpPoisonChunk(chunk_index=-1),))
+        with pytest.raises(ValueError, match="non-negative"):
+            plan.validate_mp(2)
+
+    def test_negative_after_chunks_rejected(self):
+        plan = FaultPlan(
+            mp_worker_kills=(MpWorkerKill(worker_id=0, after_chunks=-3),)
+        )
+        with pytest.raises(ValueError, match="non-negative"):
+            plan.validate_mp(2)
+
+    def test_worker_id_out_of_range_rejected(self):
+        plan = FaultPlan(mp_worker_kills=(MpWorkerKill(worker_id=5),))
+        with pytest.raises(ValueError, match="workers 0..1"):
+            plan.validate_mp(2)
+
+    def test_killing_every_mp_worker_rejected(self):
+        # Mirrors the simulator's kill-all-cores guard: one slot must
+        # survive so gen-0 progress exists without leaning on respawns.
+        plan = FaultPlan(
+            mp_worker_kills=(
+                MpWorkerKill(worker_id=0),
+                MpWorkerKill(worker_id=1),
+            )
+        )
+        with pytest.raises(ValueError, match="at least one worker slot"):
+            plan.validate_mp(2)
+
+    def test_config_validates_plan_at_construction(self):
+        from repro import MultiprocessConfig
+
+        plan = FaultPlan(
+            mp_worker_kills=(
+                MpWorkerKill(worker_id=0),
+                MpWorkerKill(worker_id=1),
+            )
+        )
+        with pytest.raises(ValueError, match="at least one worker slot"):
+            MultiprocessConfig(num_procs=2, fault_plan=plan)
 
 
 @st.composite
