@@ -29,10 +29,17 @@ from pathlib import Path
 from typing import Dict, Optional
 
 SCHEMA_VERSION = 1
+# Every schema version bench_index knows how to read.  load_bench
+# rejects files claiming any other version — a header that merely *has*
+# a ``schema_version`` key is not enough, its value must be one the
+# tooling understands, or the trajectory summary would silently
+# misrender future/corrupt files.
+KNOWN_SCHEMA_VERSIONS = frozenset({1})
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 __all__ = [
     "SCHEMA_VERSION",
+    "KNOWN_SCHEMA_VERSIONS",
     "current_commit",
     "make_header",
     "load_bench",
@@ -74,7 +81,14 @@ def make_header(
 
 
 def load_bench(path: Path) -> Dict[str, object]:
-    """Load one result file; raises ValueError if the header is absent."""
+    """Load one result file, validating the schema header.
+
+    Raises ``ValueError`` when header fields are absent, when
+    ``schema_version`` is not a version this tooling knows
+    (:data:`KNOWN_SCHEMA_VERSIONS`), or when a header field has the
+    wrong shape — so off-schema files fail loudly in ``bench_index``
+    and CI instead of printing garbage trajectory lines.
+    """
     data = json.loads(Path(path).read_text())
     missing = [
         key
@@ -83,6 +97,23 @@ def load_bench(path: Path) -> Dict[str, object]:
     ]
     if missing:
         raise ValueError(f"{path}: missing header fields {missing}")
+    version = data["schema_version"]
+    if version not in KNOWN_SCHEMA_VERSIONS:
+        raise ValueError(
+            f"{path}: unknown schema_version {version!r} "
+            f"(known: {sorted(KNOWN_SCHEMA_VERSIONS)})"
+        )
+    for key in ("bench", "commit", "headline"):
+        if not isinstance(data[key], str) or not data[key]:
+            raise ValueError(
+                f"{path}: header field {key!r} must be a non-empty "
+                f"string, got {data[key]!r}"
+            )
+    if not isinstance(data["config"], dict):
+        raise ValueError(
+            f"{path}: header field 'config' must be a JSON object, "
+            f"got {type(data['config']).__name__}"
+        )
     return data
 
 

@@ -86,9 +86,20 @@ QUERY_PATTERNS: Dict[str, Pattern] = {
 }
 
 
-def query_fractoid(fractal_graph: FractalGraph, pattern: Pattern) -> Fractoid:
-    """The Listing 5 workflow: extend to the pattern's vertex count."""
-    return fractal_graph.pfractoid(pattern).expand(pattern.n_vertices)
+def query_fractoid(
+    fractal_graph: FractalGraph,
+    pattern: Pattern,
+    kernel: Optional[str] = None,
+) -> Fractoid:
+    """The Listing 5 workflow: extend to the pattern's vertex count.
+
+    ``kernel`` pins the candidate kernel for this query (``"legacy"``,
+    ``"indexed"`` or ``"decomposed"``); ``None`` defers to the context
+    or engine, exactly as :meth:`FractalGraph.pfractoid` does.
+    """
+    return fractal_graph.pfractoid(pattern, kernel=kernel).expand(
+        pattern.n_vertices
+    )
 
 
 def query_subgraphs(
@@ -104,6 +115,15 @@ def count_query_matches(
     fractal_graph: FractalGraph,
     pattern: Pattern,
     engine: Optional[EngineSpec] = None,
+    kernel: Optional[str] = None,
 ) -> int:
-    """Number of distinct instances of ``pattern``."""
-    return query_fractoid(fractal_graph, pattern).count(engine=engine)
+    """Number of distinct instances of ``pattern``.
+
+    With ``kernel="decomposed"`` the count may be produced without
+    enumerating instances at all: a cost-based chooser decides between
+    indexed enumeration and a core–fringe inclusion–exclusion combine
+    (:mod:`repro.pattern.decompose`); the count is identical either way.
+    """
+    return query_fractoid(fractal_graph, pattern, kernel=kernel).count(
+        engine=engine
+    )

@@ -355,6 +355,23 @@ def _print_pattern_kernel(report) -> None:
         f"{summary['gallop_steps']:.0f} gallop steps, "
         f"{summary['index_slices']:.0f} index slices"
     )
+    decomp = summary.get("decomposition")
+    if decomp is not None:
+        if decomp.get("executed") == "count":
+            plan = decomp.get("plan", {})
+            print(
+                "decomposition: counted via core-fringe plan "
+                f"(core {plan.get('core')}, fringe {plan.get('fringe')}, "
+                f"{plan.get('n_blocks')} blocks, {plan.get('n_terms')} "
+                f"inclusion-exclusion terms, "
+                f"/{plan.get('automorphisms')} automorphisms); "
+                f"{summary['decomp_core_embeddings']:.0f} core embeddings"
+            )
+        else:
+            print(
+                "decomposition: fell back to enumeration "
+                f"({decomp.get('reason')})"
+            )
 
 
 def _run_app(args) -> int:
@@ -575,12 +592,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument(
         "--pattern-kernel",
-        choices=["legacy", "indexed"],
+        choices=["legacy", "indexed", "decomposed"],
         default="legacy",
         help="candidate kernel for pattern-induced enumeration: 'legacy' "
-        "(per-neighbor back-edge probing, the seed behaviour) or "
+        "(per-neighbor back-edge probing, the seed behaviour), "
         "'indexed' (label-partitioned adjacency index with sorted-set "
-        "intersection); match sets are identical under both",
+        "intersection), or 'decomposed' (indexed enumeration plus a "
+        "cost-based core-fringe inclusion-exclusion kernel for pure "
+        "counting queries); counts are identical under all three",
     )
     p_run.add_argument(
         "--order-policy",

@@ -39,13 +39,17 @@ class FractalContext:
             distributed runtime.
         cost_model: calibration constants for simulated time.
         pattern_kernel: default candidate kernel for pattern-induced
-            fractoids — ``"legacy"`` or ``"indexed"``.  ``None`` (the
-            default) leaves the choice unpinned so a cluster engine's
+            fractoids — ``"legacy"``, ``"indexed"``, or ``"decomposed"``
+            (indexed enumeration plus a cost-chosen core–fringe
+            inclusion–exclusion kernel for pure counting steps; see
+            :mod:`repro.pattern.decompose`).  ``None`` (the default)
+            leaves the choice unpinned so a cluster engine's
             ``ClusterConfig.pattern_kernel`` can select it; an explicit
             value pins every pattern strategy created under this context.
         order_policy: default matching-order policy for pattern-induced
             fractoids — ``"legacy"`` or ``"cost"`` (``None`` = derive
-            from the kernel: ``"cost"`` for indexed, else ``"legacy"``).
+            from the kernel: ``"cost"`` for indexed/decomposed, else
+            ``"legacy"``).
     """
 
     def __init__(

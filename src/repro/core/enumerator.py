@@ -49,8 +49,12 @@ __all__ = [
 #: Candidate-generation kernels of :class:`PatternInducedStrategy`.
 #: ``"legacy"`` scans the first back-neighbor's whole adjacency and tests
 #: each candidate; ``"indexed"`` intersects label-partitioned sorted
-#: slices.  Match *sets* are identical under both.
-PATTERN_KERNELS = ("legacy", "indexed")
+#: slices; ``"decomposed"`` additionally lets counting-only steps run
+#: the core–fringe inclusion–exclusion planner
+#: (:mod:`repro.pattern.decompose`) — the backends intercept eligible
+#: steps, everything else enumerates exactly like ``"indexed"``.  Match
+#: *sets* (and counts) are identical under all three.
+PATTERN_KERNELS = ("legacy", "indexed", "decomposed")
 
 #: Matching-order policies: ``"legacy"`` is the static degree-greedy
 #: order, ``"cost"`` the statistics-based planner
@@ -121,17 +125,32 @@ class ExtensionStrategy:
         return None
 
     def configure_kernel(
-        self, kernel: Optional[str] = None, order_policy: Optional[str] = None
+        self,
+        kernel: Optional[str] = None,
+        order_policy: Optional[str] = None,
+        gallop_crossover: Optional[int] = None,
     ) -> None:
         """Engine hook: adopt engine-level candidate-kernel settings.
 
-        The simulated cluster calls this on every per-core strategy with
-        its :class:`~repro.runtime.cluster.ClusterConfig` values.  Only
-        the pattern-induced strategy reacts; everything else ignores it.
-        Settings pinned at construction (explicit ``kernel`` /
-        ``order_policy`` arguments) take precedence and are not
-        overridden.
+        The backends call this on every per-core strategy with their
+        engine-config values (``ClusterConfig.pattern_kernel`` /
+        ``order_policy`` and the cost model's ``gallop_crossover``).
+        Only the pattern-induced strategy reacts; everything else
+        ignores it.  Settings pinned at construction (explicit
+        ``kernel`` / ``order_policy`` arguments) take precedence and are
+        not overridden.
         """
+
+    def wants_decomposed_count(self) -> bool:
+        """Whether this strategy asked for the decomposed counting kernel.
+
+        Only the pattern-induced strategy with resolved kernel
+        ``"decomposed"`` answers ``True``; the backends then consult
+        :func:`repro.pattern.decompose.plan_step_decomposition` to
+        decide whether the step actually runs as a count (and fall back
+        to enumeration otherwise, metering ``decomp_fallbacks``).
+        """
+        return False
 
     def kernel_info(self) -> Optional[dict]:
         """Describe the candidate kernel in use, if the strategy has one.
@@ -487,7 +506,7 @@ class PatternInducedStrategy(ExtensionStrategy):
     edges among matched vertices are permitted, and the subgraph contains
     the images of the pattern's edges.
 
-    Two candidate kernels are available (``kernel``):
+    Three candidate kernels are available (``kernel``):
 
     * ``"legacy"`` — scan the whole neighborhood of the *first* back
       neighbor and test every entry (byte-identical to the original
@@ -496,18 +515,26 @@ class PatternInducedStrategy(ExtensionStrategy):
     * ``"indexed"`` — one label-partitioned sorted slice per back edge
       (:meth:`Graph.labeled_adjacency`), symmetry conditions converted to
       a ``[lo, hi)`` range binary-searched on the smallest slice, then
-      sorted-set intersection (:mod:`repro.core.intersect`).
+      sorted-set intersection (:mod:`repro.core.intersect`);
+    * ``"decomposed"`` — enumerates exactly like ``"indexed"``, but
+      additionally marks the strategy as *counting-decomposable*
+      (:meth:`wants_decomposed_count`): the backends intercept pure
+      full-pattern counting steps and run the core–fringe
+      inclusion–exclusion plan of :mod:`repro.pattern.decompose` when
+      the cost-based chooser favors it, falling back to this strategy's
+      enumeration otherwise.
 
-    Both kernels produce the same candidate *set* at every position, in
+    All kernels produce the same candidate *set* at every position, in
     ascending vertex order, so with the same matching order the whole
     enumeration stream is identical; under different orders the final
     match sets still agree.  ``order_policy`` selects the matching order:
     ``"legacy"`` (static degree-greedy) or ``"cost"`` (statistics-based
     :func:`plan_matching_order`).  ``None`` values are *unpinned*: they
-    default to legacy behavior (``"cost"`` order for the indexed kernel)
-    but may be overridden by the engine via :meth:`configure_kernel` —
-    this is how ``ClusterConfig.pattern_kernel`` reaches per-core
-    strategies.  Explicit values are pinned and never overridden.
+    default to legacy behavior (``"cost"`` order for the indexed and
+    decomposed kernels) but may be overridden by the engine via
+    :meth:`configure_kernel` — this is how
+    ``ClusterConfig.pattern_kernel`` reaches per-core strategies.
+    Explicit values are pinned and never overridden.
     """
 
     mode = "pattern"
@@ -533,7 +560,8 @@ class PatternInducedStrategy(ExtensionStrategy):
         if order_policy is not None:
             self._order_policy = _check_policy(order_policy)
         else:
-            self._order_policy = "cost" if self._kernel == "indexed" else "legacy"
+            self._order_policy = "cost" if self._kernel != "legacy" else "legacy"
+        self._gallop_crossover: Optional[int] = None
         self._setup_order()
 
     def _setup_order(self) -> None:
@@ -559,7 +587,10 @@ class PatternInducedStrategy(ExtensionStrategy):
         self._labels = [pattern.vertex_labels[p] for p in self.order]
 
     def configure_kernel(
-        self, kernel: Optional[str] = None, order_policy: Optional[str] = None
+        self,
+        kernel: Optional[str] = None,
+        order_policy: Optional[str] = None,
+        gallop_crossover: Optional[int] = None,
     ) -> None:
         new_kernel = self._kernel
         if kernel is not None and not self._kernel_pinned:
@@ -569,11 +600,16 @@ class PatternInducedStrategy(ExtensionStrategy):
             if order_policy is not None:
                 new_policy = _check_policy(order_policy)
             else:
-                new_policy = "cost" if new_kernel == "indexed" else "legacy"
+                new_policy = "cost" if new_kernel != "legacy" else "legacy"
         self._kernel = new_kernel
+        if gallop_crossover is not None:
+            self._gallop_crossover = gallop_crossover
         if new_policy != self._order_policy:
             self._order_policy = new_policy
             self._setup_order()
+
+    def wants_decomposed_count(self) -> bool:
+        return self._kernel == "decomposed"
 
     def kernel_info(self) -> dict:
         return {
@@ -589,7 +625,7 @@ class PatternInducedStrategy(ExtensionStrategy):
         pos = len(subgraph.vertices)
         if pos >= self.pattern.n_vertices:
             return []
-        if self._kernel == "indexed":
+        if self._kernel != "legacy":
             return self._extensions_indexed(subgraph, pos)
         graph = self.graph
         metrics = self.metrics
@@ -673,7 +709,7 @@ class PatternInducedStrategy(ExtensionStrategy):
             slices[0] = (arr, lo, hi)
         if lo >= hi:
             return []
-        candidates = intersect_slices(slices, metrics)
+        candidates = intersect_slices(slices, metrics, self._gallop_crossover)
         metrics.extension_tests += len(candidates)
         in_subgraph = subgraph.vertex_set
         result = [v for v in candidates if v not in in_subgraph]

@@ -29,7 +29,7 @@ until the output list.  All outputs are fresh sorted lists.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..runtime.metrics import Metrics
 
@@ -38,6 +38,11 @@ __all__ = ["GALLOP_CROSSOVER", "intersect_slices", "range_bounds"]
 # Size ratio at which galloping beats the linear merge.  Galloping costs
 # O(small * log(big/small)) versus O(small + big) for the merge; with the
 # binary-search constant factor the crossover sits near big/small = 8.
+# This is the *default*: callers tune it per run through
+# ``CostModel.gallop_crossover`` (plumbed down via
+# ``ExtensionStrategy.configure_kernel``), and
+# ``benchmarks/bench_decomposed_counting.py`` sweeps it to assert the
+# default stays within noise of the best setting on the Fig 15 workload.
 GALLOP_CROSSOVER = 8
 
 Slice = Tuple[Sequence[int], int, int]
@@ -70,13 +75,20 @@ def range_bounds(
     return lo, hi
 
 
-def intersect_slices(slices: List[Slice], metrics: Metrics) -> List[int]:
+def intersect_slices(
+    slices: List[Slice], metrics: Metrics, crossover: Optional[int] = None
+) -> List[int]:
     """Intersect ``k >= 1`` sorted slices into a fresh ascending list.
 
     Kernel selection: a single slice is copied out; two slices use the
-    linear merge, or galloping when the size ratio reaches
-    :data:`GALLOP_CROSSOVER`; three or more use the leapfrog k-way join.
+    linear merge, or galloping when the size ratio reaches ``crossover``
+    (default :data:`GALLOP_CROSSOVER`); three or more use the leapfrog
+    k-way join.  The output set is identical for every ``crossover``;
+    only the metered work (``intersect_comparisons`` vs
+    ``gallop_steps``) shifts.
     """
+    if crossover is None:
+        crossover = GALLOP_CROSSOVER
     slices = sorted(slices, key=lambda s: s[2] - s[1])
     arr, lo, hi = slices[0]
     if hi <= lo:
@@ -85,7 +97,7 @@ def intersect_slices(slices: List[Slice], metrics: Metrics) -> List[int]:
         return list(arr[lo:hi])
     if len(slices) == 2:
         b, blo, bhi = slices[1]
-        if (bhi - blo) >= GALLOP_CROSSOVER * (hi - lo):
+        if (bhi - blo) >= crossover * (hi - lo):
             return _gallop(arr, lo, hi, b, blo, bhi, metrics)
         return _merge(arr, lo, hi, b, blo, bhi, metrics)
     return _leapfrog(slices, metrics)

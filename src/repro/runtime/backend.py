@@ -126,6 +126,26 @@ class SequentialBackend(ExecutionBackend):
     ) -> StepOutcome:
         metrics = Metrics()
         strategy = strategy_factory(graph, metrics, interner)
+        strategy.configure_kernel(
+            gallop_crossover=self.cost_model.gallop_crossover
+        )
+        kernel_info = strategy.kernel_info()
+        if strategy.wants_decomposed_count():
+            from ..pattern.decompose import plan_step_decomposition
+
+            plan, decomp_info = plan_step_decomposition(
+                strategy.pattern,
+                graph,
+                primitives,
+                collect,
+                root_words,
+                self.cost_model,
+            )
+            if kernel_info is not None:
+                kernel_info["decomposition"] = decomp_info
+            if plan is not None:
+                return self._run_decomposed(graph, plan, metrics, kernel_info)
+            metrics.decomp_fallbacks += 1
         computation = Computation(graph, metrics, interner, aggregation_views)
         storages = run_step_sequential(
             strategy,
@@ -141,8 +161,36 @@ class SequentialBackend(ExecutionBackend):
             metrics=metrics,
             work_units=units,
             simulated_seconds=self.cost_model.seconds(units),
-            kernel_info=strategy.kernel_info(),
+            kernel_info=kernel_info,
             backend_info={"backend": self.name},
+        )
+
+    def _run_decomposed(
+        self, graph, plan, metrics: Metrics, kernel_info
+    ) -> StepOutcome:
+        """Counting-only step via the core–fringe inclusion–exclusion plan.
+
+        No sink runs (a counting sink is a no-op by contract) and no
+        aggregation storages exist — the step is a pure count, surfaced
+        through ``metrics.results_emitted`` like any counting step.
+        """
+        from ..pattern.decompose import count_embeddings, instance_count
+
+        raw = count_embeddings(
+            plan,
+            graph,
+            metrics,
+            crossover=self.cost_model.gallop_crossover,
+        )
+        metrics.results_emitted = instance_count(plan, raw)
+        units = self.cost_model.step_units(metrics)
+        return StepOutcome(
+            storages={},
+            metrics=metrics,
+            work_units=units,
+            simulated_seconds=self.cost_model.seconds(units),
+            kernel_info=kernel_info,
+            backend_info={"backend": self.name, "decomposed": True},
         )
 
 
@@ -167,6 +215,39 @@ class SimulatorBackend(ExecutionBackend):
         root_words=None,
         collect=None,
     ) -> StepOutcome:
+        decomp_info = None
+        probe = strategy_factory(graph, Metrics(), interner)
+        probe.configure_kernel(
+            self.config.pattern_kernel,
+            self.config.order_policy,
+            self.config.cost_model.gallop_crossover,
+        )
+        if probe.wants_decomposed_count():
+            from ..pattern.decompose import (
+                fallback_info,
+                plan_step_decomposition,
+            )
+
+            if self.config.fault_plan is not None or self.config.fail_at:
+                decomp_info = fallback_info(
+                    "fault injection configured (recovery needs enumerators)"
+                )
+            elif self.config.partition is not None:
+                decomp_info = fallback_info(
+                    "partitioned storage configured (fetch metering "
+                    "needs per-word pushes)"
+                )
+            else:
+                plan, decomp_info = plan_step_decomposition(
+                    probe.pattern,
+                    graph,
+                    primitives,
+                    collect,
+                    root_words,
+                    self.config.cost_model,
+                )
+                if plan is not None:
+                    return self._run_decomposed(graph, plan, probe, decomp_info)
         result = self._engine.run_step(
             graph,
             strategy_factory,
@@ -184,14 +265,78 @@ class SimulatorBackend(ExecutionBackend):
         }
         if result.partition_info is not None:
             info["partition"] = result.partition_info
+        kernel_info = result.kernel_info
+        if decomp_info is not None:
+            result.metrics.decomp_fallbacks += 1
+            if kernel_info is not None:
+                kernel_info = dict(kernel_info)
+                kernel_info["decomposition"] = decomp_info
         return StepOutcome(
             storages=result.storages,
             metrics=result.metrics,
             work_units=result.makespan_units,
             simulated_seconds=result.makespan_seconds,
             cluster=result,
-            kernel_info=result.kernel_info,
+            kernel_info=kernel_info,
             backend_info=info,
+        )
+
+    def _run_decomposed(
+        self, graph, plan, probe, decomp_info
+    ) -> StepOutcome:
+        """Simulated-cluster execution of a decomposed counting step.
+
+        Core roots (position-0 candidates) split round-robin across the
+        configured cores — the same unit the engine distributes — and
+        each core's metered work is priced independently; the simulated
+        makespan is the busiest core.  Raw embedding subtotals are only
+        divided by ``|Aut(P)|`` after merging (per-chunk subtotals need
+        not be divisible).
+        """
+        from ..pattern.decompose import count_embeddings, instance_count
+
+        cost = self.config.cost_model
+        n_cores = self.config.workers * self.config.cores_per_worker
+        setup_metrics = Metrics()
+        setup_metrics.index_slices += 1
+        roots = graph.vertices_with_label(plan.core_labels[0])
+        setup_metrics.extension_tests += len(roots)
+        total_raw = 0
+        makespan_units = 0.0
+        merged = Metrics()
+        merged.merge(setup_metrics)
+        for core_id in range(n_cores):
+            chunk = roots[core_id::n_cores]
+            if not chunk:
+                continue
+            core_metrics = Metrics()
+            total_raw += count_embeddings(
+                plan,
+                graph,
+                core_metrics,
+                roots=chunk,
+                crossover=cost.gallop_crossover,
+            )
+            busy = cost.step_units(core_metrics)
+            if busy > makespan_units:
+                makespan_units = busy
+            merged.merge(core_metrics)
+        merged.results_emitted = instance_count(plan, total_raw)
+        kernel_info = probe.kernel_info()
+        if kernel_info is not None:
+            kernel_info["decomposition"] = decomp_info
+        return StepOutcome(
+            storages={},
+            metrics=merged,
+            work_units=makespan_units,
+            simulated_seconds=cost.seconds(makespan_units),
+            kernel_info=kernel_info,
+            backend_info={
+                "backend": self.name,
+                "workers": self.config.workers,
+                "cores_per_worker": self.config.cores_per_worker,
+                "decomposed": True,
+            },
         )
 
     def setup_seconds(self) -> float:

@@ -153,14 +153,19 @@ class ClusterConfig:
     # implementation for equivalence testing.
     scheduler: str = "event"
     # Candidate-generation kernel for pattern-induced strategies
-    # (docs/internals.md §11).  ``"legacy"`` scans the first back
+    # (docs/internals.md §11, §14).  ``"legacy"`` scans the first back
     # neighbor's whole adjacency (bit-identical to the original engine);
-    # ``"indexed"`` intersects label-partitioned sorted slices.  Match
-    # sets and aggregation views are identical under both; metrics and
-    # clocks differ.  ``order_policy`` picks the matching order
-    # (``"legacy"`` degree-greedy or ``"cost"`` planner; None = derived
-    # from the kernel).  Both are ignored by non-pattern strategies, and
-    # never override values pinned on the strategy itself.
+    # ``"indexed"`` intersects label-partitioned sorted slices;
+    # ``"decomposed"`` additionally runs counting-only steps through the
+    # core–fringe inclusion–exclusion planner when the cost-based
+    # chooser favors it (falling back to indexed enumeration otherwise
+    # — and always under fault plans or partitioned storage, which need
+    # real enumerators).  Match sets, counts and aggregation views are
+    # identical under all three; metrics and clocks differ.
+    # ``order_policy`` picks the matching order (``"legacy"``
+    # degree-greedy or ``"cost"`` planner; None = derived from the
+    # kernel).  Both are ignored by non-pattern strategies, and never
+    # override values pinned on the strategy itself.
     pattern_kernel: str = "legacy"
     order_policy: Optional[str] = None
     # Partitioned graph storage (docs/internals.md §12).  ``None`` (the
@@ -182,10 +187,10 @@ class ClusterConfig:
             raise ValueError(
                 f"scheduler must be 'event' or 'poll', got {self.scheduler!r}"
             )
-        if self.pattern_kernel not in ("legacy", "indexed"):
+        if self.pattern_kernel not in ("legacy", "indexed", "decomposed"):
             raise ValueError(
-                f"pattern_kernel must be 'legacy' or 'indexed', "
-                f"got {self.pattern_kernel!r}"
+                f"pattern_kernel must be 'legacy', 'indexed' or "
+                f"'decomposed', got {self.pattern_kernel!r}"
             )
         if self.order_policy not in (None, "legacy", "cost"):
             raise ValueError(
@@ -1061,7 +1066,11 @@ class ClusterEngine:
             strategy = strategy_factory(graph, metrics, interner)
             # Engine-level kernel selection: fills any settings the
             # strategy left unpinned; a no-op for non-pattern strategies.
-            strategy.configure_kernel(config.pattern_kernel, config.order_policy)
+            strategy.configure_kernel(
+                config.pattern_kernel,
+                config.order_policy,
+                config.cost_model.gallop_crossover,
+            )
             computation = Computation(graph, metrics, interner, aggregation_views)
             cores.append(
                 _Core(

@@ -61,6 +61,28 @@ class CostModel:
     gallop_step_units: float = 0.5
     index_slice_units: float = 2.0
 
+    # Size ratio at which the two-slice intersection switches from the
+    # linear merge to galloping (docs/internals.md §11).  Previously a
+    # hardcoded literal in ``core/intersect.py``; the default matches
+    # that literal exactly, so untouched configurations produce
+    # bit-identical metered work.  Every intersection output is the same
+    # set at any crossover — only the merge-vs-gallop work split moves —
+    # and ``benchmarks/bench_decomposed_counting.py`` sweeps this knob
+    # on the Fig 15 workload to assert the default stays within noise
+    # of the best setting.
+    gallop_crossover: int = 8
+
+    # Pattern-decomposition counting kernel (docs/internals.md §14).  A
+    # core-embedding visit is the bookkeeping of one inclusion–exclusion
+    # evaluation point; a block evaluation prices one fringe-block count
+    # (the slice/intersection work it triggers is metered separately by
+    # the intersection kernels); a term evaluation is one signed product
+    # in the combine.  All three are exactly zero on the enumeration
+    # kernels, keeping their cost arithmetic bit-identical.
+    decomp_core_embedding_units: float = 1.0
+    decomp_block_units: float = 1.0
+    decomp_term_units: float = 0.25
+
     # Partitioned graph storage (docs/internals.md §12).  When a
     # partition strategy assigns vertices to workers, pushing a word
     # owned by another worker models fetching its adjacency list across
@@ -131,14 +153,19 @@ class CostModel:
             + metrics.gallop_steps * self.gallop_step_units
             + metrics.index_slices * self.index_slice_units
             + metrics.remote_adjacency_fetches * self.remote_fetch_units
+            + metrics.decomp_core_embeddings * self.decomp_core_embedding_units
+            + metrics.decomp_blocks * self.decomp_block_units
+            + metrics.decomp_terms * self.decomp_term_units
         )
 
     def candidate_units(self, metrics: Metrics) -> float:
         """Candidate-generation share of the work, in units.
 
-        The quantity ``BENCH_pattern_kernels.json`` compares across
-        kernels: per-candidate extension tests, legacy back-edge hash
-        probes, and the indexed kernel's intersection/gallop/slice work.
+        The quantity ``BENCH_pattern_kernels.json`` and
+        ``BENCH_decomposed_counting.json`` compare across kernels:
+        per-candidate extension tests, legacy back-edge hash probes, the
+        indexed kernel's intersection/gallop/slice work, and the
+        decomposed kernel's core-embedding/block/term combine work.
         """
         return (
             metrics.extension_tests * self.extension_test_units
@@ -146,6 +173,9 @@ class CostModel:
             + metrics.intersect_comparisons * self.intersect_compare_units
             + metrics.gallop_steps * self.gallop_step_units
             + metrics.index_slices * self.index_slice_units
+            + metrics.decomp_core_embeddings * self.decomp_core_embedding_units
+            + metrics.decomp_blocks * self.decomp_block_units
+            + metrics.decomp_terms * self.decomp_term_units
         )
 
     def seconds(self, units: float) -> float:

@@ -233,6 +233,12 @@ class ExecutionReport:
         ``candidate_units`` prices all of it (plus extension tests) with
         the default cost model — the quantity the pattern-kernel
         benchmark compares across kernels.
+
+        When the ``decomposed`` kernel ran, ``decomposition`` carries
+        the chooser's decision record (requested/executed/reason, plus
+        the plan and estimates when decomposition was picked) and the
+        ``decomp_*`` counters meter the inclusion–exclusion combine;
+        they stay zero on pure-enumeration runs.
         """
         info = None
         for step in self.steps:
@@ -243,10 +249,15 @@ class ExecutionReport:
             "kernel": info["kernel"] if info else None,
             "order_policy": info["order_policy"] if info else None,
             "order": info["order"] if info else None,
+            "decomposition": info.get("decomposition") if info else None,
             "back_edge_probes": m.back_edge_probes,
             "intersect_comparisons": m.intersect_comparisons,
             "gallop_steps": m.gallop_steps,
             "index_slices": m.index_slices,
+            "decomp_core_embeddings": m.decomp_core_embeddings,
+            "decomp_blocks": m.decomp_blocks,
+            "decomp_terms": m.decomp_terms,
+            "decomp_fallbacks": m.decomp_fallbacks,
             "candidate_units": DEFAULT_COST_MODEL.candidate_units(m),
         }
 

@@ -38,6 +38,14 @@ The paper's evaluation is expressed in a handful of measurable quantities:
   per-candidate test count under either kernel; these counters expose
   *how* the candidates were produced so the cost model can price the
   cheaper indexed work;
+* pattern-decomposition counting — core embeddings visited by the
+  decomposed kernel (``decomp_core_embeddings``), fringe-block count
+  evaluations (``decomp_blocks`` — the "sub-pattern count units" of the
+  inclusion–exclusion combine), inclusion–exclusion terms evaluated
+  (``decomp_terms``) and steps where a decomposition was requested but
+  the planner/chooser fell back to enumeration (``decomp_fallbacks``).
+  All zero unless ``pattern_kernel="decomposed"`` runs, so enumeration
+  cost arithmetic is bit-identical to prior releases;
 * multiprocess supervision — real worker processes lost to crashes,
   hangs or stragglers (``workers_lost``) and respawned replacements,
   chunk leases re-executed after a worker death or lost result message,
@@ -111,6 +119,10 @@ class Metrics:
         "workers_respawned",
         "chunks_reexecuted",
         "chunks_quarantined",
+        "decomp_core_embeddings",
+        "decomp_blocks",
+        "decomp_terms",
+        "decomp_fallbacks",
     )
 
     def __init__(self):
@@ -165,6 +177,10 @@ class Metrics:
         self.workers_respawned = 0
         self.chunks_reexecuted = 0
         self.chunks_quarantined = 0
+        self.decomp_core_embeddings = 0
+        self.decomp_blocks = 0
+        self.decomp_terms = 0
+        self.decomp_fallbacks = 0
 
     def merge(self, other: "Metrics") -> None:
         """Accumulate counters from another instance (peaks take max)."""
@@ -217,6 +233,10 @@ class Metrics:
         self.workers_respawned += other.workers_respawned
         self.chunks_reexecuted += other.chunks_reexecuted
         self.chunks_quarantined += other.chunks_quarantined
+        self.decomp_core_embeddings += other.decomp_core_embeddings
+        self.decomp_blocks += other.decomp_blocks
+        self.decomp_terms += other.decomp_terms
+        self.decomp_fallbacks += other.decomp_fallbacks
         self.peak_enumerator_bytes = max(
             self.peak_enumerator_bytes, other.peak_enumerator_bytes
         )

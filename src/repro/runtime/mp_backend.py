@@ -177,10 +177,10 @@ class MultiprocessConfig:
                 f"partition must be None or one of {PARTITION_STRATEGIES}, "
                 f"got {self.partition!r}"
             )
-        if self.pattern_kernel not in ("legacy", "indexed"):
+        if self.pattern_kernel not in ("legacy", "indexed", "decomposed"):
             raise ValueError(
-                f"pattern_kernel must be 'legacy' or 'indexed', "
-                f"got {self.pattern_kernel!r}"
+                f"pattern_kernel must be 'legacy', 'indexed' or "
+                f"'decomposed', got {self.pattern_kernel!r}"
             )
         if self.order_policy not in (None, "legacy", "cost"):
             raise ValueError(
@@ -274,8 +274,44 @@ class MultiprocessBackend(ExecutionBackend):
         # counter totals match the sequential engine's exactly.
         setup_metrics = Metrics()
         parent_strategy = strategy_factory(graph, setup_metrics, interner)
-        parent_strategy.configure_kernel(config.pattern_kernel, config.order_policy)
+        parent_strategy.configure_kernel(
+            config.pattern_kernel, config.order_policy, cost.gallop_crossover
+        )
         kernel_info = parent_strategy.kernel_info()
+
+        if parent_strategy.wants_decomposed_count():
+            from ..pattern.decompose import (
+                fallback_info,
+                plan_step_decomposition,
+            )
+
+            decomposed_plan = None
+            if config.fault_plan is not None:
+                decomp_info = fallback_info(
+                    "mp fault plan configured (fault injection needs "
+                    "worker enumeration)"
+                )
+            elif config.partition is not None:
+                decomp_info = fallback_info(
+                    "partitioned storage configured (fetch metering "
+                    "needs per-word pushes)"
+                )
+            else:
+                decomposed_plan, decomp_info = plan_step_decomposition(
+                    parent_strategy.pattern,
+                    graph,
+                    primitives,
+                    collect,
+                    root_words,
+                    cost,
+                )
+            if kernel_info is not None:
+                kernel_info["decomposition"] = decomp_info
+            if decomposed_plan is not None:
+                return self._run_decomposed(
+                    graph, decomposed_plan, setup_metrics, kernel_info, started
+                )
+            setup_metrics.decomp_fallbacks += 1
 
         if first_expand is None:
             # Degenerate step without extension: one evaluation of the
@@ -290,6 +326,7 @@ class MultiprocessBackend(ExecutionBackend):
                 sink,
                 root_words,
                 started,
+                setup_metrics=setup_metrics,
             )
 
         if root_words is None:
@@ -464,7 +501,9 @@ class MultiprocessBackend(ExecutionBackend):
                 worker_interner = PatternInterner()
                 strategy = strategy_factory(worker_graph, metrics, worker_interner)
                 strategy.configure_kernel(
-                    config.pattern_kernel, config.order_policy
+                    config.pattern_kernel,
+                    config.order_policy,
+                    config.cost_model.gallop_crossover,
                 )
                 if word_owner is not None:
                     _wrap_push_with_fetch_meter(
@@ -843,7 +882,11 @@ class MultiprocessBackend(ExecutionBackend):
         metrics = Metrics()
         interner = PatternInterner()
         strategy = strategy_factory(graph, metrics, interner)
-        strategy.configure_kernel(config.pattern_kernel, config.order_policy)
+        strategy.configure_kernel(
+            config.pattern_kernel,
+            config.order_policy,
+            config.cost_model.gallop_crossover,
+        )
         computation = Computation(graph, metrics, interner, aggregation_views)
         baseline: Dict[str, float] = {}
         payloads: Dict[int, dict] = {}
@@ -967,6 +1010,49 @@ class MultiprocessBackend(ExecutionBackend):
             subgraphs=subgraphs,
         )
 
+    def _run_decomposed(
+        self,
+        graph,
+        plan,
+        setup_metrics: Metrics,
+        kernel_info,
+        started: float,
+    ) -> StepOutcome:
+        """Decomposed counting steps run in the driver, not in workers.
+
+        The inclusion–exclusion combine reduces a counting step to the
+        core walk plus O(1) block-size arithmetic per core embedding —
+        orders of magnitude less work than the enumeration the worker
+        fleet exists to parallelize, and far below the fork/shared-memory
+        setup cost it would have to amortize.  Running it in-process
+        keeps counts byte-identical to the other backends and is flagged
+        in ``backend_info`` so reports stay honest about where the work
+        happened.
+        """
+        from ..pattern.decompose import count_embeddings, instance_count
+
+        cost = self.config.cost_model
+        metrics = Metrics()
+        metrics.merge(setup_metrics)
+        raw = count_embeddings(
+            plan, graph, metrics, crossover=cost.gallop_crossover
+        )
+        metrics.results_emitted = instance_count(plan, raw)
+        units = cost.step_units(metrics)
+        return StepOutcome(
+            storages={},
+            metrics=metrics,
+            work_units=units,
+            simulated_seconds=cost.seconds(units),
+            kernel_info=kernel_info,
+            backend_info={
+                "backend": self.name,
+                "num_procs": self.config.num_procs,
+                "decomposed_in_driver": True,
+                "wall_seconds": time.perf_counter() - started,
+            },
+        )
+
     def _run_inline(
         self,
         graph,
@@ -991,7 +1077,9 @@ class MultiprocessBackend(ExecutionBackend):
             metrics.merge(setup_metrics)
         strategy = strategy_factory(graph, metrics, interner)
         strategy.configure_kernel(
-            self.config.pattern_kernel, self.config.order_policy
+            self.config.pattern_kernel,
+            self.config.order_policy,
+            cost.gallop_crossover,
         )
         computation = Computation(graph, metrics, interner, aggregation_views)
         storages = run_step_sequential(
