@@ -66,13 +66,18 @@ def main(argv=None) -> int:
                         "commit": data["commit"],
                         "config": data["config"],
                         "headline": data["headline"],
+                        "host_cpus": data.get("host_cpus"),
+                        "git_dirty": data.get("git_dirty"),
                     },
                     sort_keys=True,
                 )
             )
         else:
+            commit = data["commit"]
+            if data.get("git_dirty") is True:
+                commit += "*"  # measured on a dirty tree
             print(
-                f"{data['bench']:<18} {data['commit']:<10} "
+                f"{data['bench']:<18} {commit:<10} "
                 f"{data['headline']}"
             )
     return status

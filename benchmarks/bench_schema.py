@@ -15,6 +15,14 @@ trajectory of performance numbers across PRs is machine-readable:
     flat JSON object.
 ``headline``
     One human-readable sentence with the benchmark's key number.
+``host_cpus``
+    (schema v2) ``os.cpu_count()`` of the measuring host — parallel
+    speedups are meaningless without it.
+``git_dirty``
+    (schema v2) whether the working tree had uncommitted changes when
+    the numbers were written (``true``/``false``), or the string
+    ``"unknown"`` for files retrofitted from schema v1 where the
+    information was never recorded.
 
 Benchmark scripts call :func:`make_header` and merge the result into
 their payload before writing; :mod:`benchmarks.bench_index` reads the
@@ -24,23 +32,26 @@ headers back to print the one-line-per-file trajectory summary.
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 from pathlib import Path
 from typing import Dict, Optional
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 # Every schema version bench_index knows how to read.  load_bench
 # rejects files claiming any other version — a header that merely *has*
 # a ``schema_version`` key is not enough, its value must be one the
 # tooling understands, or the trajectory summary would silently
-# misrender future/corrupt files.
-KNOWN_SCHEMA_VERSIONS = frozenset({1})
+# misrender future/corrupt files.  v2 added ``host_cpus``/``git_dirty``;
+# v1 files remain readable (the fields are simply absent).
+KNOWN_SCHEMA_VERSIONS = frozenset({1, 2})
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 __all__ = [
     "SCHEMA_VERSION",
     "KNOWN_SCHEMA_VERSIONS",
     "current_commit",
+    "current_git_dirty",
     "make_header",
     "load_bench",
     "iter_bench_files",
@@ -64,6 +75,27 @@ def current_commit() -> str:
     return out.stdout.strip() or "unknown"
 
 
+def current_git_dirty():
+    """Whether the working tree has uncommitted changes.
+
+    ``True``/``False`` from ``git status --porcelain``; the string
+    ``"unknown"`` when git is unavailable or errors.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=str(REPO_ROOT),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if out.returncode != 0:
+        return "unknown"
+    return bool(out.stdout.strip())
+
+
 def make_header(
     bench: str,
     config: Dict[str, object],
@@ -77,6 +109,8 @@ def make_header(
         "commit": commit if commit is not None else current_commit(),
         "config": config,
         "headline": headline,
+        "host_cpus": os.cpu_count() or 1,
+        "git_dirty": current_git_dirty(),
     }
 
 
@@ -114,6 +148,19 @@ def load_bench(path: Path) -> Dict[str, object]:
             f"{path}: header field 'config' must be a JSON object, "
             f"got {type(data['config']).__name__}"
         )
+    if version >= 2:
+        cpus = data.get("host_cpus")
+        if not isinstance(cpus, int) or isinstance(cpus, bool) or cpus < 1:
+            raise ValueError(
+                f"{path}: schema v{version} requires 'host_cpus' to be "
+                f"a positive integer, got {cpus!r}"
+            )
+        dirty = data.get("git_dirty")
+        if not isinstance(dirty, bool) and dirty != "unknown":
+            raise ValueError(
+                f"{path}: schema v{version} requires 'git_dirty' to be "
+                f"a boolean or \"unknown\", got {dirty!r}"
+            )
     return data
 
 

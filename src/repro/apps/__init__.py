@@ -1,6 +1,11 @@
 """The paper's GPM applications, expressed on the Fractal API (Appendix A)."""
 
-from .motifs import motif_counts_ignoring_labels, motifs, motifs_fractoid
+from .motifs import (
+    motif_census_by_pattern,
+    motif_counts_ignoring_labels,
+    motifs,
+    motifs_fractoid,
+)
 from .cliques import (
     KClistStrategy,
     clique_filter,
@@ -23,7 +28,11 @@ from .keyword_search import (
     keyword_fractoid,
     keyword_search,
 )
-from .graphlets import gdv_similarity, graphlet_degree_vectors
+from .graphlets import (
+    gdv_similarity,
+    graphlet_degree_vectors,
+    graphlet_frequency_profile,
+)
 from .sampling import SamplingStrategy, approximate_motifs, sampled_vfractoid
 from .triangles import (
     count_triangles,
@@ -32,6 +41,7 @@ from .triangles import (
 )
 
 __all__ = [
+    "motif_census_by_pattern",
     "motif_counts_ignoring_labels",
     "motifs",
     "motifs_fractoid",
@@ -53,6 +63,7 @@ __all__ = [
     "keyword_fractoid",
     "keyword_search",
     "gdv_similarity",
+    "graphlet_frequency_profile",
     "graphlet_degree_vectors",
     "SamplingStrategy",
     "approximate_motifs",

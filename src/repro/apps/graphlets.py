@@ -22,7 +22,11 @@ from ..core.context import FractalGraph
 from ..pattern.pattern import Pattern
 from ..runtime.driver import EngineSpec
 
-__all__ = ["graphlet_degree_vectors", "gdv_similarity"]
+__all__ = [
+    "graphlet_degree_vectors",
+    "gdv_similarity",
+    "graphlet_frequency_profile",
+]
 
 OrbitKey = Tuple[Pattern, int]
 
@@ -55,6 +59,32 @@ def graphlet_degree_vectors(
         collect=None, engine=engine
     )
     return {vertex: dict(vector) for vertex, vector in counts.items()}
+
+
+def graphlet_frequency_profile(
+    fractal_graph: FractalGraph,
+    k: int,
+    engine: Optional[EngineSpec] = None,
+    kernel: str = "decomposed",
+) -> Dict[Pattern, float]:
+    """Relative k-graphlet frequencies via per-pattern counting queries.
+
+    A whole-graph companion to the per-vertex degree vectors: the
+    induced k-motif census (computed with
+    :func:`repro.apps.motifs.motif_census_by_pattern`, so each pattern
+    is a counting-only query that rides the symmetry-breaking and
+    orbit-multiplicity fast paths) normalized to sum to 1.  This is the
+    classic "graphlet frequency distribution" used to compare networks.
+    """
+    from .motifs import motif_census_by_pattern
+
+    census = motif_census_by_pattern(
+        fractal_graph, k, engine=engine, kernel=kernel
+    )
+    total = sum(census.values())
+    if not total:
+        return {}
+    return {pattern: count / total for pattern, count in census.items()}
 
 
 def gdv_similarity(

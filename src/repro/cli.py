@@ -355,6 +355,26 @@ def _print_pattern_kernel(report) -> None:
         f"{summary['gallop_steps']:.0f} gallop steps, "
         f"{summary['index_slices']:.0f} index slices"
     )
+    sym = summary.get("symmetry")
+    if sym is not None:
+        parts = [
+            f"{sym['conditions']} restriction conditions "
+            f"(heuristic {sym['heuristic_conditions']}), "
+            f"|Aut| {sym['group_order']}"
+        ]
+        orbit = summary.get("orbit_count")
+        if orbit is not None and orbit.get("executed"):
+            parts.append(
+                f"orbit tail {orbit['tail']} "
+                f"(x{orbit['arrangements']} arrangements), "
+                f"{summary['orbit_multiplied_embeddings']:.0f} "
+                "embeddings counted in bulk"
+            )
+        elif orbit is not None:
+            parts.append(f"orbit counting off ({orbit.get('reason')})")
+        if summary.get("symmetry_cache_hits"):
+            parts.append(f"{summary['symmetry_cache_hits']:.0f} plan cache hits")
+        print("symmetry: " + "; ".join(parts))
     decomp = summary.get("decomposition")
     if decomp is not None:
         if decomp.get("executed") == "count":

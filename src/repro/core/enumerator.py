@@ -25,11 +25,13 @@ Custom enumerators (paper Appendix B) subclass :class:`ExtensionStrategy`
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from itertools import permutations
+from math import comb
+from typing import List, Optional, Sequence, Tuple
 
 from ..graph.graph import Graph
 from ..pattern.pattern import Pattern, PatternInterner
-from ..pattern.symmetry import conditions_by_position, symmetry_breaking_conditions
+from ..pattern.symmetry import symmetry_plan
 from ..runtime.metrics import Metrics
 from .intersect import intersect_slices, range_bounds
 from .subgraph import Subgraph
@@ -42,6 +44,8 @@ __all__ = [
     "SubgraphEnumerator",
     "matching_order",
     "plan_matching_order",
+    "set_orbit_counting",
+    "orbit_counting_enabled",
     "PATTERN_KERNELS",
     "ORDER_POLICIES",
 ]
@@ -60,6 +64,24 @@ PATTERN_KERNELS = ("legacy", "indexed", "decomposed")
 #: order, ``"cost"`` the statistics-based planner
 #: (:func:`plan_matching_order`).
 ORDER_POLICIES = ("legacy", "cost")
+
+
+#: Global enable for orbit-multiplicity counting on counting-only steps
+#: (see :meth:`PatternInducedStrategy.count_matches`).  On by default; the
+#: symmetry benchmark flips it off for its heuristic baseline A/B runs.
+_ORBIT_COUNTING = True
+
+
+def set_orbit_counting(enabled: bool) -> bool:
+    """Enable/disable orbit-multiplicity counting; returns previous value."""
+    global _ORBIT_COUNTING
+    previous = _ORBIT_COUNTING
+    _ORBIT_COUNTING = bool(enabled)
+    return previous
+
+
+def orbit_counting_enabled() -> bool:
+    return _ORBIT_COUNTING
 
 
 def _check_kernel(kernel: str) -> str:
@@ -569,10 +591,19 @@ class PatternInducedStrategy(ExtensionStrategy):
         pattern = self.pattern
         if self._order_policy == "cost":
             self.order = plan_matching_order(pattern, self.graph)
+            score_graph = self.graph
         else:
             self.order = matching_order(pattern)
-        conditions = symmetry_breaking_conditions(pattern)
-        self._checks = conditions_by_position(conditions, self.order)
+            # Legacy order stays statistics-free: restriction-set scoring
+            # uses the generic fan-out model, keeping legacy runs
+            # independent of graph label statistics.
+            score_graph = None
+        plan = symmetry_plan(pattern, self.order, score_graph, self.metrics)
+        self._conditions = plan.conditions
+        self._sym_heuristic_size = plan.heuristic_size
+        self._sym_group_order = plan.group_order
+        self._checks = plan.checks
+        self._orbit_tail: Optional[Tuple[int, int]] = None
         # back_edges[pos]: (earlier position, edge label) pairs required.
         self._back_edges: List[List[tuple]] = []
         position_of = {p: i for i, p in enumerate(self.order)}
@@ -612,11 +643,137 @@ class PatternInducedStrategy(ExtensionStrategy):
         return self._kernel == "decomposed"
 
     def kernel_info(self) -> dict:
+        tail, _ = self.orbit_tail()
         return {
             "kernel": self._kernel,
             "order_policy": self._order_policy,
             "order": list(self.order),
+            "symmetry": {
+                "conditions": len(self._conditions),
+                "heuristic_conditions": self._sym_heuristic_size,
+                "group_order": self._sym_group_order,
+                "orbit_tail": tail,
+            },
         }
+
+    def supports_orbit_count(self) -> bool:
+        """Whether counting-only steps may run via :meth:`count_matches`.
+
+        Gated on the indexed-family kernels so ``"legacy"`` stays
+        byte-identical to the original implementation, and on the global
+        :func:`set_orbit_counting` switch (benchmark A/B knob).
+        """
+        return self._kernel != "legacy" and _ORBIT_COUNTING
+
+    def orbit_tail(self) -> Tuple[int, int]:
+        """``(tau, arrangements)``: the interchangeable matching-order tail.
+
+        ``tau`` is the length of the longest suffix of the matching order
+        whose positions are pairwise non-adjacent in the pattern and carry
+        identical constraints towards the non-tail prefix: same vertex
+        label, same back edges (all into the prefix) and same symmetry
+        checks against prefix positions.  Such positions are mutually
+        automorphic, so they draw from one shared candidate set ``C`` and
+        every ``tau``-subset of ``C`` yields the same number of
+        completions: ``arrangements``, the count of rank-orders of the
+        tail satisfying its internal symmetry checks.  ``tau >= 1``
+        always (a bare leaf level counts its own candidates).
+        """
+        if self._orbit_tail is not None:
+            return self._orbit_tail
+        n = len(self.order)
+        best = (1, 1) if n else (0, 1)
+        for tau in range(2, n):
+            cut = n - tau
+            base_backs = self._back_edges[cut]
+            base_label = self._labels[cut]
+            base_checks = sorted(self._checks[cut])
+            intra: List[Tuple[int, int, bool]] = []
+            ok = True
+            for pos in range(cut, n):
+                if self._labels[pos] != base_label:
+                    ok = False
+                    break
+                backs = self._back_edges[pos]
+                # A back edge into the tail means two tail positions are
+                # adjacent — their candidates would not be interchangeable.
+                if any(back_pos >= cut for back_pos, _ in backs):
+                    ok = False
+                    break
+                if list(backs) != list(base_backs):
+                    ok = False
+                    break
+                outside = sorted(
+                    check for check in self._checks[pos] if check[0] < cut
+                )
+                if outside != base_checks:
+                    ok = False
+                    break
+                intra.extend(
+                    (pos - cut, earlier - cut, greater)
+                    for earlier, greater in self._checks[pos]
+                    if earlier >= cut
+                )
+            if not ok:
+                continue
+            arrangements = 0
+            for ranks in permutations(range(tau)):
+                if all(
+                    (ranks[i] > ranks[j]) == greater
+                    for i, j, greater in intra
+                ):
+                    arrangements += 1
+            if arrangements > 0:
+                best = (tau, arrangements)
+        self._orbit_tail = best
+        return best
+
+    def count_matches(self, roots: Optional[Sequence[int]] = None) -> int:
+        """Exact match count via orbit-multiplicity bulk counting.
+
+        Walks the enumeration tree only down to the orbit tail's cut
+        position; there, every ``tau``-subset of the shared candidate set
+        ``C`` contributes ``arrangements`` complete embeddings, so the
+        subtree collapses to ``C(|C|, tau) * arrangements`` without
+        pushing a single tail vertex.  Walked nodes are metered into
+        ``subgraphs_enumerated`` as usual; bulk-credited embeddings land
+        in ``orbit_multiplied_embeddings`` instead.  With ``roots`` the
+        level-0 candidates are replaced by the given (label-correct)
+        vertices and not re-metered — the caller accounts for producing
+        them (simulator/multiprocess root splitting).
+        """
+        n = self.pattern.n_vertices
+        metrics = self.metrics
+        tau, arrangements = self.orbit_tail()
+        cut = n - tau
+        subgraph = self.make_subgraph()
+        total = 0
+
+        def candidates() -> List[int]:
+            if not subgraph.vertices and roots is not None:
+                return list(roots)
+            return self.extensions(subgraph)
+
+        def walk(pos: int) -> None:
+            nonlocal total
+            cands = candidates()
+            if pos < cut:
+                metrics.subgraphs_enumerated += len(cands)
+                for v in cands:
+                    self.push(subgraph, v)
+                    walk(pos + 1)
+                    self.pop(subgraph)
+            else:
+                survivors = len(cands)
+                if survivors >= tau:
+                    bulk = comb(survivors, tau) * arrangements
+                    total += bulk
+                    metrics.orbit_multiplied_embeddings += bulk
+
+        if n == 0:
+            return 0
+        walk(0)
+        return total
 
     def word_count_limit(self) -> Optional[int]:
         return self.pattern.n_vertices

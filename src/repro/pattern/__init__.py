@@ -10,9 +10,15 @@ from .isomorphism import (
     match_pattern,
 )
 from .symmetry import (
+    SymmetryPlan,
     conditions_by_position,
+    heuristic_symmetry_breaking_conditions,
+    minimal_restriction_set,
+    restriction_conditions_for_group,
     satisfies_conditions,
+    set_symmetry_construction,
     symmetry_breaking_conditions,
+    symmetry_plan,
 )
 from .canonical import edge_adjacency, is_canonical_extension, vertex_adjacency
 
@@ -27,9 +33,15 @@ __all__ = [
     "automorphisms",
     "count_pattern_matches",
     "match_pattern",
+    "SymmetryPlan",
     "conditions_by_position",
+    "heuristic_symmetry_breaking_conditions",
+    "minimal_restriction_set",
+    "restriction_conditions_for_group",
     "satisfies_conditions",
+    "set_symmetry_construction",
     "symmetry_breaking_conditions",
+    "symmetry_plan",
     "edge_adjacency",
     "is_canonical_extension",
     "vertex_adjacency",

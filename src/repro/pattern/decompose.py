@@ -16,14 +16,19 @@ implements that third kernel (``pattern_kernel="decomposed"``):
    of size ``n - 1`` (drop any non-cut vertex), so planning never fails
    on connectivity alone.
 
-2. **Core enumeration.**  All injective embeddings of the induced core
+2. **Core enumeration.**  Injective embeddings of the induced core
    pattern are enumerated with the PR-5 indexed machinery —
    label-partitioned sorted adjacency slices intersected per back edge
-   (``core/intersect.py``) — *without* symmetry breaking: the raw
-   embedding total is divided by ``|Aut(P)|`` once at the end (the
-   automorphism group acts freely on injective embeddings, so the total
-   is exactly divisible; the division is asserted as a correctness
-   tripwire).
+   (``core/intersect.py``) — under a *symmetry-restricted* walk: the
+   automorphisms mapping the core onto itself project to a permutation
+   group over core positions, and a GraphZero-style restriction set
+   (``pattern/symmetry.py``) collapses the walk by exactly that group's
+   order via the same ``[lo, hi)`` window machinery the indexed kernel
+   uses.  Only the residual multiplicity ``|Aut(P)| / |projected
+   group|`` is divided out at the end (the action is free, so the
+   restricted total is exactly divisible; the division is asserted as a
+   correctness tripwire that quarantines the step back to enumeration —
+   see :class:`DecompositionError`).
 
 3. **Fringe counting by inclusion–exclusion.**  Per core embedding
    ``m``, each fringe vertex ``f`` must land in the *candidate set*
@@ -69,15 +74,17 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.intersect import intersect_slices
+from ..core.intersect import intersect_slices, range_bounds
 from ..graph.graph import Graph
 from ..runtime.costmodel import DEFAULT_COST_MODEL, CostModel
 from ..runtime.metrics import Metrics
 from .isomorphism import automorphisms
 from .pattern import Pattern
+from .symmetry import conditions_by_position, restriction_conditions_for_group
 
 __all__ = [
     "BlockSpec",
+    "DecompositionError",
     "DecompositionPlan",
     "plan_decomposition",
     "estimate_enumeration_units",
@@ -86,6 +93,23 @@ __all__ = [
     "count_embeddings",
     "instance_count",
 ]
+
+
+class DecompositionError(RuntimeError):
+    """Inconsistent multiplicity arithmetic in a decomposed count.
+
+    Carries the offending pattern's canonical DFS ``code`` so the report
+    names the exact query shape, plus the walked-but-discarded work so a
+    quarantining backend can book it as wasted
+    (``wasted_extension_tests`` / ``wasted_units``, filled by whichever
+    backend ran the walk).
+    """
+
+    def __init__(self, message: str, code=None):
+        super().__init__(message)
+        self.code = code
+        self.wasted_extension_tests = 0
+        self.wasted_units = 0.0
 
 # Brute-force planning limits: query patterns in the paper's workloads
 # have <= 6 vertices; these caps keep subset/partition enumeration
@@ -166,6 +190,16 @@ class DecompositionPlan:
     shared_fringe_block: bool = False
     estimated_core_embeddings: float = 0.0
     estimated_units: float = 0.0
+    # Symmetry restriction of the core walk: ordering conditions over
+    # *core positions* breaking the projection of the core-stabilizing
+    # automorphisms, their per-position compiled checks, the projected
+    # group's order, and the residual divisor |Aut(P)| / |proj group|
+    # applied to the restricted raw total.  The zero default means
+    # "derive from automorphism_count" (unrestricted legacy plans).
+    core_conditions: Tuple[Tuple[int, int], ...] = ()
+    core_checks: Tuple[Tuple[Tuple[int, bool], ...], ...] = ()
+    core_group_order: int = 1
+    count_divisor: int = 0
 
     def describe(self) -> Dict[str, object]:
         """Compact JSON-friendly plan summary for reports and the CLI."""
@@ -176,6 +210,9 @@ class DecompositionPlan:
             "n_terms": len(self.terms),
             "shared_fringe_block": self.shared_fringe_block,
             "automorphisms": self.automorphism_count,
+            "core_conditions": [list(c) for c in self.core_conditions],
+            "core_group_order": self.core_group_order,
+            "count_divisor": self.count_divisor,
             "estimated_units": self.estimated_units,
             "blocks": [
                 {
@@ -377,7 +414,7 @@ def _compile_cover(
     graph: Graph,
     cover: Tuple[int, ...],
     cost_model: CostModel,
-    automorphism_count: int,
+    auts: Sequence[Tuple[int, ...]],
 ) -> Optional[DecompositionPlan]:
     """Compile one candidate connected cover into a full plan."""
     n = pattern.n_vertices
@@ -386,6 +423,34 @@ def _compile_cover(
     if len(core_order) != len(cover):
         return None
     position_of = {p: i for i, p in enumerate(core_order)}
+
+    # Symmetry restriction of the core walk.  Automorphisms that map the
+    # core onto itself (setwise) project to permutations of core
+    # *positions*; the projected group acts freely on injective core
+    # embeddings (an injective map fixed under composition with a
+    # non-identity position permutation is impossible) and the
+    # inclusion–exclusion completion count is constant on its orbits
+    # (the inducing automorphism bijects fringe completions).  Breaking
+    # the projected group with ordering conditions therefore shrinks the
+    # walk by exactly its order, and the residual multiplicity of the
+    # restricted total is |Aut(P)| / |projected group| (an integer:
+    # |Aut| = |pointwise-core-fixers| * |projection| * [Aut : H]).
+    cover_set = set(cover)
+    projected = {
+        tuple(position_of[alpha[p]] for p in core_order)
+        for alpha in auts
+        if all(alpha[v] in cover_set for v in cover_set)
+    }
+    core_group_order = len(projected)
+    core_conditions = tuple(
+        restriction_conditions_for_group(sorted(projected), len(core_order))
+    )
+    core_checks = tuple(
+        tuple(entries)
+        for entries in conditions_by_position(
+            core_conditions, list(range(len(core_order)))
+        )
+    )
     core_labels = tuple(labels[p] for p in core_order)
     core_backs: List[Tuple[Tuple[int, int], ...]] = []
     for pos, p in enumerate(core_order):
@@ -468,6 +533,13 @@ def _compile_cover(
     )
 
     # Cost estimate: the core walk plus per-embedding combine work.
+    # Deliberately the *unrestricted* walk even though the executed core
+    # walk is now symmetry-broken (``core_group_order`` times smaller):
+    # the enumeration estimate it competes against is likewise un-broken
+    # (see ``estimate_enumeration_units``), and keeping both conventions
+    # aligned preserves the PR-8 chooser calibration.  The restriction
+    # only makes executed decomposed runs cheaper than estimated — the
+    # safe direction for the margin gate.
     core_embeddings, core_units = _walk_estimate(
         pattern, graph, core_order, cost_model
     )
@@ -499,10 +571,14 @@ def _compile_cover(
         core_back_edges=tuple(core_backs),
         blocks=tuple(blocks),
         terms=terms,
-        automorphism_count=automorphism_count,
+        automorphism_count=len(auts),
         shared_fringe_block=shared_fringe_block,
         estimated_core_embeddings=core_embeddings,
         estimated_units=estimated_units,
+        core_conditions=core_conditions,
+        core_checks=core_checks,
+        core_group_order=core_group_order,
+        count_divisor=max(1, len(auts) // max(1, core_group_order)),
     )
 
 
@@ -526,7 +602,7 @@ def plan_decomposition(
     edges = _pattern_edges(pattern)
     if not edges:
         return None
-    automorphism_count = len(automorphisms(pattern))
+    auts = automorphisms(pattern)
 
     best: Optional[DecompositionPlan] = None
     for size in range(max(1, n - MAX_FRINGE), n):
@@ -536,9 +612,7 @@ def plan_decomposition(
                 continue
             if not _is_connected_subset(pattern, cover):
                 continue
-            plan = _compile_cover(
-                pattern, graph, cover, cost_model, automorphism_count
-            )
+            plan = _compile_cover(pattern, graph, cover, cost_model, auts)
             if plan is None:
                 continue
             if best is None or plan.estimated_units < best.estimated_units:
@@ -685,11 +759,18 @@ def count_embeddings(
     ``intersect_slices``, ``extension_tests`` per surviving candidate),
     then evaluates the inclusion–exclusion combine at every leaf.
 
+    The walk is symmetry-restricted by the plan's core conditions
+    (``core_checks``): each position's conditions become a ``[lo, hi)``
+    window binary-searched on the smallest back-edge slice, so the walk
+    visits one representative per projected-core-group orbit.
+
     ``roots`` restricts core position 0 to the given (label-correct)
     vertices — the backends' unit of work splitting; the caller meters
-    the root listing in that case.  Partial totals from disjoint root
-    sets sum to the full total but are **not** individually divisible by
-    ``|Aut(P)|`` — divide only after merging (:func:`instance_count`).
+    the root listing in that case.  (No condition ever binds at position
+    0 — it is the earliest position — so root splitting composes with
+    the restriction.)  Partial totals from disjoint root sets sum to the
+    full total but are **not** individually divisible by the residual
+    multiplicity — divide only after merging (:func:`instance_count`).
     """
     index, lnbr, _ = graph.labeled_adjacency()
     depth = len(plan.core)
@@ -757,6 +838,9 @@ def count_embeddings(
             extensions += product
         return extensions
 
+    core_checks = plan.core_checks
+    n_vertices = graph.n_vertices
+
     def dfs(pos: int) -> None:
         nonlocal total
         if pos == depth:
@@ -770,6 +854,27 @@ def count_embeddings(
             if segment is None:
                 return
             slices.append((lnbr, segment[0], segment[1]))
+        # Symmetry restriction: the plan's core conditions become a
+        # [lo, hi) window binary-searched on the smallest slice, exactly
+        # like the indexed kernel's window collapsing.
+        if core_checks and core_checks[pos]:
+            lower = 0
+            upper = n_vertices
+            for earlier_pos, must_be_greater in core_checks[pos]:
+                bound = matched[earlier_pos]
+                if must_be_greater:
+                    if bound + 1 > lower:
+                        lower = bound + 1
+                elif bound < upper:
+                    upper = bound
+            if lower >= upper:
+                return
+            slices.sort(key=lambda s: s[2] - s[1])
+            arr, lo, hi = slices[0]
+            lo, hi = range_bounds(arr, lo, hi, lower, upper, metrics)
+            if lo >= hi:
+                return
+            slices[0] = (arr, lo, hi)
         candidates = intersect_slices(slices, metrics, crossover)
         metrics.extension_tests += len(candidates)
         for v in candidates:
@@ -792,17 +897,27 @@ def count_embeddings(
 
 
 def instance_count(plan: DecompositionPlan, raw_embeddings: int) -> int:
-    """Merged raw embeddings -> pattern instances (``/ |Aut(P)|``).
+    """Merged raw embeddings -> pattern instances.
 
-    The automorphism group acts freely on injective embeddings, so the
-    merged total is exactly divisible; anything else means the
+    The symmetry-restricted core walk already divides out the projected
+    core group, so only the residual multiplicity
+    ``|Aut(P)| / |projected group|`` (:attr:`DecompositionPlan.count_divisor`)
+    remains; plans without the restriction fields (``count_divisor == 0``)
+    divide by the full ``|Aut(P)|`` as before.  The group action is free,
+    so the merged total is exactly divisible; anything else means the
     inclusion–exclusion combine (or a partial, unmerged total) is wrong,
-    and raising beats silently reporting a corrupt count.
+    and the raised :class:`DecompositionError` names the offending
+    pattern's DFS code so the quarantining backend can report it.
     """
-    aut = max(1, plan.automorphism_count)
-    if raw_embeddings % aut:
-        raise RuntimeError(
-            f"decomposed count {raw_embeddings} not divisible by "
-            f"|Aut(P)| = {aut}; inclusion–exclusion combine is inconsistent"
+    divisor = plan.count_divisor or max(1, plan.automorphism_count)
+    if raw_embeddings % divisor:
+        raise DecompositionError(
+            f"decomposed count {raw_embeddings} not divisible by residual "
+            f"multiplicity {divisor} "
+            f"(|Aut(P)| = {plan.automorphism_count}, projected core group "
+            f"order {plan.core_group_order}) for pattern with DFS code "
+            f"{plan.pattern.canonical_code()}; inclusion–exclusion combine "
+            f"is inconsistent",
+            code=plan.pattern.canonical_code(),
         )
-    return raw_embeddings // aut
+    return raw_embeddings // divisor

@@ -44,6 +44,7 @@ class Pattern:
         "_orbits",
         "_pos_orbits",
         "_hash",
+        "_symcache",
     )
 
     def __init__(
@@ -73,6 +74,10 @@ class Pattern:
         self._pos_orbits: Optional[Tuple[int, ...]] = None
         self._hash: Optional[int] = None
         self._adj: Optional[List[List[Tuple[int, int]]]] = None
+        # Lazy cache of compiled symmetry-breaking plans, managed by
+        # ``repro.pattern.symmetry.symmetry_plan`` (keyed by construction
+        # flavor, matching order and graph identity).
+        self._symcache: Optional[dict] = None
 
     @classmethod
     def _from_normalized(
@@ -96,6 +101,7 @@ class Pattern:
         pattern._pos_orbits = None
         pattern._hash = None
         pattern._adj = None
+        pattern._symcache = None
         return pattern
 
     @property

@@ -45,8 +45,41 @@ __all__ = [
     "SequentialBackend",
     "SimulatorBackend",
     "StepOutcome",
+    "plan_orbit_count",
     "resolve_backend",
 ]
+
+
+def plan_orbit_count(strategy, primitives, collect, root_words):
+    """Decide whether a step may run via orbit-multiplicity counting.
+
+    Returns ``(eligible, info)``.  ``info`` is ``None`` for strategies
+    without the capability (vertex/edge-induced, legacy kernel, or the
+    global switch off); otherwise a dict for ``kernel_info["orbit_count"]``
+    recording the decision.  Eligible steps are pure full-pattern
+    expansions collected as a bare count — exactly the shape where the
+    per-embedding sink is a no-op and only the total matters, so
+    enumerating one representative per orbit tail and multiplying is
+    observably identical.
+    """
+    supports = getattr(strategy, "supports_orbit_count", None)
+    if supports is None or not supports():
+        return False, None
+    from ..core.primitives import Expand
+
+    if collect != "count":
+        return False, {"executed": False, "reason": "step is not a pure count"}
+    if root_words is not None:
+        return False, {"executed": False, "reason": "step has explicit roots"}
+    if len(primitives) != strategy.pattern.n_vertices or not all(
+        isinstance(p, Expand) for p in primitives
+    ):
+        return False, {
+            "executed": False,
+            "reason": "step is not a pure full-pattern expansion",
+        }
+    tail, arrangements = strategy.orbit_tail()
+    return True, {"executed": True, "tail": tail, "arrangements": arrangements}
 
 
 @dataclass
@@ -131,7 +164,11 @@ class SequentialBackend(ExecutionBackend):
         )
         kernel_info = strategy.kernel_info()
         if strategy.wants_decomposed_count():
-            from ..pattern.decompose import plan_step_decomposition
+            from ..pattern.decompose import (
+                DecompositionError,
+                fallback_info,
+                plan_step_decomposition,
+            )
 
             plan, decomp_info = plan_step_decomposition(
                 strategy.pattern,
@@ -144,8 +181,28 @@ class SequentialBackend(ExecutionBackend):
             if kernel_info is not None:
                 kernel_info["decomposition"] = decomp_info
             if plan is not None:
-                return self._run_decomposed(graph, plan, metrics, kernel_info)
-            metrics.decomp_fallbacks += 1
+                try:
+                    return self._run_decomposed(
+                        graph, plan, metrics, kernel_info
+                    )
+                except DecompositionError as exc:
+                    # Quarantine: the plan's multiplicity bookkeeping is
+                    # inconsistent — fall back to plain enumeration, which
+                    # needs no multiplicity arithmetic at all.
+                    warnings.warn(str(exc), RuntimeWarning, stacklevel=2)
+                    if kernel_info is not None:
+                        kernel_info["decomposition"] = fallback_info(
+                            f"quarantined: {exc}"
+                        )
+            else:
+                metrics.decomp_fallbacks += 1
+        orbit_ok, orbit_info = plan_orbit_count(
+            strategy, primitives, collect, root_words
+        )
+        if kernel_info is not None and orbit_info is not None:
+            kernel_info["orbit_count"] = orbit_info
+        if orbit_ok:
+            return self._run_orbit_count(strategy, metrics, kernel_info)
         computation = Computation(graph, metrics, interner, aggregation_views)
         storages = run_step_sequential(
             strategy,
@@ -173,16 +230,35 @@ class SequentialBackend(ExecutionBackend):
         No sink runs (a counting sink is a no-op by contract) and no
         aggregation storages exist — the step is a pure count, surfaced
         through ``metrics.results_emitted`` like any counting step.
-        """
-        from ..pattern.decompose import count_embeddings, instance_count
 
+        The core walk is metered into a scratch bundle first: if the
+        multiplicity arithmetic trips
+        (:class:`~repro.pattern.decompose.DecompositionError`), the
+        walked work is booked as *wasted* on ``metrics`` and the error
+        propagates so the caller can quarantine the step to enumeration.
+        """
+        from ..pattern.decompose import (
+            DecompositionError,
+            count_embeddings,
+            instance_count,
+        )
+
+        scratch = Metrics()
         raw = count_embeddings(
             plan,
             graph,
-            metrics,
+            scratch,
             crossover=self.cost_model.gallop_crossover,
         )
-        metrics.results_emitted = instance_count(plan, raw)
+        try:
+            count = instance_count(plan, raw)
+        except DecompositionError:
+            metrics.wasted_extension_tests += scratch.extension_tests
+            metrics.wasted_work_units += self.cost_model.step_units(scratch)
+            metrics.decomp_fallbacks += 1
+            raise
+        metrics.merge(scratch)
+        metrics.results_emitted = count
         units = self.cost_model.step_units(metrics)
         return StepOutcome(
             storages={},
@@ -191,6 +267,25 @@ class SequentialBackend(ExecutionBackend):
             simulated_seconds=self.cost_model.seconds(units),
             kernel_info=kernel_info,
             backend_info={"backend": self.name, "decomposed": True},
+        )
+
+    def _run_orbit_count(
+        self, strategy, metrics: Metrics, kernel_info
+    ) -> StepOutcome:
+        """Counting-only step via orbit-multiplicity bulk counting.
+
+        Same contract as :meth:`_run_decomposed`: no sink, no storages,
+        the exact count lands in ``metrics.results_emitted``.
+        """
+        metrics.results_emitted = strategy.count_matches()
+        units = self.cost_model.step_units(metrics)
+        return StepOutcome(
+            storages={},
+            metrics=metrics,
+            work_units=units,
+            simulated_seconds=self.cost_model.seconds(units),
+            kernel_info=kernel_info,
+            backend_info={"backend": self.name, "orbit_counted": True},
         )
 
 
@@ -216,14 +311,21 @@ class SimulatorBackend(ExecutionBackend):
         collect=None,
     ) -> StepOutcome:
         decomp_info = None
+        quarantined = None
         probe = strategy_factory(graph, Metrics(), interner)
         probe.configure_kernel(
             self.config.pattern_kernel,
             self.config.order_policy,
             self.config.cost_model.gallop_crossover,
         )
+        fault_free = (
+            self.config.fault_plan is None
+            and not self.config.fail_at
+            and self.config.partition is None
+        )
         if probe.wants_decomposed_count():
             from ..pattern.decompose import (
+                DecompositionError,
                 fallback_info,
                 plan_step_decomposition,
             )
@@ -247,7 +349,29 @@ class SimulatorBackend(ExecutionBackend):
                     self.config.cost_model,
                 )
                 if plan is not None:
-                    return self._run_decomposed(graph, plan, probe, decomp_info)
+                    try:
+                        return self._run_decomposed(
+                            graph, plan, probe, decomp_info
+                        )
+                    except DecompositionError as exc:
+                        warnings.warn(str(exc), RuntimeWarning, stacklevel=2)
+                        decomp_info = fallback_info(f"quarantined: {exc}")
+                        quarantined = exc
+        orbit_info = None
+        if fault_free:
+            orbit_ok, orbit_info = plan_orbit_count(
+                probe, primitives, collect, root_words
+            )
+            if orbit_ok:
+                return self._run_orbit_count(
+                    graph,
+                    strategy_factory,
+                    interner,
+                    probe,
+                    orbit_info,
+                    decomp_info,
+                    quarantined,
+                )
         result = self._engine.run_step(
             graph,
             strategy_factory,
@@ -271,6 +395,15 @@ class SimulatorBackend(ExecutionBackend):
             if kernel_info is not None:
                 kernel_info = dict(kernel_info)
                 kernel_info["decomposition"] = decomp_info
+        if quarantined is not None:
+            result.metrics.wasted_extension_tests += (
+                quarantined.wasted_extension_tests
+            )
+            result.metrics.wasted_work_units += quarantined.wasted_units
+        if orbit_info is not None:
+            if kernel_info is not None:
+                kernel_info = dict(kernel_info)
+                kernel_info["orbit_count"] = orbit_info
         return StepOutcome(
             storages=result.storages,
             metrics=result.metrics,
@@ -290,8 +423,11 @@ class SimulatorBackend(ExecutionBackend):
         configured cores — the same unit the engine distributes — and
         each core's metered work is priced independently; the simulated
         makespan is the busiest core.  Raw embedding subtotals are only
-        divided by ``|Aut(P)|`` after merging (per-chunk subtotals need
-        not be divisible).
+        divided by the plan's multiplicity after merging (per-chunk
+        subtotals need not be divisible).  If the multiplicity
+        arithmetic trips, the walked work is attached to the raised
+        :class:`~repro.pattern.decompose.DecompositionError` so the
+        caller can book it as wasted on the quarantined enumeration run.
         """
         from ..pattern.decompose import count_embeddings, instance_count
 
@@ -321,7 +457,13 @@ class SimulatorBackend(ExecutionBackend):
             if busy > makespan_units:
                 makespan_units = busy
             merged.merge(core_metrics)
-        merged.results_emitted = instance_count(plan, total_raw)
+        try:
+            merged.results_emitted = instance_count(plan, total_raw)
+        except Exception as exc:
+            if hasattr(exc, "wasted_extension_tests"):
+                exc.wasted_extension_tests = merged.extension_tests
+                exc.wasted_units = cost.step_units(merged)
+            raise
         kernel_info = probe.kernel_info()
         if kernel_info is not None:
             kernel_info["decomposition"] = decomp_info
@@ -336,6 +478,77 @@ class SimulatorBackend(ExecutionBackend):
                 "workers": self.config.workers,
                 "cores_per_worker": self.config.cores_per_worker,
                 "decomposed": True,
+            },
+        )
+
+    def _run_orbit_count(
+        self,
+        graph,
+        strategy_factory,
+        interner,
+        probe,
+        orbit_info,
+        decomp_info,
+        quarantined,
+    ) -> StepOutcome:
+        """Simulated-cluster execution of an orbit-multiplicity count.
+
+        Level-0 candidates (matching-order roots) split round-robin
+        across the configured cores exactly like the decomposed path;
+        the root listing is metered once in setup with the same counters
+        the sequential kernel's level-0 ``extensions`` call would book,
+        so merged counter totals match the sequential engine's exactly.
+        """
+        cost = self.config.cost_model
+        n_cores = self.config.workers * self.config.cores_per_worker
+        setup_metrics = Metrics()
+        setup_metrics.index_slices += 1
+        root_label = probe.pattern.vertex_labels[probe.order[0]]
+        roots = graph.vertices_with_label(root_label)
+        setup_metrics.extension_tests += len(roots)
+        setup_metrics.extensions_generated += len(roots)
+        total = 0
+        makespan_units = 0.0
+        merged = Metrics()
+        merged.merge(setup_metrics)
+        for core_id in range(n_cores):
+            chunk = roots[core_id::n_cores]
+            if not chunk:
+                continue
+            core_metrics = Metrics()
+            strategy = strategy_factory(graph, core_metrics, interner)
+            strategy.configure_kernel(
+                self.config.pattern_kernel,
+                self.config.order_policy,
+                cost.gallop_crossover,
+            )
+            total += strategy.count_matches(roots=chunk)
+            busy = cost.step_units(core_metrics)
+            if busy > makespan_units:
+                makespan_units = busy
+            merged.merge(core_metrics)
+        merged.results_emitted = total
+        if decomp_info is not None:
+            merged.decomp_fallbacks += 1
+        if quarantined is not None:
+            merged.wasted_extension_tests += quarantined.wasted_extension_tests
+            merged.wasted_work_units += quarantined.wasted_units
+        kernel_info = probe.kernel_info()
+        if kernel_info is not None:
+            if decomp_info is not None:
+                kernel_info["decomposition"] = decomp_info
+            kernel_info["orbit_count"] = orbit_info
+        return StepOutcome(
+            storages={},
+            metrics=merged,
+            work_units=makespan_units,
+            simulated_seconds=cost.seconds(makespan_units),
+            kernel_info=kernel_info,
+            backend_info={
+                "backend": self.name,
+                "workers": self.config.workers,
+                "cores_per_worker": self.config.cores_per_worker,
+                "orbit_counted": True,
             },
         )
 

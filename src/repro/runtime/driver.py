@@ -239,6 +239,15 @@ class ExecutionReport:
         the plan and estimates when decomposition was picked) and the
         ``decomp_*`` counters meter the inclusion–exclusion combine;
         they stay zero on pure-enumeration runs.
+
+        ``symmetry`` reports the restriction set the matching plan uses
+        (optimized size vs the classic heuristic, the automorphism group
+        order, and the bulk-counted orbit tail); ``orbit_count`` records
+        whether the counting-only fast path executed and why not
+        otherwise.  ``orbit_multiplied_embeddings`` are embeddings that
+        were credited in bulk without being walked, and
+        ``symmetry_cache_hits`` meters reuse of per-pattern restriction
+        plans.
         """
         info = None
         for step in self.steps:
@@ -250,6 +259,10 @@ class ExecutionReport:
             "order_policy": info["order_policy"] if info else None,
             "order": info["order"] if info else None,
             "decomposition": info.get("decomposition") if info else None,
+            "symmetry": info.get("symmetry") if info else None,
+            "orbit_count": info.get("orbit_count") if info else None,
+            "orbit_multiplied_embeddings": m.orbit_multiplied_embeddings,
+            "symmetry_cache_hits": m.symmetry_cache_hits,
             "back_edge_probes": m.back_edge_probes,
             "intersect_comparisons": m.intersect_comparisons,
             "gallop_steps": m.gallop_steps,

@@ -51,7 +51,14 @@ The paper's evaluation is expressed in a handful of measurable quantities:
   chunk leases re-executed after a worker death or lost result message,
   and chunks quarantined to the driver's sequential path after
   repeatedly killing their workers.  All zero on fault-free runs and on
-  every other backend.
+  every other backend;
+* symmetry breaking — restriction-set plans served from the per-pattern
+  cache (``symmetry_cache_hits``) and embeddings credited by
+  orbit-multiplicity counting instead of being walked individually
+  (``orbit_multiplied_embeddings``).  The latter is the work the
+  GraphZero-style kernel *skips*: ``subgraphs_enumerated`` now counts
+  only walked tree nodes on counting-only steps, while
+  ``results_emitted`` still reports the exact embedding count.
 
 A single :class:`Metrics` instance accompanies every execution; engines and
 extension strategies increment its counters inline.
@@ -123,6 +130,8 @@ class Metrics:
         "decomp_blocks",
         "decomp_terms",
         "decomp_fallbacks",
+        "symmetry_cache_hits",
+        "orbit_multiplied_embeddings",
     )
 
     def __init__(self):
@@ -181,6 +190,8 @@ class Metrics:
         self.decomp_blocks = 0
         self.decomp_terms = 0
         self.decomp_fallbacks = 0
+        self.symmetry_cache_hits = 0
+        self.orbit_multiplied_embeddings = 0
 
     def merge(self, other: "Metrics") -> None:
         """Accumulate counters from another instance (peaks take max)."""
@@ -237,6 +248,8 @@ class Metrics:
         self.decomp_blocks += other.decomp_blocks
         self.decomp_terms += other.decomp_terms
         self.decomp_fallbacks += other.decomp_fallbacks
+        self.symmetry_cache_hits += other.symmetry_cache_hits
+        self.orbit_multiplied_embeddings += other.orbit_multiplied_embeddings
         self.peak_enumerator_bytes = max(
             self.peak_enumerator_bytes, other.peak_enumerator_bytes
         )

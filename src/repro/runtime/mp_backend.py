@@ -106,7 +106,7 @@ from ..graph.graph import Graph
 from ..graph.partition import PARTITION_STRATEGIES, partition_graph
 from ..graph.shm import SharedGraphBuffers
 from ..pattern.pattern import PatternInterner
-from .backend import ExecutionBackend, StepOutcome
+from .backend import ExecutionBackend, StepOutcome, plan_orbit_count
 from .costmodel import DEFAULT_COST_MODEL, CostModel
 from .engine import new_storages, run_step_sequential
 from .faults import FaultPlan
@@ -281,6 +281,7 @@ class MultiprocessBackend(ExecutionBackend):
 
         if parent_strategy.wants_decomposed_count():
             from ..pattern.decompose import (
+                DecompositionError,
                 fallback_info,
                 plan_step_decomposition,
             )
@@ -308,10 +309,41 @@ class MultiprocessBackend(ExecutionBackend):
             if kernel_info is not None:
                 kernel_info["decomposition"] = decomp_info
             if decomposed_plan is not None:
-                return self._run_decomposed(
-                    graph, decomposed_plan, setup_metrics, kernel_info, started
+                try:
+                    return self._run_decomposed(
+                        graph,
+                        decomposed_plan,
+                        setup_metrics,
+                        kernel_info,
+                        started,
+                    )
+                except DecompositionError as exc:
+                    # Quarantine to enumeration under degrade="auto";
+                    # degrade="never" asks for hard failures instead.
+                    if config.degrade == "never":
+                        raise
+                    warnings.warn(str(exc), RuntimeWarning, stacklevel=2)
+                    if kernel_info is not None:
+                        kernel_info["decomposition"] = fallback_info(
+                            f"quarantined: {exc}"
+                        )
+            else:
+                setup_metrics.decomp_fallbacks += 1
+
+        if (
+            config.fault_plan is None
+            and config.partition is None
+            and root_words is None
+        ):
+            orbit_ok, orbit_info = plan_orbit_count(
+                parent_strategy, primitives, collect, root_words
+            )
+            if kernel_info is not None and orbit_info is not None:
+                kernel_info["orbit_count"] = orbit_info
+            if orbit_ok:
+                return self._run_orbit_count(
+                    parent_strategy, setup_metrics, kernel_info, started
                 )
-            setup_metrics.decomp_fallbacks += 1
 
         if first_expand is None:
             # Degenerate step without extension: one evaluation of the
@@ -1029,15 +1061,30 @@ class MultiprocessBackend(ExecutionBackend):
         in ``backend_info`` so reports stay honest about where the work
         happened.
         """
-        from ..pattern.decompose import count_embeddings, instance_count
+        from ..pattern.decompose import (
+            DecompositionError,
+            count_embeddings,
+            instance_count,
+        )
 
         cost = self.config.cost_model
         metrics = Metrics()
         metrics.merge(setup_metrics)
+        scratch = Metrics()
         raw = count_embeddings(
-            plan, graph, metrics, crossover=cost.gallop_crossover
+            plan, graph, scratch, crossover=cost.gallop_crossover
         )
-        metrics.results_emitted = instance_count(plan, raw)
+        try:
+            count = instance_count(plan, raw)
+        except DecompositionError:
+            # Book the walked core work as wasted on the metrics bundle
+            # the quarantined enumeration run will continue with.
+            setup_metrics.wasted_extension_tests += scratch.extension_tests
+            setup_metrics.wasted_work_units += cost.step_units(scratch)
+            setup_metrics.decomp_fallbacks += 1
+            raise
+        metrics.merge(scratch)
+        metrics.results_emitted = count
         units = cost.step_units(metrics)
         return StepOutcome(
             storages={},
@@ -1049,6 +1096,38 @@ class MultiprocessBackend(ExecutionBackend):
                 "backend": self.name,
                 "num_procs": self.config.num_procs,
                 "decomposed_in_driver": True,
+                "wall_seconds": time.perf_counter() - started,
+            },
+        )
+
+    def _run_orbit_count(
+        self,
+        strategy,
+        setup_metrics: Metrics,
+        kernel_info,
+        started: float,
+    ) -> StepOutcome:
+        """Orbit-multiplicity counting steps run in the driver.
+
+        Same reasoning as :meth:`_run_decomposed`: the collapsed walk is
+        far below the fork/shared-memory setup cost the worker fleet
+        would have to amortize, and running it in-process keeps counts
+        and counters byte-identical to the sequential backend.  Flagged
+        in ``backend_info`` so reports stay honest about placement.
+        """
+        cost = self.config.cost_model
+        setup_metrics.results_emitted = strategy.count_matches()
+        units = cost.step_units(setup_metrics)
+        return StepOutcome(
+            storages={},
+            metrics=setup_metrics,
+            work_units=units,
+            simulated_seconds=cost.seconds(units),
+            kernel_info=kernel_info,
+            backend_info={
+                "backend": self.name,
+                "num_procs": self.config.num_procs,
+                "orbit_counted_in_driver": True,
                 "wall_seconds": time.perf_counter() - started,
             },
         )

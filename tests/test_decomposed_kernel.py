@@ -173,10 +173,21 @@ class TestDecomposedExecution:
         assert summary["decomp_fallbacks"] == 0
         baseline, base_report = _count(graph, pattern, "indexed")
         assert count == baseline
-        # The headline quantity: priced candidate work must drop.
+        # The headline quantity this test pins: the inclusion–exclusion
+        # combine must beat *walking* the enumeration tree.  Since the
+        # symmetry PR the indexed kernel bulk-counts its orbit tail on
+        # counting steps (often cheaper still), so measure the walking
+        # baseline with orbit counting off.
+        from repro.core.enumerator import set_orbit_counting
+
+        previous = set_orbit_counting(False)
+        try:
+            _, walk_report = _count(graph, pattern, "indexed")
+        finally:
+            set_orbit_counting(previous)
         assert (
             summary["candidate_units"]
-            < base_report.pattern_kernel_summary()["candidate_units"]
+            < walk_report.pattern_kernel_summary()["candidate_units"]
         )
 
     def test_decomposed_runs_on_simulator_and_mp(self):
@@ -308,6 +319,90 @@ class TestFallbacks:
             "executed": "enumeration",
             "reason": "some reason",
         }
+
+
+# ----------------------------------------------------------------------
+# Divisibility tripwire: quarantine, not a crash
+# ----------------------------------------------------------------------
+class TestQuarantine:
+    # A prime far larger than any automorphism count: raw totals are
+    # never divisible by it, so a tampered divisor trips the invariant.
+    BAD_DIVISOR = 1_000_003
+
+    def test_tripwire_names_the_pattern(self):
+        import repro.pattern.decompose as decompose
+
+        graph = erdos_renyi_graph(30, 90, seed=2)
+        pattern = QUERY_PATTERNS["q1"]
+        plan = plan_decomposition(pattern, graph)
+        plan.count_divisor = self.BAD_DIVISOR
+        with pytest.raises(decompose.DecompositionError) as excinfo:
+            instance_count(plan, 7)
+        assert excinfo.value.code == pattern.canonical_code()
+        assert str(pattern.canonical_code()) in str(excinfo.value)
+
+    def _tampered_planner(self, monkeypatch):
+        import repro.pattern.decompose as decompose
+
+        real = decompose.plan_step_decomposition
+
+        def tampered(*args, **kwargs):
+            plan, info = real(*args, **kwargs)
+            if plan is not None:
+                plan.count_divisor = self.BAD_DIVISOR
+            return plan, info
+
+        monkeypatch.setattr(
+            decompose, "plan_step_decomposition", tampered
+        )
+
+    def test_sequential_quarantines_to_enumeration(self, monkeypatch):
+        graph = erdos_renyi_graph(200, 2400, seed=5)
+        pattern = QUERY_PATTERNS["q7"]
+        baseline, _ = _count(graph, pattern, "indexed")
+        self._tampered_planner(monkeypatch)
+        with pytest.warns(RuntimeWarning, match="not divisible"):
+            count, report = _count(graph, pattern, "decomposed")
+        assert count == baseline
+        decomp = report.pattern_kernel_summary()["decomposition"]
+        assert decomp["executed"] == "enumeration"
+        assert "quarantined" in decomp["reason"]
+        assert str(pattern.canonical_code()) in decomp["reason"]
+        m = report.metrics
+        assert m.decomp_fallbacks >= 1
+        assert m.wasted_extension_tests > 0
+        assert m.wasted_work_units > 0
+
+    def test_simulator_quarantines_to_enumeration(self, monkeypatch):
+        graph = erdos_renyi_graph(200, 2400, seed=5)
+        pattern = QUERY_PATTERNS["q7"]
+        baseline, _ = _count(graph, pattern, "indexed")
+        self._tampered_planner(monkeypatch)
+        config = ClusterConfig(
+            workers=2, cores_per_worker=2, pattern_kernel="decomposed"
+        )
+        with pytest.warns(RuntimeWarning, match="not divisible"):
+            count, report = _count(graph, pattern, None, config)
+        assert count == baseline
+        decomp = report.pattern_kernel_summary()["decomposition"]
+        assert decomp["executed"] == "enumeration"
+        assert report.metrics.decomp_fallbacks >= 1
+
+    def test_mp_degrade_never_raises(self, monkeypatch):
+        import multiprocessing
+
+        import repro.pattern.decompose as decompose
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("multiprocess backend requires fork start method")
+        graph = erdos_renyi_graph(200, 2400, seed=5)
+        pattern = QUERY_PATTERNS["q7"]
+        self._tampered_planner(monkeypatch)
+        config = MultiprocessConfig(
+            num_procs=2, pattern_kernel="decomposed", degrade="never"
+        )
+        with pytest.raises(decompose.DecompositionError):
+            _count(graph, pattern, None, config)
 
 
 # ----------------------------------------------------------------------

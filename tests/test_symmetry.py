@@ -1,22 +1,44 @@
-"""Tests for Grochow-Kellis symmetry-breaking conditions."""
+"""Tests for Grochow–Kellis / GraphZero-style symmetry breaking.
 
+The load-bearing oracles (hypothesis-driven, satellite of the symmetry
+PR):
+
+* **exactly one representative** — for random patterns up to 7 vertices,
+  the optimized (minimal) restriction set admits exactly one assignment
+  per automorphism class over every permutation of a candidate vertex
+  set;
+* **restricted count x multiplicity** — on random labeled graphs, the
+  number of injective embeddings satisfying the conditions times
+  ``|Aut(P)|`` equals the unrestricted embedding count;
+* **minimal never larger than heuristic** — the anchor-search optimizer
+  can only match or beat the classic min-anchor construction;
+* orbit-multiplicity counting and the decomposed restricted core walk
+  agree with plain enumeration (see also ``test_decomposed_kernel``).
+"""
+
+import math
 import random
 from itertools import permutations
 
-from repro import Pattern
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro import FractalContext, Pattern
+from repro.core import enumerator
+from repro.graph import erdos_renyi_graph
 from repro.pattern import (
     automorphisms,
     conditions_by_position,
+    count_pattern_matches,
+    heuristic_symmetry_breaking_conditions,
+    minimal_restriction_set,
     satisfies_conditions,
     symmetry_breaking_conditions,
+    symmetry_plan,
 )
-
-
-def _assignments_of_class(pattern, vertex_set):
-    """All bijections vertex positions -> concrete ids for one instance."""
-    n = pattern.n_vertices
-    for perm in permutations(sorted(vertex_set)):
-        yield tuple(perm[: n])
+from repro.runtime.metrics import Metrics
 
 
 class TestConditions:
@@ -24,10 +46,14 @@ class TestConditions:
         p = Pattern([0, 1, 2], [(0, 1, 0), (1, 2, 0)])
         assert symmetry_breaking_conditions(p) == []
 
-    def test_clique_total_order(self):
+    def test_clique_chain_order(self):
         conditions = symmetry_breaking_conditions(Pattern.clique(3))
-        # K3 needs a full order over its three vertices.
-        assert len(conditions) == 3
+        # K3 needs a *total* order over its three vertices, but its
+        # transitive reduction is a chain of two conditions — the
+        # GraphZero observation the optimizer implements.
+        assert conditions == [(0, 1), (1, 2)]
+        k4 = symmetry_breaking_conditions(Pattern.clique(4))
+        assert k4 == [(0, 1), (1, 2), (2, 3)]
 
     def test_exactly_one_representative_per_automorphism_class(self):
         # For every pattern, over all permutations of a candidate vertex
@@ -66,6 +92,156 @@ class TestConditions:
             if satisfies_conditions(assignment, conditions)
         ]
         assert survivors  # at least one representative exists
+
+
+# ----------------------------------------------------------------------
+# Hypothesis oracles over random patterns
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def random_pattern(draw, max_vertices=7):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    all_pairs = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    # Random edge subset; retry via assume for connectivity-free validity
+    # (conditions are defined for any simple pattern, connected or not).
+    mask = draw(
+        st.lists(st.booleans(), min_size=len(all_pairs), max_size=len(all_pairs))
+    )
+    edges = [pair for pair, keep in zip(all_pairs, mask) if keep]
+    hypothesis.assume(edges)
+    n_labels = draw(st.sampled_from([1, 1, 2]))
+    vlabels = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_labels - 1),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return Pattern(vlabels, [(a, b, 0) for a, b in edges])
+
+
+class TestMinimalRestrictionOracles:
+    @given(random_pattern())
+    @settings(max_examples=60, deadline=None)
+    def test_exactly_one_representative(self, pattern):
+        n = pattern.n_vertices
+        auts = automorphisms(pattern)
+        conditions = symmetry_breaking_conditions(pattern)
+        satisfying = sum(
+            1
+            for assignment in permutations(range(n))
+            if satisfies_conditions(assignment, conditions)
+        )
+        assert satisfying * len(auts) == math.factorial(n)
+
+    @given(random_pattern())
+    @settings(max_examples=60, deadline=None)
+    def test_minimal_never_larger_than_heuristic(self, pattern):
+        plan = minimal_restriction_set(pattern)
+        heuristic = heuristic_symmetry_breaking_conditions(pattern)
+        assert plan.heuristic_size == len(heuristic)
+        assert len(plan.conditions) <= len(heuristic)
+
+    @given(
+        random_pattern(max_vertices=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_restricted_count_times_multiplicity_is_unrestricted(
+        self, pattern, seed
+    ):
+        # On a random labeled graph: |restricted embeddings| x |Aut(P)|
+        # == |all injective embeddings|, by brute force over injective
+        # vertex assignments.
+        n = pattern.n_vertices
+        graph = erdos_renyi_graph(10, 24, n_labels=2, seed=seed)
+        conditions = symmetry_breaking_conditions(pattern)
+
+        def is_embedding(assignment):
+            for v in range(n):
+                if graph.vertex_label(assignment[v]) != pattern.vertex_labels[v]:
+                    return False
+            for a, b, elabel in pattern.edges:
+                eid = graph.edge_between(assignment[a], assignment[b])
+                if eid < 0 or graph.edge_label(eid) != elabel:
+                    return False
+            return True
+
+        unrestricted = 0
+        restricted = 0
+        for assignment in permutations(range(graph.n_vertices), n):
+            if not is_embedding(assignment):
+                continue
+            unrestricted += 1
+            if satisfies_conditions(assignment, conditions):
+                restricted += 1
+        assert restricted * len(automorphisms(pattern)) == unrestricted
+
+
+# ----------------------------------------------------------------------
+# Orbit-multiplicity counting agrees with the embedding oracle
+# ----------------------------------------------------------------------
+
+
+class TestOrbitCounting:
+    @given(
+        random_pattern(max_vertices=5),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_count_matches_equals_oracle(self, pattern, seed):
+        hypothesis.assume(pattern.is_connected())
+        graph = erdos_renyi_graph(14, 40, n_labels=2, seed=seed)
+        expected = count_pattern_matches(pattern, graph)
+        fc = FractalContext(engine="sequential", pattern_kernel="indexed")
+        fr = fc.from_graph(graph).pfractoid(pattern).expand(pattern.n_vertices)
+        report = fr.execute(collect="count")
+        assert report.result_count == expected
+        info = report.steps[-1].kernel_info
+        assert info["orbit_count"]["executed"] is True
+
+    def test_orbit_knob_round_trips(self):
+        previous = enumerator.set_orbit_counting(False)
+        try:
+            assert enumerator.orbit_counting_enabled() is False
+            graph = erdos_renyi_graph(20, 60, seed=3)
+            star = Pattern.from_edge_list([(0, 1), (0, 2), (0, 3)])
+            fc = FractalContext(engine="sequential", pattern_kernel="indexed")
+            fr = fc.from_graph(graph).pfractoid(star).expand(4)
+            report = fr.execute(collect="count")
+            # Counting still exact, but walked one node per embedding.
+            assert report.result_count == count_pattern_matches(star, graph)
+            assert report.metrics.orbit_multiplied_embeddings == 0
+        finally:
+            enumerator.set_orbit_counting(previous)
+        assert enumerator.orbit_counting_enabled() is previous
+
+
+# ----------------------------------------------------------------------
+# Per-pattern plan caching
+# ----------------------------------------------------------------------
+
+
+class TestSymmetryPlanCache:
+    def test_cache_hits_are_metered(self):
+        pattern = Pattern.clique(3)
+        metrics = Metrics()
+        order = [0, 1, 2]
+        first = symmetry_plan(pattern, order, None, metrics)
+        assert metrics.symmetry_cache_hits == 0
+        second = symmetry_plan(pattern, order, None, metrics)
+        assert metrics.symmetry_cache_hits == 1
+        assert second is first
+
+    def test_distinct_orders_cache_separately(self):
+        pattern = Pattern.from_edge_list([(0, 1), (1, 2)])
+        metrics = Metrics()
+        a = symmetry_plan(pattern, [0, 1, 2], None, metrics)
+        b = symmetry_plan(pattern, [1, 0, 2], None, metrics)
+        assert metrics.symmetry_cache_hits == 0
+        assert a.conditions == b.conditions  # same set, different checks
+        assert a.checks != b.checks
 
 
 class TestConditionsByPosition:
