@@ -1,0 +1,278 @@
+"""Adaptive steal-policy benchmark over the DLB scenario suite.
+
+Runs ``steal_policy="adaptive"`` against every fixed policy
+(``one``/``half``/``chunk:4``/``chunk:16``) across the five DLB load
+shapes from :mod:`dlb_scenarios` (``bestdegree``, ``offloadlatency``,
+``syntheticslow``, ``scatter``, ``convergence``) and writes
+``BENCH_adaptive_steal.json`` (schema v2).
+
+All quantities are simulated and deterministic, so the targets are
+asserted exactly:
+
+* adaptive is within 10% of the *best* fixed policy on every scenario;
+* adaptive strictly beats the best *single* fixed policy on the matrix
+  makespan geomean (no fixed degree is right for every load shape —
+  the controller's whole point);
+* result counts are identical to ``steal_policy="one"`` on every
+  scenario, and the result multiset is byte-identical on the
+  correctness workload;
+* two adaptive runs of the same scenario produce identical metrics and
+  clocks (replay determinism).
+
+``--smoke`` runs one fast scenario only (CI): result equality with the
+fixed-policy run plus at least one steal-degree adjustment; the
+performance band is asserted in ``--quick`` and full modes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from bench_schema import make_header  # noqa: E402
+from dlb_scenarios import (  # noqa: E402
+    Scenario,
+    all_scenarios,
+    bestdegree,
+    scenario_summary,
+)
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_adaptive_steal.json"
+
+FIXED_POLICIES = ("one", "half", "chunk:4", "chunk:16")
+ADAPTIVE = "adaptive"
+ALL_POLICIES = FIXED_POLICIES + (ADAPTIVE,)
+
+
+def run_policy(scenario: Scenario, graph, policy: str) -> Dict[str, object]:
+    report = scenario.fractoid(policy, graph).execute(collect="count")
+    m = report.metrics
+    steals = m.steals_internal + m.steals_external
+    summary = report.scheduler_summary()
+    return {
+        "makespan_s": round(report.simulated_seconds, 6),
+        "result_count": report.result_count,
+        "steals": steals,
+        "steal_messages": m.steal_messages,
+        "mean_chunk": round(summary["mean_steal_chunk"], 3),
+        "steal_degree_adjustments": m.steal_degree_adjustments,
+        "victim_cost_skips": m.victim_cost_skips,
+        "adaptive_chunk_mean": round(summary["adaptive_chunk_mean"], 3),
+    }
+
+
+def run_matrix(
+    scenarios: Sequence[Scenario],
+) -> Dict[str, Dict[str, Dict[str, object]]]:
+    matrix: Dict[str, Dict[str, Dict[str, object]]] = {}
+    for scenario in scenarios:
+        graph = scenario.graph()
+        rows: Dict[str, Dict[str, object]] = {}
+        for policy in ALL_POLICIES:
+            rows[policy] = run_policy(scenario, graph, policy)
+        matrix[scenario.name] = rows
+        adaptive = rows[ADAPTIVE]
+        best = min(
+            rows[p]["makespan_s"] for p in FIXED_POLICIES
+        )
+        print(
+            f"  {scenario.name:15s} "
+            + " ".join(
+                f"{p}={rows[p]['makespan_s']:.4f}" for p in ALL_POLICIES
+            )
+            + f"  adaptive/best_fixed={adaptive['makespan_s'] / best:.3f}"
+            f"  adj={adaptive['steal_degree_adjustments']}"
+            f" skips={adaptive['victim_cost_skips']}"
+        )
+    return matrix
+
+
+def geomean(values: Sequence[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def check_multiset_identity(scenario: Scenario) -> bool:
+    """Byte-level result identity: same subgraph multiset as "one"."""
+    graph = scenario.graph()
+
+    def multiset(policy):
+        report = scenario.fractoid(policy, graph).execute(
+            collect="subgraphs"
+        )
+        return Counter((s.vertices, s.edges) for s in report.subgraphs)
+
+    return multiset(ADAPTIVE) == multiset("one")
+
+
+def check_replay_determinism(scenario: Scenario) -> bool:
+    """Two adaptive runs produce identical metrics, clocks and results."""
+    graph = scenario.graph()
+
+    def fingerprint():
+        report = scenario.fractoid(ADAPTIVE, graph).execute(collect="count")
+        cores = tuple(
+            (core.core_id, core.finish_units, core.busy_units)
+            for step in report.steps
+            if step.cluster is not None
+            for core in step.cluster.cores
+        )
+        return (
+            report.result_count,
+            report.simulated_seconds,
+            tuple(sorted(report.metrics.snapshot().items())),
+            cores,
+        )
+
+    return fingerprint() == fingerprint()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="one fast scenario: result equality + adjustment check only",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="all five scenarios at CI size; performance band enforced",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+    if args.smoke:
+        mode = "smoke"
+    elif args.quick:
+        mode = "quick"
+    else:
+        mode = "full"
+
+    if mode == "smoke":
+        scenarios = [bestdegree("smoke")]
+    else:
+        scenarios = all_scenarios(mode)
+
+    print(
+        f"adaptive steal matrix ({mode}): "
+        f"{len(scenarios)} scenarios x {len(ALL_POLICIES)} policies"
+    )
+    matrix = run_matrix(scenarios)
+
+    ratios: Dict[str, float] = {}
+    counts_identical = True
+    adjustments_total = 0
+    skips_total = 0
+    for name, rows in matrix.items():
+        best_fixed = min(rows[p]["makespan_s"] for p in FIXED_POLICIES)
+        ratios[name] = rows[ADAPTIVE]["makespan_s"] / best_fixed
+        counts_identical &= all(
+            rows[p]["result_count"] == rows["one"]["result_count"]
+            for p in ALL_POLICIES
+        )
+        adjustments_total += rows[ADAPTIVE]["steal_degree_adjustments"]
+        skips_total += rows[ADAPTIVE]["victim_cost_skips"]
+    worst_ratio = max(ratios.values())
+    geo = {
+        policy: geomean(
+            [matrix[name][policy]["makespan_s"] for name in matrix]
+        )
+        for policy in ALL_POLICIES
+    }
+    best_fixed_geo = min(geo[p] for p in FIXED_POLICIES)
+    geo_win = geo[ADAPTIVE] < best_fixed_geo
+
+    print("correctness checks:")
+    checks = {
+        "counts_identical_to_one": counts_identical,
+        "multiset_identical": check_multiset_identity(bestdegree("smoke")),
+        "replay_deterministic": check_replay_determinism(
+            bestdegree("smoke")
+        ),
+        "adjustments_fired": adjustments_total >= 1,
+    }
+    for key, value in checks.items():
+        print(f"  {key}: {value}")
+        if not value:
+            print(f"FAIL: check {key} did not hold")
+            return 1
+
+    enforce_band = mode != "smoke"
+    targets = {
+        "within_10pct_of_best_fixed_everywhere": {
+            "required": 1.10,
+            "achieved": round(worst_ratio, 4),
+            "enforced": enforce_band,
+            "met": worst_ratio <= 1.10,
+        },
+        "geomean_beats_best_single_fixed": {
+            "required": f"< {round(best_fixed_geo, 4)}",
+            "achieved": round(geo[ADAPTIVE], 4),
+            "enforced": enforce_band,
+            "met": geo_win,
+        },
+        "steal_degree_adjustments": {
+            "required": 1,
+            "achieved": adjustments_total,
+            "enforced": True,
+            "met": adjustments_total >= 1,
+        },
+    }
+
+    payload = {
+        **make_header(
+            "adaptive_steal",
+            {"mode": mode, "scenarios": sorted(matrix)},
+            f"adaptive within {(worst_ratio - 1) * 100:.1f}% of best fixed "
+            f"policy on every DLB scenario; geomean "
+            f"{geo[ADAPTIVE]:.4f}s vs best fixed {best_fixed_geo:.4f}s",
+        ),
+        "generated_by": "benchmarks/bench_adaptive_steal.py",
+        "mode": mode,
+        "policies": list(ALL_POLICIES),
+        "scenarios": {
+            name: {
+                **scenario_summary(scenario),
+                "policies": matrix[name],
+                "adaptive_vs_best_fixed": round(ratios[name], 4),
+            }
+            for name, scenario in zip(
+                [s.name for s in scenarios], scenarios
+            )
+        },
+        "geomean_makespan_s": {
+            policy: round(geo[policy], 6) for policy in ALL_POLICIES
+        },
+        "victim_cost_skips_total": skips_total,
+        "checks": checks,
+        "targets": targets,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    failed = [
+        name for name, t in targets.items() if t["enforced"] and not t["met"]
+    ]
+    if failed:
+        for name in failed:
+            t = targets[name]
+            print(f"FAIL: {name} achieved {t['achieved']} (req {t['required']})")
+        return 1
+    print(
+        f"worst adaptive/best-fixed ratio {worst_ratio:.3f} (target <= 1.10); "
+        f"geomean {geo[ADAPTIVE]:.4f}s vs best fixed {best_fixed_geo:.4f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

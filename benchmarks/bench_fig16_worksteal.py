@@ -18,6 +18,7 @@ from repro.harness import run_fig16_worksteal
 from repro.harness.configs import bench_fsm_patents
 
 from conftest import record, run_once
+from dlb_scenarios import straggler_plan
 
 
 def test_fig16_worksteal(benchmark):
@@ -79,3 +80,42 @@ def test_fig16_worksteal(benchmark):
         assert half["steals"] <= one["steals"]
         assert half["chunk_extensions"] >= half["steals"]
     record(benchmark, "fig16", rows)
+
+
+def test_fig16_worksteal_straggler(benchmark):
+    """Figure 16's shape survives skew.
+
+    Replays the sweep under the shared persistent-skew plan from the DLB
+    scenario suite (two 4x stragglers): stealing matters *more* when some
+    cores are slow, so the ordering of the four configurations must not
+    change, and the balanced configuration still repairs the imbalance
+    the stragglers introduce.
+    """
+    rows = run_once(
+        benchmark,
+        run_fig16_worksteal,
+        bench_fsm_patents(),
+        10,  # min_support
+        3,  # max_edges
+        2,  # workers
+        8,  # cores per worker
+        steal_policies=("one",),
+        fault_plan=straggler_plan(2, 4.0),
+    )
+    makespan = defaultdict(float)
+    for row in rows:
+        makespan[row["config"]] += row["makespan_s"]
+
+    assert makespan["2.Internal"] < makespan["1.Disabled"]
+    assert makespan["3.External"] < makespan["1.Disabled"]
+    assert makespan["4.Internal+External"] <= makespan["2.Internal"]
+    assert makespan["4.Internal+External"] <= makespan["3.External"]
+    for row in rows:
+        if row["config"] == "1.Disabled":
+            assert row["steals_internal"] == 0
+            assert row["steals_external"] == 0
+        if row["config"] == "2.Internal":
+            assert row["steals_external"] == 0
+        if row["config"] == "3.External":
+            assert row["steals_internal"] == 0
+    record(benchmark, "fig16_straggler", rows)

@@ -43,9 +43,9 @@ if str(SRC) not in sys.path:
 
 from repro import ClusterConfig, FractalContext  # noqa: E402
 from repro.graph import powerlaw_graph  # noqa: E402
-from repro.runtime.faults import FaultPlan, StragglerWindow  # noqa: E402
 
 from bench_schema import make_header  # noqa: E402
+from dlb_scenarios import clique_fractoid, straggler_plan  # noqa: E402
 
 DEFAULT_OUT = REPO_ROOT / "BENCH_steal_policies.json"
 
@@ -60,26 +60,6 @@ SCHEDULER_COUNTERS = (
     "victim_scan_steps",
     "steal_chunk_extensions",
 )
-
-
-def clique_fractoid(graph, config, k=3):
-    fg = FractalContext(engine=config).from_graph(graph)
-    return (
-        fg.vfractoid()
-        .expand(1)
-        .filter(lambda s, c: s.edges_added_last() == s.n_vertices - 1)
-        .explore(k)
-    )
-
-
-def straggler_plan(n_stragglers: int, factor: float) -> FaultPlan:
-    return FaultPlan(
-        stragglers=tuple(
-            StragglerWindow(core, 0.0, 1e6, factor)
-            for core in range(n_stragglers)
-        ),
-        seed=1,
-    )
 
 
 def fingerprint(report):

@@ -248,11 +248,19 @@ def _print_scheduler(report) -> None:
         f"({summary['parked_units']:.1f} units parked), "
         f"{summary['victim_scan_steps']:.0f} victim-scan steps"
     )
-    print(
+    line = (
         "steal policy: "
         f"{summary['steal_chunk_extensions']:.0f} extensions moved, "
         f"mean chunk {summary['mean_steal_chunk']:.2f}"
     )
+    if summary["adaptive_steals"]:
+        line += (
+            f", adaptive: {summary['steal_degree_adjustments']:.0f} "
+            "degree adjustments, "
+            f"mean adaptive chunk {summary['adaptive_chunk_mean']:.2f}, "
+            f"{summary['victim_cost_skips']:.0f} cheaper-victim picks"
+        )
+    print(line)
 
 
 def _print_agg_shuffle(report) -> None:
@@ -607,8 +615,10 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="POLICY",
         help="work transferred per successful steal: 'one' (single "
         "extension, the paper-faithful default), 'half' (Cilk-style "
-        "steal-half) or 'chunk:N' (at most N extensions); results are "
-        "identical under every policy, clocks and steal traffic differ",
+        "steal-half), 'chunk:N' (at most N extensions) or 'adaptive' "
+        "(AIMD steal-degree controller with latency-aware victim "
+        "selection); results are identical under every policy, clocks "
+        "and steal traffic differ",
     )
     p_run.add_argument(
         "--pattern-kernel",

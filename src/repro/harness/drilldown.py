@@ -192,6 +192,7 @@ def run_fig16_worksteal(
     workers: int = 2,
     cores_per_worker: int = 8,
     steal_policies: Sequence[str] = ("one",),
+    fault_plan=None,
     verbose: bool = True,
 ) -> List[Dict]:
     """FSM per-step task times under the four work-stealing configurations.
@@ -199,9 +200,13 @@ def run_fig16_worksteal(
     ``steal_policies`` adds a chunking dimension to the sweep: each of
     the four Figure-16 configurations runs once per policy (``"one"``
     reproduces the paper's single-extension protocol; ``"half"`` /
-    ``"chunk:N"`` show how chunked transfers trade steal round-trips for
-    shipped extensions).  Results are identical across policies; only
-    clocks, steal counts and message traffic move.
+    ``"chunk:N"`` / ``"adaptive"`` show how chunked transfers trade
+    steal round-trips for shipped extensions).  Results are identical
+    across policies; only clocks, steal counts and message traffic move.
+
+    ``fault_plan`` optionally injects a straggler shape (e.g. one of the
+    DLB scenario plans from ``benchmarks/dlb_scenarios.py``) so the
+    figure can be reproduced under skew, not just uniform load.
     """
     flags = [(False, False), (True, False), (False, True), (True, True)]
     rows = []
@@ -214,6 +219,7 @@ def run_fig16_worksteal(
                 ws_external=ws_ext,
                 include_setup_overhead=False,
                 steal_policy=policy,
+                fault_plan=fault_plan,
             )
             result = fsm(
                 FractalContext(engine=config).from_graph(graph),

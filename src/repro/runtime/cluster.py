@@ -71,17 +71,28 @@ __all__ = ["ClusterConfig", "ClusterEngine", "ClusterStepResult", "CoreReport"]
 _WAIT_EPSILON = 1.0  # units an idle core waits before re-checking for work
 
 
+# Sentinel _parse_steal_policy returns for the adaptive policy: chunk
+# sizing is owned by the engine's online steal-degree controller.
+_ADAPTIVE = -1
+
+
 def _parse_steal_policy(policy: str) -> int:
     """Validate a steal policy string; return the fixed chunk size.
 
     Returns 1 for ``"one"``, 0 for ``"half"`` (chunk size is computed per
-    steal as half the victim frame's remaining extensions) and N for
-    ``"chunk:N"``.  Raises ``ValueError`` on anything else.
+    steal as half the victim frame's remaining extensions), N for
+    ``"chunk:N"`` and :data:`_ADAPTIVE` for ``"adaptive"`` (chunk size is
+    tuned online by the steal-degree controller).  Raises ``ValueError``
+    on anything else.  This is the single source of truth for accepted
+    policies: :class:`ClusterConfig` and the CLI both surface its
+    message.
     """
     if policy == "one":
         return 1
     if policy == "half":
         return 0
+    if policy == "adaptive":
+        return _ADAPTIVE
     if policy.startswith("chunk:"):
         try:
             n = int(policy[len("chunk:") :])
@@ -90,8 +101,8 @@ def _parse_steal_policy(policy: str) -> int:
         if n >= 1:
             return n
     raise ValueError(
-        f"steal_policy must be 'one', 'half' or 'chunk:N' (N >= 1), "
-        f"got {policy!r}"
+        f"steal_policy must be 'one', 'half', 'chunk:N' (N >= 1) or "
+        f"'adaptive', got {policy!r}"
     )
 
 
@@ -143,9 +154,24 @@ class ClusterConfig:
     # ``"half"`` — Cilk-style steal-half: the thief takes the upper half
     # of the victim frame's remaining extensions in one transfer.
     # ``"chunk:N"`` — at most N extensions per transfer.
+    # ``"adaptive"`` — the chunk size is tuned online by a deterministic
+    # AIMD steal-degree controller driven by the scheduler's own signals
+    # (steal comeback intervals, victim frame occupancy, parked-core
+    # counts, per-core clock imbalance); victim selection additionally
+    # prefers cheap channels from observed steal round-trip costs
+    # (docs/internals.md §16).
     # Results and aggregation views are identical under every policy;
     # chunked policies change clocks, steal counts and message traffic.
     steal_policy: str = "one"
+    # Upper bound on the adaptive controller's steal degree (extensions
+    # per transfer).  Ignored by the fixed policies.
+    adaptive_max_chunk: int = 64
+    # Optional heterogeneous interconnect: ``((src_worker, dst_worker,
+    # units), ...)`` adds ``units`` to every external steal crossing that
+    # worker pair (symmetric; the DLB ``offloadlatency`` scenario).
+    # ``None`` (the default) keeps the uniform network of prior releases
+    # — every clock bit-identical.
+    link_latency: Optional[Tuple[Tuple[int, int, float], ...]] = None
     # ``"event"`` (default) parks idle cores and wakes them on published
     # work — same simulated behaviour as the legacy polling loop, orders
     # of magnitude fewer host-side scheduler events on wide clusters.
@@ -183,6 +209,40 @@ class ClusterConfig:
         if self.batch_quantum < 1:
             raise ValueError("batch_quantum must be >= 1")
         _parse_steal_policy(self.steal_policy)
+        if self.adaptive_max_chunk < 1:
+            raise ValueError("adaptive_max_chunk must be >= 1")
+        if self.link_latency is not None:
+            links = tuple(tuple(entry) for entry in self.link_latency)
+            object.__setattr__(self, "link_latency", links)
+            seen = set()
+            for entry in links:
+                if len(entry) != 3:
+                    raise ValueError(
+                        f"link_latency entries must be (src_worker, "
+                        f"dst_worker, units) triples, got {entry!r}"
+                    )
+                src, dst, units = entry
+                for w in (src, dst):
+                    if (
+                        not isinstance(w, int)
+                        or isinstance(w, bool)
+                        or not 0 <= w < self.workers
+                    ):
+                        raise ValueError(
+                            f"link_latency names worker {w!r}, but the "
+                            f"cluster has workers 0..{self.workers - 1}"
+                        )
+                if src == dst:
+                    raise ValueError(
+                        f"link_latency connects worker {src} to itself"
+                    )
+                pair = (min(src, dst), max(src, dst))
+                if pair in seen:
+                    raise ValueError(
+                        f"link_latency names worker pair {pair} twice"
+                    )
+                seen.add(pair)
+                _check_clock(units, f"link latency for workers {src}<->{dst}")
         if self.scheduler not in ("event", "poll"):
             raise ValueError(
                 f"scheduler must be 'event' or 'poll', got {self.scheduler!r}"
@@ -240,6 +300,14 @@ class ClusterConfig:
         """Worker index hosting a global core id."""
         return core_id // self.cores_per_worker
 
+    def link_latency_map(self) -> Dict[Tuple[int, int], float]:
+        """Symmetric ``(src_worker, dst_worker) -> extra units`` lookup."""
+        links: Dict[Tuple[int, int], float] = {}
+        for src, dst, units in self.link_latency or ():
+            links[(src, dst)] = units
+            links[(dst, src)] = units
+        return links
+
     def steal_chunk_size(self, remaining: int) -> int:
         """Extensions one steal moves from a frame with ``remaining`` left.
 
@@ -252,7 +320,10 @@ class ClusterConfig:
         if remaining <= 1:
             return remaining
         fixed = _parse_steal_policy(self.steal_policy)
-        if fixed == 1:
+        if fixed == 1 or fixed == _ADAPTIVE:
+            # "adaptive" sizing is owned by the engine's steal-degree
+            # controller; outside an engine run this static helper falls
+            # back to single-extension transfers.
             return 1
         if fixed:
             return min(fixed, remaining - 1)
@@ -283,6 +354,11 @@ class CoreReport:
     parked_units: float = 0.0
     wake_events: int = 0
     steal_chunk_extensions: int = 0
+    # Adaptive-policy view of this core: AIMD degree adjustments its
+    # steals triggered and victims it passed over for a cheaper channel.
+    # Zero under every fixed policy.
+    steal_degree_adjustments: int = 0
+    victim_cost_skips: int = 0
     failed: bool = False
     # Merged (start, end) busy intervals in units, when timeline recording
     # is enabled (Figure 8).
@@ -528,6 +604,162 @@ class _FaultRuntime:
         metrics.wasted_work_units += rebuild_units
 
 
+class _StealController:
+    """Online steal-degree (AIMD) and victim-cost state for one step.
+
+    Implements ``steal_policy="adaptive"`` (docs/internals.md §16).  Two
+    concerns, both driven exclusively by signals the scheduler already
+    books, so replays of the same config are bit-identical:
+
+    **Steal degree** — one global ``degree`` (extensions moved per
+    steal), AIMD-controlled on the simulated clock:
+
+    * *multiplicative increase* (slow-start) while live imbalance
+      signals are present — other thieves sit parked for lack of
+      stealable work, or the victim's clock lags visibly behind the
+      thief's (a straggler is feeding the whole cluster, and every
+      extension left on it runs at the straggler's rate);
+    * *additive increase* when a thief that just finished a stolen chunk
+      comes back for more within a small multiple of the price it paid
+      for the previous steal — the round-trip, not the work, is the
+      bottleneck, so moving more per transfer amortizes it;
+    * *multiplicative decrease* when a steal finds a victim frame too
+      small to fill even half a chunk while no core is starved — work
+      is fragmented and plentiful, so oversized chunks would just bounce
+      between cores, and the degree halves back toward the
+      single-extension policy that is optimal on uniform traffic.
+
+    Orthogonally, a thief whose *own* observed processing rate is
+    degraded (it sits in a straggler window) only ever takes a single
+    extension: bulk-feeding a slow core turns the whole chunk into tail
+    latency — the classic failure mode of static chunking under moving
+    stragglers, and a per-steal decision no fixed policy can make.
+
+    **Victim cost** — per worker-pair channel, an EMA of the observed
+    external-steal round-trip price (request + prefix serialization +
+    retry penalties + message delays + link latency, everything except
+    the chunk payload, which depends on our own degree).  Channels start
+    at the cost model's optimistic static prior and are updated after
+    every completed external steal; victim selection prefers the
+    cheapest observed channel, with the legacy round-robin distance as
+    the deterministic tie-break.
+    """
+
+    AI_STEP = 1.0  # additive increase per fast comeback
+    MI_FACTOR = 1.5  # slow-start growth while thieves park / victims lag
+    MD_FACTOR = 0.5  # multiplicative decrease on fragmented frames
+    COMEBACK_FACTOR = 2.0  # "fast" = within this multiple of the steal price
+
+    __slots__ = ("degree", "max_degree", "last_steal", "channel_cost", "prior")
+
+    def __init__(self, config: ClusterConfig, cost: CostModel):
+        self.degree = 1.0
+        self.max_degree = float(config.adaptive_max_chunk)
+        self.last_steal: Dict[int, float] = {}  # core_id -> clock
+        self.channel_cost: Dict[Tuple[int, int], float] = {}
+        self.prior = cost.steal_channel_prior()
+
+    def chunk_size(self, remaining: int, thief: "_Core") -> int:
+        """Extensions the next steal moves, honoring the no-empty rule.
+
+        A thief that is itself running slow (its observed processing
+        rate is degraded — a straggler window) only ever takes a single
+        extension: bulk-feeding a slow core turns the whole chunk into
+        tail latency, which is the classic failure mode of static
+        chunking under moving stragglers.
+        """
+        if remaining <= 1:
+            return remaining
+        if (
+            thief.slowdown is not None
+            and thief.slowdown(thief.core_id, thief.clock) > 1.0
+        ):
+            return 1
+        degree = int(self.degree)
+        if degree <= 1:
+            return 1
+        return min(degree, remaining - 1)
+
+    def observed_cost(self, src_worker: int, dst_worker: int) -> float:
+        """Current round-trip estimate for a worker-pair channel."""
+        return self.channel_cost.get((src_worker, dst_worker), self.prior)
+
+    def victim_cost(
+        self,
+        src_worker: int,
+        dst_worker: int,
+        links: Optional[Dict[Tuple[int, int], float]],
+    ) -> float:
+        """Round-trip estimate used to rank steal victims.
+
+        Observed channels use the EMA (which already folds in any link
+        latency actually paid); unobserved channels fall back to the
+        static prior plus the configured link latency so a known-slow
+        link is avoided even before the first steal crosses it.
+        """
+        observed = self.channel_cost.get((src_worker, dst_worker))
+        if observed is not None:
+            return observed
+        extra = links.get((src_worker, dst_worker), 0.0) if links else 0.0
+        return self.prior + extra
+
+    def record_roundtrip(
+        self, src_worker: int, dst_worker: int, units: float
+    ) -> None:
+        """Fold one completed external-steal round-trip into the EMA."""
+        key = (src_worker, dst_worker)
+        previous = self.channel_cost.get(key)
+        self.channel_cost[key] = (
+            units if previous is None else 0.5 * (previous + units)
+        )
+
+    def on_steal(
+        self,
+        thief: "_Core",
+        victim: "_Core",
+        remaining: int,
+        paid_units: float,
+        parked: int,
+    ) -> None:
+        """AIMD update after a successful steal (pre-transfer clocks)."""
+        clock = thief.clock
+        previous = self.last_steal.get(thief.core_id)
+        self.last_steal[thief.core_id] = clock
+        degree = int(self.degree)
+        if degree > 1 and remaining - 1 < degree // 2 and parked == 0:
+            # The victim could not fill even half a chunk while nobody
+            # is starved: work is fragmented and plentiful (uniform
+            # traffic with shallow frames), so large chunks only shuffle
+            # fragments around.  Recursively split chunks routinely miss
+            # the full degree by a little — that is how splitting works
+            # — so a badly underfilled chunk *and* an unstarved cluster
+            # are both required before the degree decays.
+            self.degree = max(1.0, self.degree * self.MD_FACTOR)
+            thief.metrics.steal_degree_adjustments += 1
+        elif parked > 0 or victim.clock > thief.clock + paid_units:
+            # Live imbalance: other thieves sit parked for lack of
+            # stealable work, or the victim's clock lags visibly behind
+            # — a straggler is feeding the cluster, and every extension
+            # left on it runs at the straggler's (slow) rate.  Grow
+            # multiplicatively (slow-start) so the degree escapes the
+            # cold start in O(log) steals instead of O(degree).
+            grown = min(self.max_degree, self.degree * self.MI_FACTOR)
+            if grown != self.degree:
+                self.degree = grown
+                thief.metrics.steal_degree_adjustments += 1
+        elif (
+            previous is not None
+            and clock - previous <= self.COMEBACK_FACTOR * paid_units
+        ):
+            # The thief burned through its last chunk in little more
+            # than the time the steal itself cost: round-trips, not
+            # work, are the bottleneck.
+            grown = min(self.max_degree, self.degree + self.AI_STEP)
+            if grown != self.degree:
+                self.degree = grown
+                thief.metrics.steal_degree_adjustments += 1
+
+
 class _SchedState:
     """Per-drain scheduler state: stealable-work registry and parked cores.
 
@@ -761,6 +993,10 @@ class ClusterEngine:
         # Owner lookup for the active partition (None = replicated graph);
         # set per run_step, consulted by _advance's fetch metering.
         self._word_owner: Optional[Callable[[int], int]] = None
+        # Adaptive steal-degree controller (None under fixed policies)
+        # and the heterogeneous-link lookup; both set per run_step.
+        self._controller: Optional[_StealController] = None
+        self._links: Optional[Dict[Tuple[int, int], float]] = None
 
     def run_step(
         self,
@@ -789,6 +1025,14 @@ class ClusterEngine:
         """
         config = self.config
         cost = config.cost_model
+        # One controller per step: observed channel costs and the steal
+        # degree persist across recovery drains within the step.
+        self._controller = (
+            _StealController(config, cost)
+            if config.steal_policy == "adaptive"
+            else None
+        )
+        self._links = config.link_latency_map() if config.link_latency else None
         cores = self._build_cores(graph, strategy_factory, interner, aggregation_views)
         storages_per_core = [
             new_storages(primitives, cached_uids, entry_budget=config.agg_entry_budget)
@@ -1291,13 +1535,24 @@ class ClusterEngine:
         thief must stay live and retry with fresh channel randomness).
         """
         config = self.config
+        controller = self._controller
         if config.ws_internal:
             frame, victim = self._pick_victim(thief, cores, True, sched)
             if frame is not None:
-                chunk = config.steal_chunk_size(frame.remaining())
+                remaining = frame.remaining()
+                if controller is not None:
+                    chunk = controller.chunk_size(remaining, thief)
+                else:
+                    chunk = config.steal_chunk_size(remaining)
                 units = cost.steal_internal_cost()
                 if chunk > 1:
                     units += cost.steal_chunk_cost(chunk - 1)
+                if controller is not None:
+                    controller.on_steal(
+                        thief, victim, remaining, units, len(sched.parked)
+                    )
+                    thief.metrics.adaptive_steals += 1
+                    thief.metrics.adaptive_chunk_extensions += chunk
                 self._transfer(
                     thief, frame, units, runtime, victim, sched, chunk
                 )
@@ -1323,12 +1578,32 @@ class ClusterEngine:
                     thief.metrics.steal_work_units += penalty
                     runtime.metrics.wasted_work_units += penalty
                     return False, messages, True
-                chunk = config.steal_chunk_size(frame.remaining())
-                units = cost.steal_external_cost(len(frame.prefix_words))
+                remaining = frame.remaining()
+                if controller is not None:
+                    chunk = controller.chunk_size(remaining, thief)
+                else:
+                    chunk = config.steal_chunk_size(remaining)
+                roundtrip = cost.steal_external_cost(len(frame.prefix_words))
+                roundtrip += penalty + delay
+                if self._links is not None:
+                    # Heterogeneous interconnect: crossing this worker
+                    # pair pays the configured extra latency.
+                    roundtrip += self._links.get(
+                        (thief.worker_id, victim.worker_id), 0.0
+                    )
+                units = roundtrip
                 if chunk > 1:
                     units += cost.steal_chunk_cost(chunk - 1)
-                units += penalty + delay
                 runtime.metrics.wasted_work_units += penalty
+                if controller is not None:
+                    controller.record_roundtrip(
+                        thief.worker_id, victim.worker_id, roundtrip
+                    )
+                    controller.on_steal(
+                        thief, victim, remaining, units, len(sched.parked)
+                    )
+                    thief.metrics.adaptive_steals += 1
+                    thief.metrics.adaptive_chunk_extensions += chunk
                 self._transfer(
                     thief, frame, units, runtime, victim, sched, chunk
                 )
@@ -1390,6 +1665,10 @@ class ClusterEngine:
         """
         n = len(cores)
         metrics = thief.metrics
+        # Latency-aware selection only applies to external steals under
+        # the adaptive policy: channels are worker pairs, so intra-worker
+        # victims all cost the same and keep the round-robin order.
+        controller = self._controller if not same_worker else None
         if sched.event:
             if same_worker:
                 candidates = sched.reg_workers[thief.worker_id]
@@ -1400,6 +1679,39 @@ class ClusterEngine:
                     if w != thief.worker_id
                     for core_id in members
                 ]
+            if controller is not None:
+                best = None
+                best_key = None
+                best_distance = n
+                near_distance = n
+                for core_id in candidates:
+                    metrics.victim_scan_steps += 1
+                    if core_id == thief.core_id:
+                        continue
+                    candidate = cores[core_id]
+                    if candidate.failed and thief.clock < candidate.detect_at:
+                        continue
+                    distance = (core_id - thief.core_id) % n
+                    if distance < near_distance:
+                        near_distance = distance
+                    # (cost, round-robin distance) is a unique key per
+                    # candidate, so the choice is deterministic no matter
+                    # how the registry orders its members.
+                    key = (
+                        controller.victim_cost(
+                            thief.worker_id, candidate.worker_id, self._links
+                        ),
+                        distance,
+                    )
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best = candidate
+                        best_distance = distance
+                if best is None:
+                    return None, None
+                if best_distance > near_distance:
+                    metrics.victim_cost_skips += 1
+                return best.stealable_frame(), best
             best = None
             best_distance = n
             for core_id in candidates:
@@ -1416,6 +1728,40 @@ class ClusterEngine:
             if best is None:
                 return None, None
             return best.stealable_frame(), best
+        if controller is not None:
+            best = None
+            best_frame = None
+            best_key = None
+            best_distance = n
+            near_distance = n
+            for offset in range(1, n):
+                candidate = cores[(thief.core_id + offset) % n]
+                if candidate.worker_id == thief.worker_id:
+                    continue
+                metrics.victim_scan_steps += 1
+                if candidate.failed and thief.clock < candidate.detect_at:
+                    continue
+                frame = candidate.stealable_frame()
+                if frame is None:
+                    continue
+                if offset < near_distance:
+                    near_distance = offset
+                key = (
+                    controller.victim_cost(
+                        thief.worker_id, candidate.worker_id, self._links
+                    ),
+                    offset,
+                )
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = candidate
+                    best_frame = frame
+                    best_distance = offset
+            if best is None:
+                return None, None
+            if best_distance > near_distance:
+                metrics.victim_cost_skips += 1
+            return best_frame, best
         for offset in range(1, n):
             candidate = cores[(thief.core_id + offset) % n]
             is_local = candidate.worker_id == thief.worker_id
@@ -1670,6 +2016,10 @@ class ClusterEngine:
                     parked_units=core.metrics.parked_units,
                     wake_events=core.metrics.wake_events,
                     steal_chunk_extensions=core.metrics.steal_chunk_extensions,
+                    steal_degree_adjustments=(
+                        core.metrics.steal_degree_adjustments
+                    ),
+                    victim_cost_skips=core.metrics.victim_cost_skips,
                     failed=core.failed,
                     busy_intervals=core.busy_intervals,
                 )

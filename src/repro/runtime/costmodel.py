@@ -216,6 +216,16 @@ class CostModel:
         """
         return self.steal_chunk_units_per_extension * extra_extensions
 
+    def steal_channel_prior(self) -> float:
+        """Optimistic prior for an unobserved external-steal channel.
+
+        Seeds the adaptive scheduler's per-channel round-trip EMA with
+        the static price of the cheapest possible external steal (a
+        one-word prefix, no faults, no link latency); real observations
+        replace it after the first completed steal on the channel.
+        """
+        return self.steal_external_cost(1)
+
     def steal_retry_penalty(self, attempt: int) -> float:
         """Units a thief burns on one failed steal round-trip.
 

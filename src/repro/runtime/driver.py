@@ -107,7 +107,10 @@ class ExecutionReport:
         and chunked-steal volume (``steal_chunk_extensions`` over
         ``steals`` gives the mean extensions moved per successful
         steal).  Parking/wake counters stay zero on the sequential
-        engine and under ``scheduler="poll"``.
+        engine and under ``scheduler="poll"``; the adaptive counters
+        (steal-degree adjustments, cost-preferred victim picks, and
+        ``adaptive_chunk_mean`` — extensions per controller-sized
+        steal) stay zero under the fixed steal policies.
         """
         m = self.metrics
         steals = m.steals_internal + m.steals_external
@@ -121,6 +124,14 @@ class ExecutionReport:
             "steal_chunk_extensions": m.steal_chunk_extensions,
             "mean_steal_chunk": (
                 m.steal_chunk_extensions / steals if steals else 0.0
+            ),
+            "steal_degree_adjustments": m.steal_degree_adjustments,
+            "victim_cost_skips": m.victim_cost_skips,
+            "adaptive_steals": m.adaptive_steals,
+            "adaptive_chunk_mean": (
+                m.adaptive_chunk_extensions / m.adaptive_steals
+                if m.adaptive_steals
+                else 0.0
             ),
         }
 

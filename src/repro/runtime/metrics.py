@@ -23,7 +23,15 @@ The paper's evaluation is expressed in a handful of measurable quantities:
   parked simulated time), victim-scan work of the stealable registry,
   and the extensions moved per steal under chunked steal policies.
   These meter the *scheduler*, not the mined workload: results and
-  legacy counters are identical whichever scheduler/policy runs;
+  legacy counters are identical whichever scheduler/policy runs.
+  Under ``steal_policy="adaptive"`` four more counters track the
+  controller (all zero under fixed policies): steal-degree AIMD
+  adjustments (``steal_degree_adjustments``), victims chosen over a
+  nearer round-robin candidate because their channel was cheaper
+  (``victim_cost_skips``), and controller-sized steals plus the
+  extensions they moved (``adaptive_steals`` /
+  ``adaptive_chunk_extensions`` — their ratio is the mean adaptive
+  chunk size);
 * partitioned graph access — adjacency fetches split into local (the
   pushed word's partition owner is the executing worker) and remote
   (owned elsewhere: a real deployment would ship the adjacency list
@@ -116,6 +124,10 @@ class Metrics:
         "parked_units",
         "victim_scan_steps",
         "steal_chunk_extensions",
+        "steal_degree_adjustments",
+        "victim_cost_skips",
+        "adaptive_steals",
+        "adaptive_chunk_extensions",
         "back_edge_probes",
         "intersect_comparisons",
         "gallop_steps",
@@ -176,6 +188,10 @@ class Metrics:
         self.parked_units = 0.0
         self.victim_scan_steps = 0
         self.steal_chunk_extensions = 0
+        self.steal_degree_adjustments = 0
+        self.victim_cost_skips = 0
+        self.adaptive_steals = 0
+        self.adaptive_chunk_extensions = 0
         self.back_edge_probes = 0
         self.intersect_comparisons = 0
         self.gallop_steps = 0
@@ -234,6 +250,10 @@ class Metrics:
         self.parked_units += other.parked_units
         self.victim_scan_steps += other.victim_scan_steps
         self.steal_chunk_extensions += other.steal_chunk_extensions
+        self.steal_degree_adjustments += other.steal_degree_adjustments
+        self.victim_cost_skips += other.victim_cost_skips
+        self.adaptive_steals += other.adaptive_steals
+        self.adaptive_chunk_extensions += other.adaptive_chunk_extensions
         self.back_edge_probes += other.back_edge_probes
         self.intersect_comparisons += other.intersect_comparisons
         self.gallop_steps += other.gallop_steps

@@ -205,6 +205,12 @@ class TestStealPolicy:
         )
         assert args.steal_policy == "chunk:8"
 
+    def test_parser_accepts_adaptive(self):
+        args = build_parser().parse_args(
+            ["run", "cliques", "--steal-policy", "adaptive"]
+        )
+        assert args.steal_policy == "adaptive"
+
     def test_invalid_policy_exits(self):
         with pytest.raises(SystemExit, match="invalid cluster configuration"):
             main(
@@ -214,6 +220,31 @@ class TestStealPolicy:
                     "--steal-policy", "bogus",
                 ]
             )
+
+    def test_invalid_policy_error_names_adaptive(self):
+        # The rejection message lists every accepted spelling, so a user
+        # who typos the new policy is pointed straight at it.
+        with pytest.raises(SystemExit, match="adaptive"):
+            main(
+                [
+                    "run", "cliques", "--dataset", "mico", "--scale", "0.3",
+                    "--workers", "2", "--cores", "2",
+                    "--steal-policy", "bogus",
+                ]
+            )
+
+    def test_adaptive_run_reports_controller(self, capsys):
+        assert main(
+            [
+                "run", "cliques", "--dataset", "mico", "--scale", "0.3",
+                "--k", "3", "--workers", "2", "--cores", "4",
+                "--steal-policy", "adaptive",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "steal policy:" in out
+        assert "degree adjustments" in out
+        assert "cheaper-victim picks" in out
 
     def test_scheduler_report_printed(self, capsys):
         assert main(

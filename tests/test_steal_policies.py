@@ -46,7 +46,7 @@ SCHEDULER_COUNTERS = (
 )
 
 WS_CONFIGS = [(False, False), (True, False), (False, True), (True, True)]
-POLICIES = ["one", "half", "chunk:3"]
+POLICIES = ["one", "half", "chunk:3", "adaptive"]
 
 FAULT_PLAN = FaultPlan(
     core_failures=(CoreFailure(2, 80.0),),
@@ -134,7 +134,9 @@ class TestPolicyValidation:
         with pytest.raises(ValueError, match="steal_policy"):
             ClusterConfig(workers=1, cores_per_worker=2, steal_policy=policy)
 
-    @pytest.mark.parametrize("policy", ["one", "half", "chunk:1", "chunk:64"])
+    @pytest.mark.parametrize(
+        "policy", ["one", "half", "chunk:1", "chunk:64", "adaptive"]
+    )
     def test_valid_policy_accepted(self, policy):
         ClusterConfig(workers=1, cores_per_worker=2, steal_policy=policy)
 
@@ -146,6 +148,23 @@ class TestPolicyValidation:
         assert _parse_steal_policy("one") == 1
         assert _parse_steal_policy("half") == 0
         assert _parse_steal_policy("chunk:5") == 5
+        assert _parse_steal_policy("adaptive") == -1
+
+    def test_error_message_lists_adaptive(self):
+        with pytest.raises(ValueError, match="adaptive"):
+            _parse_steal_policy("bogus")
+
+    @pytest.mark.parametrize(
+        "links",
+        [
+            ((0, 0, 5.0),),  # self-link
+            ((0, 9, 5.0),),  # worker out of range
+            ((0, 1, -1.0),),  # negative latency
+        ],
+    )
+    def test_invalid_link_latency_rejected(self, links):
+        with pytest.raises(ValueError, match="link"):
+            ClusterConfig(workers=2, cores_per_worker=2, link_latency=links)
 
 
 class TestChunkSizing:
@@ -358,3 +377,141 @@ class TestChunkAccounting:
         assert sum(c.steal_chunk_extensions for c in step.cores) == (
             step.metrics.steal_chunk_extensions
         )
+
+
+# A skewed plan that makes the adaptive controller actually move: four
+# persistent 6x stragglers keep the fast cores stealing all run long.
+SKEW_PLAN = FaultPlan(
+    stragglers=tuple(StragglerWindow(c, 0.0, 1e6, 6.0) for c in range(2)),
+    seed=3,
+)
+
+
+class TestAdaptivePolicy:
+    """``steal_policy="adaptive"`` mines exactly what ``"one"`` mines.
+
+    The controller only moves clocks and steal traffic; result
+    multisets, aggregation views and aggregate counts are identical to
+    the fixed single-extension protocol — across work-stealing
+    configurations, fault schedules and execution backends — and two
+    adaptive runs replay byte-identically.
+    """
+
+    def test_chunk_size_outside_engine_is_one(self):
+        # Without a live run there is no controller state to consult;
+        # the config-level helper falls back to the safe single step.
+        config = ClusterConfig(
+            workers=1, cores_per_worker=2, steal_policy="adaptive"
+        )
+        assert [config.steal_chunk_size(r) for r in (1, 2, 5, 100)] == [1, 1, 1, 1]
+
+    def test_aggregation_views_match_one(self):
+        graph = erdos_renyi_graph(40, 110, n_labels=3, seed=9)
+        base = _motif_census(graph, _config(True, True, "one"))
+        assert _motif_census(graph, _config(True, True, "adaptive")) == base
+
+    def test_counts_match_across_backends(self):
+        """Sequential / simulator-adaptive / multiprocess agree exactly."""
+        import multiprocessing
+
+        from repro import MultiprocessConfig
+
+        graph = erdos_renyi_graph(40, 110, n_labels=3, seed=9)
+        seq_fc = FractalContext()
+        seq = {
+            k.canonical_code(): v
+            for k, v in (
+                seq_fc.from_graph(graph)
+                .vfractoid()
+                .expand(3)
+                .aggregate(
+                    "motifs",
+                    key_fn=lambda s, c: s.pattern(),
+                    value_fn=lambda s, c: 1,
+                    reduce_fn=lambda a, b: a + b,
+                )
+                .aggregation("motifs")
+            ).items()
+        }
+        adaptive = _motif_census(
+            graph, _config(True, True, "adaptive", fault_plan=SKEW_PLAN)
+        )
+        assert adaptive == seq
+        if "fork" in multiprocessing.get_all_start_methods():
+            mp = _motif_census(graph, MultiprocessConfig(num_procs=2))
+            assert mp == seq
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        ws=st.sampled_from(WS_CONFIGS),
+        faulted=st.booleans(),
+    )
+    def test_random_workloads_match_one(self, seed, ws, faulted):
+        graph = powerlaw_graph(50 + seed % 30, attach=3 + seed % 3, seed=seed)
+        plan = (
+            FaultPlan.from_seed(seed, workers=2, cores_per_worker=3)
+            if faulted
+            else None
+        )
+        base = _result_multiset(graph, _config(*ws, "one", fault_plan=plan))
+        assert (
+            _result_multiset(graph, _config(*ws, "adaptive", fault_plan=plan))
+            == base
+        )
+
+    def test_replay_determinism(self):
+        """Two adaptive runs: identical clocks, counters and results."""
+        graph = powerlaw_graph(90, attach=5, seed=2)
+
+        def full_fingerprint():
+            report = _clique_fractoid(
+                graph, _config(True, True, "adaptive", fault_plan=SKEW_PLAN)
+            ).execute(collect="count")
+            cores = tuple(
+                (core.core_id, core.finish_units, core.busy_units)
+                for step in report.steps
+                if step.cluster is not None
+                for core in step.cluster.cores
+            )
+            return (
+                report.result_count,
+                report.simulated_seconds,
+                tuple(sorted(report.metrics.snapshot().items())),
+                cores,
+            )
+
+        assert full_fingerprint() == full_fingerprint()
+
+    def test_controller_moves_on_skew(self):
+        graph = powerlaw_graph(90, attach=5, seed=2)
+        report = _clique_fractoid(
+            graph, _config(True, True, "adaptive", fault_plan=SKEW_PLAN)
+        ).execute(collect="count")
+        m = report.metrics
+        assert m.steal_degree_adjustments >= 1
+        assert m.adaptive_steals >= 1
+        summary = report.scheduler_summary()
+        assert summary["steal_degree_adjustments"] == m.steal_degree_adjustments
+        assert summary["adaptive_chunk_mean"] >= 1.0
+        assert summary["victim_cost_skips"] == m.victim_cost_skips
+        # Per-core reports roll the new counters up exactly.
+        step = report.steps[-1].cluster
+        assert sum(c.steal_degree_adjustments for c in step.cores) == (
+            m.steal_degree_adjustments
+        )
+        assert sum(c.victim_cost_skips for c in step.cores) == (
+            m.victim_cost_skips
+        )
+
+    def test_fixed_policies_keep_adaptive_counters_zero(self):
+        """The controller is a no-op unless the policy asks for it."""
+        graph = powerlaw_graph(90, attach=5, seed=2)
+        report = _clique_fractoid(graph, _config(True, True, "half")).execute(
+            collect="count"
+        )
+        m = report.metrics
+        assert m.steal_degree_adjustments == 0
+        assert m.victim_cost_skips == 0
+        assert m.adaptive_steals == 0
+        assert m.adaptive_chunk_extensions == 0
